@@ -1,0 +1,184 @@
+//! Buffer-based adaptation (BBA), Huang et al. \[17\].
+//!
+//! The "simple" scheme that the paper found surprisingly hard to beat: it
+//! ignores throughput entirely and maps the current playback buffer level
+//! through a linear "rate map" between a lower *reservoir* and an upper
+//! *cushion*.  Below the reservoir it picks the minimum rate; above the
+//! cushion, the maximum.
+//!
+//! Per §3.3: "For BBA, we used the formula in the original paper to choose
+//! reservoir values consistent with a 15-second maximum buffer", and per
+//! Fig. 5 its objective is "+SSIM s.t. bitrate < limit" — i.e. among versions
+//! whose instantaneous bitrate is under the rate-map limit, take the one with
+//! the best SSIM (with a monotone ladder that is the biggest qualifying
+//! rung).
+
+use crate::{Abr, AbrContext};
+use puffer_media::MAX_BUFFER_SECONDS;
+
+/// BBA with a linear rate map.
+#[derive(Debug, Clone)]
+pub struct Bba {
+    /// Buffer level below which the minimum rate is always chosen (seconds).
+    reservoir: f64,
+    /// Buffer level above which the maximum rate is always chosen (seconds).
+    cushion_top: f64,
+}
+
+impl Default for Bba {
+    /// Reservoir/cushion scaled to Puffer's 15-second maximum buffer per the
+    /// original paper's sizing rule (10% lower reservoir).  The top of the
+    /// cushion sits just below the server's send-gating equilibrium of
+    /// 15 − 2.002 ≈ 13 s so that a full pipeline reaches the maximum rate —
+    /// with a higher cushion BBA could never select the top rung at steady
+    /// state.
+    fn default() -> Self {
+        Bba { reservoir: 0.10 * MAX_BUFFER_SECONDS, cushion_top: 12.5 }
+    }
+}
+
+impl Bba {
+    pub fn new(reservoir: f64, cushion_top: f64) -> Self {
+        assert!(reservoir >= 0.0 && cushion_top > reservoir, "invalid rate map");
+        Bba { reservoir, cushion_top }
+    }
+
+    /// The rate map f(B): a bitrate limit in bits/s given buffer seconds,
+    /// linear between the min and max rates on the menu.
+    fn rate_limit(&self, buffer: f64, min_rate: f64, max_rate: f64) -> f64 {
+        if buffer <= self.reservoir {
+            min_rate
+        } else if buffer >= self.cushion_top {
+            max_rate
+        } else {
+            let frac = (buffer - self.reservoir) / (self.cushion_top - self.reservoir);
+            min_rate + frac * (max_rate - min_rate)
+        }
+    }
+}
+
+impl Abr for Bba {
+    fn name(&self) -> &'static str {
+        "BBA"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let menu = &ctx.lookahead[0];
+        let rates: Vec<f64> = menu.options.iter().map(|o| o.bitrate()).collect();
+        let min_rate = rates.first().copied().unwrap();
+        let max_rate = rates.last().copied().unwrap();
+        let limit = self.rate_limit(ctx.buffer, min_rate, max_rate);
+
+        // Highest-SSIM option whose actual bitrate fits under the limit.
+        // SSIM is monotone in rung, so scan from the top.
+        for rung in (0..menu.n_rungs()).rev() {
+            if rates[rung] <= limit {
+                return rung;
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChunkRecord;
+    use puffer_media::{ChunkMenu, ChunkOption};
+    use puffer_net::TcpInfo;
+
+    fn menu() -> ChunkMenu {
+        // Simple 4-rung menu: bitrates 0.2, 1, 3, 5.5 Mbit/s.
+        let opts = [0.2e6, 1.0e6, 3.0e6, 5.5e6]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| ChunkOption {
+                size: b / 8.0 * puffer_media::CHUNK_SECONDS,
+                ssim_db: 8.0 + 3.0 * i as f64,
+            })
+            .collect();
+        ChunkMenu { index: 0, options: opts }
+    }
+
+    fn info() -> TcpInfo {
+        TcpInfo { cwnd: 10.0, in_flight: 0.0, min_rtt: 0.04, rtt: 0.04, delivery_rate: 1e6 }
+    }
+
+    fn ctx<'a>(
+        buffer: f64,
+        lookahead: &'a [ChunkMenu],
+        history: &'a [ChunkRecord],
+    ) -> AbrContext<'a> {
+        AbrContext {
+            buffer,
+            prev_ssim_db: None,
+            prev_rung: None,
+            lookahead,
+            history,
+            tcp_info: info(),
+        }
+    }
+
+    #[test]
+    fn empty_buffer_chooses_lowest() {
+        let m = [menu()];
+        assert_eq!(Bba::default().choose(&ctx(0.0, &m, &[])), 0);
+    }
+
+    #[test]
+    fn full_buffer_chooses_highest() {
+        let m = [menu()];
+        assert_eq!(Bba::default().choose(&ctx(15.0, &m, &[])), 3);
+    }
+
+    #[test]
+    fn rate_map_is_monotone_in_buffer() {
+        let m = [menu()];
+        let mut bba = Bba::default();
+        let mut last = 0;
+        for b in 0..=30 {
+            let rung = bba.choose(&ctx(b as f64 * 0.5, &m, &[]));
+            assert!(rung >= last, "rung must not decrease as buffer grows");
+            last = rung;
+        }
+        assert_eq!(last, 3);
+    }
+
+    #[test]
+    fn below_reservoir_always_minimum() {
+        let m = [menu()];
+        let mut bba = Bba::new(3.0, 13.0);
+        assert_eq!(bba.choose(&ctx(2.9, &m, &[])), 0);
+    }
+
+    #[test]
+    fn ignores_throughput_history_entirely() {
+        // BBA is oblivious to the network: identical choice with wildly
+        // different histories.
+        let m = [menu()];
+        let fast = [ChunkRecord { size: 1e7, transmission_time: 0.1 }];
+        let slow = [ChunkRecord { size: 1e4, transmission_time: 10.0 }];
+        let mut bba = Bba::default();
+        assert_eq!(bba.choose(&ctx(7.0, &m, &fast)), bba.choose(&ctx(7.0, &m, &slow)));
+    }
+
+    #[test]
+    fn respects_actual_chunk_bitrate_not_nominal() {
+        // A menu where the "3 Mbit/s" rung ballooned to 8 Mbit/s actual:
+        // with a mid buffer whose limit is ~3 Mbit/s it must be skipped.
+        let mut m = menu();
+        m.options[2].size = 8.0e6 / 8.0 * puffer_media::CHUNK_SECONDS;
+        // Keep size monotone: bump top rung too.
+        m.options[3].size = 9.0e6 / 8.0 * puffer_media::CHUNK_SECONDS;
+        let menus = [m];
+        let mut bba = Bba::default();
+        let rung = bba.choose(&ctx(8.0, &menus, &[]));
+        assert_eq!(rung, 1, "oversized chunks must not fit under the rate map");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate map")]
+    fn bad_rate_map_rejected() {
+        let _ = Bba::new(5.0, 5.0);
+    }
+}

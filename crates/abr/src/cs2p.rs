@@ -1,0 +1,331 @@
+//! A CS2P-style throughput predictor (Sun et al. \[38\]).
+//!
+//! CS2P "clusters users by similarity and models their evolving throughput
+//! as a Markovian process with a small number of discrete states" (§2).  The
+//! paper contrasts this with Puffer's observations: Fig. 2 shows that the
+//! wild Internet does not sit on discrete levels, which is exactly why a
+//! state-based predictor that shines on CS2P-like sessions loses its edge on
+//! Puffer-like ones.  This module implements the predictor as an extension
+//! so that comparison can be made quantitatively (see the
+//! `predictor_comparison` binary):
+//!
+//! * offline ([`Cs2pModel::train`]): 1-D k-means clusters sessions by mean
+//!   throughput; per cluster, k-means quantizes observed throughputs into
+//!   discrete states and a transition matrix is counted;
+//! * online ([`Cs2pModel::predict`] via [`ThroughputPredictor`]): a forward
+//!   (HMM filter) pass over the stream's recent throughput samples with
+//!   Gaussian emissions around state centers, then one-step lookahead
+//!   through the transition matrix.
+
+use crate::predictor::ThroughputPredictor;
+use crate::ChunkRecord;
+
+/// Number of k-means iterations (1-D, small data — converges fast).
+const KMEANS_ITERS: usize = 25;
+
+/// 1-D k-means; returns sorted centers.  Empty clusters respawn at the
+/// overall mean.
+fn kmeans_1d(values: &[f64], k: usize) -> Vec<f64> {
+    assert!(!values.is_empty() && k >= 1);
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if (hi - lo).abs() < 1e-9 {
+        return vec![mean; k];
+    }
+    // Initialize evenly across the range.
+    let mut centers: Vec<f64> =
+        (0..k).map(|i| lo + (hi - lo) * (i as f64 + 0.5) / k as f64).collect();
+    let mut sums = vec![0.0f64; k];
+    let mut counts = vec![0usize; k];
+    for _ in 0..KMEANS_ITERS {
+        sums.fill(0.0);
+        counts.fill(0);
+        for &v in values {
+            let (mut best, mut bd) = (0usize, f64::INFINITY);
+            for (i, &c) in centers.iter().enumerate() {
+                let d = (v - c).abs();
+                if d < bd {
+                    bd = d;
+                    best = i;
+                }
+            }
+            sums[best] += v;
+            counts[best] += 1;
+        }
+        for i in 0..k {
+            centers[i] = if counts[i] > 0 { sums[i] / counts[i] as f64 } else { mean };
+        }
+    }
+    centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    centers
+}
+
+fn nearest(centers: &[f64], v: f64) -> usize {
+    let mut best = 0;
+    let mut bd = f64::INFINITY;
+    for (i, &c) in centers.iter().enumerate() {
+        let d = (v - c).abs();
+        if d < bd {
+            bd = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Per-cluster discrete-state Markov model.
+#[derive(Debug, Clone)]
+struct ClusterModel {
+    /// Mean-throughput center of the cluster (bytes/s) — used for online
+    /// cluster assignment.
+    session_center: f64,
+    /// Discrete throughput states (bytes/s), ascending.
+    states: Vec<f64>,
+    /// Row-stochastic transition matrix over states.
+    transitions: Vec<Vec<f64>>,
+    /// Emission std as a fraction of the state center.
+    emission_rel_std: f64,
+}
+
+impl ClusterModel {
+    // State indices are semantically meaningful here; iterator chains
+    // over zipped transition rows would obscure the filter equations.
+    #[allow(clippy::needless_range_loop)]
+    /// Forward-filter the observation sequence, then one-step lookahead.
+    fn predict(&self, observations: &[f64]) -> f64 {
+        let n = self.states.len();
+        let mut belief = vec![1.0 / n as f64; n];
+        for &obs in observations {
+            let mut next = vec![0.0f64; n];
+            // Propagate then weight by the emission likelihood.
+            for (j, nj) in next.iter_mut().enumerate() {
+                let mut prior = 0.0;
+                for i in 0..n {
+                    prior += belief[i] * self.transitions[i][j];
+                }
+                let std = (self.emission_rel_std * self.states[j]).max(1.0);
+                let z = (obs - self.states[j]) / std;
+                let likelihood = (-0.5 * z * z).exp() / std;
+                *nj = prior * likelihood.max(1e-12);
+            }
+            let total: f64 = next.iter().sum();
+            if total > 0.0 {
+                for x in &mut next {
+                    *x /= total;
+                }
+            } else {
+                next = vec![1.0 / n as f64; n];
+            }
+            belief = next;
+        }
+        // One-step lookahead expectation.
+        let mut expect = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                expect += belief[i] * self.transitions[i][j] * self.states[j];
+            }
+        }
+        expect
+    }
+}
+
+/// The trained CS2P model: session clusters, each with its Markov chain.
+#[derive(Debug, Clone)]
+pub struct Cs2pModel {
+    clusters: Vec<ClusterModel>,
+}
+
+impl Cs2pModel {
+    /// Train from per-stream throughput sequences (bytes/s per chunk).
+    ///
+    /// # Panics
+    /// Panics if no sequence has at least two samples (no transitions to
+    /// count).
+    pub fn train(sessions: &[Vec<f64>], n_clusters: usize, n_states: usize) -> Self {
+        assert!(n_clusters >= 1 && n_states >= 2);
+        let usable: Vec<&Vec<f64>> = sessions.iter().filter(|s| s.len() >= 2).collect();
+        assert!(!usable.is_empty(), "need at least one session with 2+ samples");
+
+        // Cluster sessions by mean throughput.
+        let means: Vec<f64> =
+            usable.iter().map(|s| s.iter().sum::<f64>() / s.len() as f64).collect();
+        let session_centers = kmeans_1d(&means, n_clusters);
+
+        let mut clusters = Vec::with_capacity(n_clusters);
+        for (c, &center) in session_centers.iter().enumerate() {
+            // Sessions assigned to this cluster (fall back to all sessions
+            // if the cluster is empty).
+            let mine: Vec<&Vec<f64>> = usable
+                .iter()
+                .zip(&means)
+                .filter(|(_, &m)| nearest(&session_centers, m) == c)
+                .map(|(s, _)| *s)
+                .collect();
+            let member_sessions: &[&Vec<f64>] = if mine.is_empty() { &usable } else { &mine };
+
+            let all: Vec<f64> =
+                member_sessions.iter().flat_map(|s| s.iter().copied()).collect();
+            let states = kmeans_1d(&all, n_states);
+
+            // Count transitions with add-one smoothing.
+            let mut counts = vec![vec![1.0f64; n_states]; n_states];
+            for s in member_sessions {
+                for w in s.windows(2) {
+                    counts[nearest(&states, w[0])][nearest(&states, w[1])] += 1.0;
+                }
+            }
+            let transitions: Vec<Vec<f64>> = counts
+                .into_iter()
+                .map(|row| {
+                    let total: f64 = row.iter().sum();
+                    row.into_iter().map(|x| x / total).collect()
+                })
+                .collect();
+            clusters.push(ClusterModel {
+                session_center: center,
+                states,
+                transitions,
+                emission_rel_std: 0.25,
+            });
+        }
+        Cs2pModel { clusters }
+    }
+
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// States of cluster `c` (diagnostics).
+    pub fn states(&self, c: usize) -> &[f64] {
+        &self.clusters[c].states
+    }
+
+    fn cluster_for(&self, observations: &[f64]) -> &ClusterModel {
+        let mean = observations.iter().sum::<f64>() / observations.len() as f64;
+        let idx = self
+            .clusters
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                let da = (a.1.session_center - mean).abs();
+                let db = (b.1.session_center - mean).abs();
+                da.partial_cmp(&db).unwrap()
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        &self.clusters[idx]
+    }
+}
+
+impl ThroughputPredictor for Cs2pModel {
+    fn predict(&self, history: &[ChunkRecord]) -> Option<f64> {
+        if history.is_empty() {
+            return None;
+        }
+        let observations: Vec<f64> = history.iter().map(ChunkRecord::throughput).collect();
+        Some(self.cluster_for(&observations).predict(&observations).max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn rec(tput: f64) -> ChunkRecord {
+        ChunkRecord { size: tput, transmission_time: 1.0 }
+    }
+
+    /// Sessions hopping between two clean levels — CS2P's home turf.
+    fn two_state_sessions(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut state = lo;
+                (0..60)
+                    .map(|_| {
+                        if rng.random::<f64>() < 0.08 {
+                            state = if state == lo { hi } else { lo };
+                        }
+                        state * (1.0 + 0.02 * (rng.random::<f64>() - 0.5))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kmeans_finds_two_levels() {
+        let mut vals = vec![];
+        for i in 0..50 {
+            vals.push(100.0 + i as f64 * 0.1);
+            vals.push(1000.0 + i as f64 * 0.1);
+        }
+        let centers = kmeans_1d(&vals, 2);
+        assert!((centers[0] - 102.5).abs() < 5.0, "{centers:?}");
+        assert!((centers[1] - 1002.5).abs() < 5.0, "{centers:?}");
+    }
+
+    #[test]
+    fn learns_discrete_states() {
+        let model = Cs2pModel::train(&two_state_sessions(40, 3e5, 1.2e6, 1), 1, 2);
+        let states = model.states(0);
+        assert!((states[0] / 3e5 - 1.0).abs() < 0.15, "{states:?}");
+        assert!((states[1] / 1.2e6 - 1.0).abs() < 0.15, "{states:?}");
+    }
+
+    #[test]
+    fn prediction_tracks_the_current_state() {
+        let model = Cs2pModel::train(&two_state_sessions(40, 3e5, 1.2e6, 2), 1, 2);
+        // After observing several low samples, predict ≈ low (states are
+        // sticky), and vice versa.
+        let low = model.predict(&[rec(3.1e5), rec(2.9e5), rec(3.0e5)]).unwrap();
+        let high = model.predict(&[rec(1.19e6), rec(1.22e6), rec(1.2e6)]).unwrap();
+        assert!(low < 6e5, "low-state prediction {low}");
+        assert!(high > 9e5, "high-state prediction {high}");
+    }
+
+    #[test]
+    fn clusters_separate_user_populations() {
+        // Slow users (0.2/0.5 MB/s) and fast users (2/4 MB/s).
+        let mut sessions = two_state_sessions(25, 2e5, 5e5, 3);
+        sessions.extend(two_state_sessions(25, 2e6, 4e6, 4));
+        let model = Cs2pModel::train(&sessions, 2, 2);
+        assert_eq!(model.n_clusters(), 2);
+        // A fast session should be matched against fast states.
+        let fast = model.predict(&[rec(3.9e6), rec(4.1e6)]).unwrap();
+        assert!(fast > 1e6, "fast prediction {fast}");
+        let slow = model.predict(&[rec(2.1e5), rec(1.9e5)]).unwrap();
+        assert!(slow < 1e6, "slow prediction {slow}");
+    }
+
+    #[test]
+    fn empty_history_gives_none() {
+        let model = Cs2pModel::train(&two_state_sessions(5, 3e5, 1.2e6, 5), 1, 2);
+        assert!(ThroughputPredictor::predict(&model, &[]).is_none());
+    }
+
+    #[test]
+    fn beats_harmonic_mean_on_cs2p_world() {
+        // The predictor's raison d'être: right after a state switch, HM
+        // still averages the old state while the HMM snaps to the new one.
+        let model = Cs2pModel::train(&two_state_sessions(40, 3e5, 1.2e6, 6), 1, 2);
+        // History: four high samples then two low (a downswitch).
+        let hist = [rec(1.2e6), rec(1.21e6), rec(1.19e6), rec(1.2e6), rec(3.0e5), rec(3.1e5)];
+        let truth = 3.0e5; // the chain is sticky: next sample is low
+        let cs2p = ThroughputPredictor::predict(&model, &hist).unwrap();
+        let hm = crate::predictor::HarmonicMean.predict(&hist).unwrap();
+        assert!(
+            (cs2p - truth).abs() < (hm - truth).abs(),
+            "cs2p {cs2p} should beat hm {hm} near {truth}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "2+ samples")]
+    fn rejects_trivial_training_data() {
+        let _ = Cs2pModel::train(&[vec![1.0]], 1, 2);
+    }
+}

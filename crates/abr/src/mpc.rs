@@ -1,0 +1,343 @@
+//! Model-predictive control (MPC-HM / RobustMPC-HM), Yin et al. \[43\].
+//!
+//! MPC plans the rung sequence for the next [`crate::HORIZON`] chunks that
+//! maximizes the total QoE of Eq. 1, given (a) the known sizes and SSIMs of
+//! the upcoming chunks and (b) a throughput prediction — here the harmonic
+//! mean of the last five samples (MPC-HM), optionally discounted by recent
+//! prediction error (RobustMPC-HM).  After sending one chunk it replans
+//! (receding horizon).
+//!
+//! The plan is computed by value iteration over a discretized buffer, the
+//! same structure Fugu's stochastic controller uses (§4.4) — the only
+//! difference is that here the transmission time is a point estimate, so the
+//! expectation collapses to a single term.  Using the identical machinery for
+//! MPC, RobustMPC, and Fugu mirrors the paper's claim that "MPC and Fugu even
+//! share most of their codebase" (§5.1).
+
+use crate::predictor::{HarmonicMean, RobustDiscount, ThroughputPredictor};
+use crate::{Abr, AbrContext, ChunkRecord, HORIZON};
+use puffer_media::{ChunkMenu, QoeParams, CHUNK_SECONDS, MAX_BUFFER_SECONDS};
+
+/// Tuning knobs for the MPC family.
+#[derive(Debug, Clone, Copy)]
+pub struct MpcConfig {
+    /// Planning horizon in chunks (paper: 5).
+    pub horizon: usize,
+    /// QoE weights (paper: λ = 1, µ = 100).
+    pub qoe: QoeParams,
+    /// Apply RobustMPC's error discount to the predictor.
+    pub robust: bool,
+    /// Number of buffer discretization bins over [0, 15 s].
+    pub buffer_bins: usize,
+    /// Throughput assumed before any samples exist (bytes/s).  Conservative,
+    /// which is why every MPC variant starts at low quality on a cold start
+    /// (Fig. 9).
+    pub cold_start_throughput: f64,
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        MpcConfig {
+            horizon: HORIZON,
+            qoe: QoeParams::default(),
+            robust: false,
+            buffer_bins: 61,
+            cold_start_throughput: 50_000.0, // 0.4 Mbit/s
+        }
+    }
+}
+
+/// MPC-HM (and RobustMPC-HM with `robust = true`).
+///
+/// A custom throughput predictor — e.g. the CS2P-style Markov model — can be
+/// plugged in with [`Mpc::with_custom_predictor`], reproducing the paper's
+/// description of CS2P and Oboe as "better throughput predictors that inform
+/// the same control strategy (MPC)" (§2).
+#[derive(Clone)]
+pub struct Mpc {
+    config: MpcConfig,
+    predictor: RobustDiscount<HarmonicMean>,
+    custom: Option<std::sync::Arc<dyn ThroughputPredictor + Send + Sync>>,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for Mpc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mpc")
+            .field("config", &self.config)
+            .field("name", &self.name)
+            .field("custom_predictor", &self.custom.is_some())
+            .finish()
+    }
+}
+
+impl Mpc {
+    pub fn new(config: MpcConfig) -> Self {
+        assert!(config.horizon >= 1, "horizon must be at least 1");
+        assert!(config.buffer_bins >= 2, "need at least 2 buffer bins");
+        let name = if config.robust { "RobustMPC-HM" } else { "MPC-HM" };
+        Mpc { config, predictor: RobustDiscount::new(HarmonicMean), custom: None, name }
+    }
+
+    /// MPC with a custom throughput predictor (e.g. [`crate::Cs2pModel`]) in
+    /// place of the harmonic mean.
+    pub fn with_custom_predictor(
+        predictor: std::sync::Arc<dyn ThroughputPredictor + Send + Sync>,
+        name: &'static str,
+    ) -> Self {
+        Mpc {
+            config: MpcConfig::default(),
+            predictor: RobustDiscount::new(HarmonicMean),
+            custom: Some(predictor),
+            name,
+        }
+    }
+
+    /// The paper's MPC-HM configuration.
+    pub fn mpc_hm() -> Self {
+        Mpc::new(MpcConfig::default())
+    }
+
+    /// The paper's RobustMPC-HM configuration.
+    pub fn robust_mpc_hm() -> Self {
+        Mpc::new(MpcConfig { robust: true, ..MpcConfig::default() })
+    }
+
+    fn predict(&self, ctx: &AbrContext) -> f64 {
+        let p = if let Some(custom) = &self.custom {
+            custom.predict(ctx.history)
+        } else if self.config.robust {
+            self.predictor.predict(ctx.history)
+        } else {
+            HarmonicMean.predict(ctx.history)
+        };
+        p.unwrap_or(self.config.cold_start_throughput).max(1.0)
+    }
+
+    /// Receding-horizon plan; returns the rung for the immediate chunk.
+    ///
+    /// Shared value-iteration core: the deterministic predictor is a special
+    /// case of a transmission-time *distribution* with all mass on one bin.
+    // Buffer-bin and rung indices are the DP state; explicit loops keep
+    // the recursion readable next to the paper's Eq. (value iteration).
+    #[allow(clippy::needless_range_loop)]
+    fn plan(&self, ctx: &AbrContext, throughput: f64) -> usize {
+        let horizon = self.config.horizon.min(ctx.lookahead.len());
+        let menus: &[ChunkMenu] = &ctx.lookahead[..horizon];
+        let n_rungs = menus[0].n_rungs();
+        let bins = self.config.buffer_bins;
+        let bin_w = MAX_BUFFER_SECONDS / (bins - 1) as f64;
+        let to_bin = |buffer: f64| -> usize {
+            ((buffer / bin_w).round() as usize).min(bins - 1)
+        };
+
+        // value[bin][prev_rung] = best QoE-to-go from `step`, where prev_rung
+        // indexes the previous step's menu.
+        let mut value = vec![vec![0.0f64; n_rungs]; bins];
+        for step in (1..horizon).rev() {
+            let mut next_value = vec![vec![f64::NEG_INFINITY; n_rungs]; bins];
+            let menu = &menus[step];
+            let prev_menu = &menus[step - 1];
+            for bin in 0..bins {
+                let buffer = bin as f64 * bin_w;
+                for prev in 0..n_rungs {
+                    let prev_ssim = prev_menu.options[prev].ssim_db;
+                    let mut best = f64::NEG_INFINITY;
+                    for (a, opt) in menu.options.iter().enumerate() {
+                        let t = opt.size / throughput;
+                        let stall = (t - buffer).max(0.0);
+                        let q = self.config.qoe.chunk_qoe(opt.ssim_db, Some(prev_ssim), stall);
+                        let next_buf =
+                            ((buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
+                        let to_go = if step + 1 < horizon {
+                            value[to_bin(next_buf)][a]
+                        } else {
+                            0.0
+                        };
+                        best = best.max(q + to_go);
+                    }
+                    next_value[bin][prev] = best;
+                }
+            }
+            value = next_value;
+        }
+
+        // Step 0: the real buffer and the real previous chunk.
+        let menu = &menus[0];
+        let mut best_rung = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (a, opt) in menu.options.iter().enumerate() {
+            let t = opt.size / throughput;
+            let stall = (t - ctx.buffer).max(0.0);
+            let q = self.config.qoe.chunk_qoe(opt.ssim_db, ctx.prev_ssim_db, stall);
+            let next_buf = ((ctx.buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
+            let to_go = if horizon > 1 { value[to_bin(next_buf)][a] } else { 0.0 };
+            let score = q + to_go;
+            if score > best_score {
+                best_score = score;
+                best_rung = a;
+            }
+        }
+        best_rung
+    }
+}
+
+impl Abr for Mpc {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let throughput = self.predict(ctx);
+        if self.config.robust {
+            self.predictor.note_prediction(throughput);
+        }
+        self.plan(ctx, throughput)
+    }
+
+    fn on_chunk_delivered(&mut self, record: ChunkRecord) {
+        self.predictor.observe(record);
+    }
+
+    fn reset_stream(&mut self) {
+        self.predictor.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_media::ChunkOption;
+    use puffer_net::TcpInfo;
+
+    /// A static 4-rung menu repeated over the horizon.
+    fn menus(h: usize) -> Vec<ChunkMenu> {
+        (0..h)
+            .map(|i| ChunkMenu {
+                index: i as u64,
+                options: [0.2e6, 1.0e6, 3.0e6, 5.5e6]
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &b)| ChunkOption {
+                        size: b / 8.0 * CHUNK_SECONDS,
+                        ssim_db: 8.0 + 3.0 * r as f64,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn info() -> TcpInfo {
+        TcpInfo { cwnd: 10.0, in_flight: 0.0, min_rtt: 0.04, rtt: 0.04, delivery_rate: 1e6 }
+    }
+
+    fn history_at(throughput: f64) -> Vec<ChunkRecord> {
+        (0..5).map(|_| ChunkRecord { size: throughput, transmission_time: 1.0 }).collect()
+    }
+
+    fn ctx<'a>(
+        buffer: f64,
+        lookahead: &'a [ChunkMenu],
+        history: &'a [ChunkRecord],
+    ) -> AbrContext<'a> {
+        AbrContext {
+            buffer,
+            prev_ssim_db: Some(14.0),
+            prev_rung: Some(2),
+            lookahead,
+            history,
+            tcp_info: info(),
+        }
+    }
+
+    #[test]
+    fn fast_network_full_buffer_chooses_top() {
+        let m = menus(5);
+        let h = history_at(10e6 / 8.0); // 10 Mbit/s
+        assert_eq!(Mpc::mpc_hm().choose(&ctx(12.0, &m, &h)), 3);
+    }
+
+    #[test]
+    fn slow_network_chooses_bottom() {
+        let m = menus(5);
+        let h = history_at(0.3e6 / 8.0); // 0.3 Mbit/s
+        let rung = Mpc::mpc_hm().choose(&ctx(4.0, &m, &h));
+        assert_eq!(rung, 0);
+    }
+
+    #[test]
+    fn lower_buffer_is_more_conservative() {
+        let m = menus(5);
+        // 3.2 Mbit/s: rung 2 (3 Mbit/s) takes ~1.9 s per 2 s chunk — safe
+        // with a deep buffer, risky with a shallow one.
+        let h = history_at(3.2e6 / 8.0);
+        let low = Mpc::mpc_hm().choose(&ctx(0.5, &m, &h));
+        let high = Mpc::mpc_hm().choose(&ctx(12.0, &m, &h));
+        assert!(low < high, "low-buffer rung {low} must be below high-buffer rung {high}");
+    }
+
+    #[test]
+    fn cold_start_is_conservative() {
+        let m = menus(5);
+        let rung = Mpc::mpc_hm().choose(&ctx(0.0, &m, &[]));
+        assert_eq!(rung, 0, "no history → assume little throughput (Fig. 9)");
+    }
+
+    #[test]
+    fn robust_variant_is_no_more_aggressive() {
+        let m = menus(5);
+        let h = history_at(3.5e6 / 8.0);
+        let mut robust = Mpc::robust_mpc_hm();
+        // Seed a large prediction error.
+        robust.choose(&ctx(6.0, &m, &h));
+        robust.predictor.note_prediction(3.5e6 / 8.0);
+        robust.on_chunk_delivered(ChunkRecord { size: 1.0e6 / 8.0, transmission_time: 1.0 });
+        let r_rung = robust.choose(&ctx(6.0, &m, &h));
+        let plain_rung = Mpc::mpc_hm().choose(&ctx(6.0, &m, &h));
+        assert!(r_rung <= plain_rung, "robust {r_rung} vs plain {plain_rung}");
+    }
+
+    #[test]
+    fn horizon_one_still_works() {
+        let m = menus(1);
+        let h = history_at(10e6 / 8.0);
+        let mut mpc = Mpc::new(MpcConfig { horizon: 1, ..MpcConfig::default() });
+        // No previous chunk → no variation penalty → pure quality max.
+        let c = AbrContext { prev_ssim_db: None, prev_rung: None, ..ctx(10.0, &m, &h) };
+        assert_eq!(mpc.choose(&c), 3);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Mpc::mpc_hm().name(), "MPC-HM");
+        assert_eq!(Mpc::robust_mpc_hm().name(), "RobustMPC-HM");
+    }
+
+    #[test]
+    fn smoothness_penalty_avoids_pointless_oscillation() {
+        // Menu where rung 2 and 3 are close in quality: after sending rung 3,
+        // a throughput that can sustain rung 3 should not drop to rung 2 and
+        // back (the λ term).  Run several decisions under static conditions
+        // and check the chosen rung is constant.
+        let m = menus(5);
+        let h = history_at(6e6 / 8.0);
+        let mut mpc = Mpc::mpc_hm();
+        let first = mpc.choose(&ctx(10.0, &m, &h));
+        for _ in 0..5 {
+            let again = mpc.choose(&ctx(10.0, &m, &h));
+            assert_eq!(again, first, "static conditions must give a static plan");
+        }
+    }
+
+    #[test]
+    fn reset_stream_clears_robust_errors() {
+        let m = menus(5);
+        let h = history_at(3.5e6 / 8.0);
+        let mut robust = Mpc::robust_mpc_hm();
+        robust.predictor.note_prediction(1e9);
+        robust.on_chunk_delivered(ChunkRecord { size: 1000.0, transmission_time: 1.0 });
+        robust.reset_stream();
+        let plain = Mpc::mpc_hm().choose(&ctx(6.0, &m, &h));
+        assert_eq!(robust.choose(&ctx(6.0, &m, &h)), plain);
+    }
+}

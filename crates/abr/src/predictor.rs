@@ -1,0 +1,176 @@
+//! Classical throughput predictors.
+//!
+//! MPC-HM and RobustMPC-HM use "the harmonic mean of the last five throughput
+//! samples" (§2, Fig. 5).  RobustMPC additionally discounts the prediction by
+//! the recent maximum relative prediction error, trading quality for fewer
+//! stalls (visible in Figs. 1 and 8, where RobustMPC-HM has the lowest stall
+//! rate and the lowest SSIM).
+
+use crate::ChunkRecord;
+
+/// Number of samples in the harmonic-mean window.
+pub const HM_WINDOW: usize = 5;
+
+/// Predicts the throughput (bytes/s) available for upcoming chunks.
+pub trait ThroughputPredictor {
+    /// Point prediction given the stream's transfer history (oldest first).
+    /// Returns `None` when there is no basis for a prediction (cold start).
+    fn predict(&self, history: &[ChunkRecord]) -> Option<f64>;
+}
+
+/// Harmonic mean of the last [`HM_WINDOW`] observed throughputs.
+///
+/// The harmonic mean is the natural average for rates (it weights slow
+/// samples heavily), which makes HM mildly conservative — but §5 shows it is
+/// still far too optimistic when throughput is heavy-tailed: one fast sample
+/// after a regime change keeps predictions high while the link has collapsed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HarmonicMean;
+
+impl ThroughputPredictor for HarmonicMean {
+    fn predict(&self, history: &[ChunkRecord]) -> Option<f64> {
+        let window = &history[history.len().saturating_sub(HM_WINDOW)..];
+        if window.is_empty() {
+            return None;
+        }
+        let sum_inv: f64 = window.iter().map(|r| 1.0 / r.throughput().max(1.0)).sum();
+        Some(window.len() as f64 / sum_inv)
+    }
+}
+
+/// RobustMPC's error-discounted wrapper: `pred / (1 + max_err)` where
+/// `max_err` is the maximum relative error of the inner predictor over the
+/// last [`HM_WINDOW`] chunks.
+#[derive(Debug, Clone)]
+pub struct RobustDiscount<P> {
+    inner: P,
+    /// Relative errors |predicted/actual − 1| of recent predictions.
+    recent_errors: Vec<f64>,
+    /// Prediction made for the chunk currently in flight.
+    pending_prediction: Option<f64>,
+}
+
+impl<P: ThroughputPredictor> RobustDiscount<P> {
+    pub fn new(inner: P) -> Self {
+        RobustDiscount { inner, recent_errors: Vec::new(), pending_prediction: None }
+    }
+
+    /// Record the prediction used for the chunk about to be sent, so the
+    /// error can be computed when it completes.
+    pub fn note_prediction(&mut self, predicted: f64) {
+        self.pending_prediction = Some(predicted);
+    }
+
+    /// Observe the completed transfer matching the last noted prediction.
+    pub fn observe(&mut self, record: ChunkRecord) {
+        if let Some(pred) = self.pending_prediction.take() {
+            let actual = record.throughput().max(1.0);
+            let err = (pred / actual - 1.0).abs();
+            self.recent_errors.push(err);
+            if self.recent_errors.len() > HM_WINDOW {
+                self.recent_errors.remove(0);
+            }
+        }
+    }
+
+    /// Reset error history (new stream).
+    pub fn reset(&mut self) {
+        self.recent_errors.clear();
+        self.pending_prediction = None;
+    }
+
+    fn max_error(&self) -> f64 {
+        self.recent_errors.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+impl<P: ThroughputPredictor> ThroughputPredictor for RobustDiscount<P> {
+    fn predict(&self, history: &[ChunkRecord]) -> Option<f64> {
+        self.inner.predict(history).map(|p| p / (1.0 + self.max_error()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(size: f64, time: f64) -> ChunkRecord {
+        ChunkRecord { size, transmission_time: time }
+    }
+
+    #[test]
+    fn hm_empty_history_gives_none() {
+        assert!(HarmonicMean.predict(&[]).is_none());
+    }
+
+    #[test]
+    fn hm_single_sample() {
+        let h = [rec(1000.0, 2.0)]; // 500 B/s
+        assert!((HarmonicMean.predict(&h).unwrap() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hm_uses_last_five_only() {
+        // Five fast samples then the window should ignore an ancient slow one.
+        let mut h = vec![rec(10.0, 10.0)]; // 1 B/s, ancient
+        for _ in 0..5 {
+            h.push(rec(1000.0, 1.0)); // 1000 B/s
+        }
+        let p = HarmonicMean.predict(&h).unwrap();
+        assert!((p - 1000.0).abs() < 1e-6, "got {p}");
+    }
+
+    #[test]
+    fn hm_is_dominated_by_slow_samples() {
+        // HM of {1000, 10} = 2/(1/1000 + 1/10) ≈ 19.8 — far below the
+        // arithmetic mean (505).
+        let h = [rec(1000.0, 1.0), rec(10.0, 1.0)];
+        let p = HarmonicMean.predict(&h).unwrap();
+        assert!((p - 19.8).abs() < 0.1, "got {p}");
+    }
+
+    #[test]
+    fn robust_discount_reduces_prediction_after_errors() {
+        let mut r = RobustDiscount::new(HarmonicMean);
+        let h = [rec(1000.0, 1.0)];
+        let base = r.predict(&h).unwrap();
+        // Predicted 2000 B/s, observed 1000 B/s → 100% error → halve.
+        r.note_prediction(2000.0);
+        r.observe(rec(1000.0, 1.0));
+        let discounted = r.predict(&h).unwrap();
+        assert!((discounted - base / 2.0).abs() < 1e-6, "{discounted} vs {base}");
+    }
+
+    #[test]
+    fn robust_discount_no_errors_is_transparent() {
+        let r = RobustDiscount::new(HarmonicMean);
+        let h = [rec(500.0, 1.0), rec(600.0, 1.0)];
+        assert_eq!(r.predict(&h), HarmonicMean.predict(&h));
+    }
+
+    #[test]
+    fn robust_discount_window_forgets_old_errors() {
+        let mut r = RobustDiscount::new(HarmonicMean);
+        // One huge error...
+        r.note_prediction(10_000.0);
+        r.observe(rec(1000.0, 1.0));
+        // ...then five perfect predictions push it out of the window.
+        for _ in 0..5 {
+            r.note_prediction(1000.0);
+            r.observe(rec(1000.0, 1.0));
+        }
+        let h = [rec(1000.0, 1.0)];
+        let p = r.predict(&h).unwrap();
+        assert!((p - 1000.0).abs() < 1e-6, "old error should have aged out, got {p}");
+    }
+
+    #[test]
+    fn robust_reset_clears_state() {
+        let mut r = RobustDiscount::new(HarmonicMean);
+        r.note_prediction(9999.0);
+        r.observe(rec(100.0, 1.0));
+        r.reset();
+        let h = [rec(1000.0, 1.0)];
+        assert_eq!(r.predict(&h), HarmonicMean.predict(&h));
+    }
+}

@@ -1,0 +1,63 @@
+//! End-to-end stream simulation throughput: how many stream-seconds per
+//! wall-second the platform simulates, per scheme.  This bounds how much
+//! "deployment time" the experiment binaries can accumulate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fugu::{Fugu, Ttp, TtpConfig};
+use puffer_abr::{Abr, Bba, Mpc};
+use puffer_media::VideoSource;
+use puffer_net::{CongestionControl, Connection};
+use puffer_platform::user::StreamIntent;
+use puffer_platform::{run_stream, StreamConfig, UserModel};
+use puffer_trace::{PufferLikeProcess, RateProcess, MBPS};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn one_stream(abr: &mut dyn Abr, seed: u64) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let trace = PufferLikeProcess::new(5.0 * MBPS, 0.4).sample_trace(200.0, &mut rng);
+    let mut conn = Connection::new(trace, 0.04, 300_000.0, CongestionControl::Bbr, 0.0);
+    let mut source = VideoSource::puffer_default();
+    let user = UserModel { zap_prob: 0.0, ..UserModel::default() };
+    let out = run_stream(
+        &mut conn,
+        &mut source,
+        abr,
+        &user,
+        StreamIntent::Watch(120.0),
+        0.0,
+        &StreamConfig::default(),
+        0.0,
+        &mut rng,
+    );
+    out.summary.map(|s| s.watch_time).unwrap_or(0.0)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_2min");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::from_parameter("bba"), |b| {
+        b.iter(|| {
+            let mut abr = Bba::default();
+            black_box(one_stream(&mut abr, 1))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("mpc_hm"), |b| {
+        b.iter(|| {
+            let mut abr = Mpc::mpc_hm();
+            black_box(one_stream(&mut abr, 1))
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("fugu"), |b| {
+        let ttp = Ttp::new(TtpConfig::default(), 9);
+        b.iter(|| {
+            let mut abr = Fugu::new(ttp.clone());
+            black_box(one_stream(&mut abr, 1))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Congestion-control arm: BBR vs CUBIC under the same ABR scheme.
+//!
+//! Puffer randomizes congestion control as well as ABR: "Each daemon is
+//! configured with a different TCP congestion control (for the primary
+//! analysis, we used BBR)" (§3.2), and Fig. A1 excludes 53,631
+//! CUBIC-assigned streams from the primary analysis.  This secondary
+//! experiment quantifies what that arm would have shown: loss-based control
+//! builds standing queues at the bottleneck, inflating RTT and chunk
+//! transmission times.
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin cc_experiment -- [--seed N] [--scale N]`
+
+use puffer_bench::{parse_args, Pipeline};
+use puffer_net::CongestionControl;
+use puffer_platform::experiment::run_rct;
+use puffer_platform::SchemeSpec;
+use puffer_stats::SchemeSummary;
+
+fn main() {
+    let (seed, scale) = parse_args();
+    let pipeline = Pipeline::new(seed, scale);
+
+    println!("# BBA over BBR vs CUBIC (paired sessions)");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "cc", "streams", "stall %", "SSIM dB", "startup s", "Mbit/s"
+    );
+    let mut rows = Vec::new();
+    for cc in [CongestionControl::Bbr, CongestionControl::Cubic] {
+        let mut cfg = pipeline.rct_config(false);
+        cfg.cc = cc;
+        cfg.retrain = None;
+        // Halve the size: this is a secondary experiment.
+        cfg.sessions_per_day /= 2;
+        let result = run_rct(vec![SchemeSpec::Bba], &cfg);
+        let arm = &result.arms[0];
+        let agg = SchemeSummary::from_streams(&arm.streams);
+        println!(
+            "{:<8} {:>10} {:>11.3}% {:>12.2} {:>14.3} {:>12.2}",
+            match cc {
+                CongestionControl::Bbr => "BBR",
+                CongestionControl::Cubic => "CUBIC",
+            },
+            arm.streams.len(),
+            100.0 * agg.stall_ratio,
+            agg.mean_ssim_db,
+            agg.mean_startup_delay,
+            agg.mean_bitrate / 1e6,
+        );
+        rows.push((cc, agg));
+    }
+    let bbr = &rows[0].1;
+    let cubic = &rows[1].1;
+    println!(
+        "\n# shape check: CUBIC stall ratio {:.3}% vs BBR {:.3}% ({})",
+        100.0 * cubic.stall_ratio,
+        100.0 * bbr.stall_ratio,
+        if cubic.stall_ratio >= bbr.stall_ratio * 0.8 {
+            "loss-based queueing does not beat BBR, as expected"
+        } else {
+            "unexpected: CUBIC much better"
+        }
+    );
+}

@@ -1,0 +1,105 @@
+//! Figure 10: CCDF of time on the video player per scheme.
+//!
+//! "Users randomly assigned to Fugu chose to remain on the Puffer video
+//! player about 10%–20% longer, on average, than those assigned to other
+//! schemes ... This average difference was driven solely by the upper 5%
+//! tail (sessions lasting more than 2.5 hours)."
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin fig10_duration -- [--seed N] [--scale N]`
+
+use puffer_bench::svg::{Chart, Scale, Series};
+use puffer_bench::{parse_args, Pipeline};
+use puffer_stats::ccdf::ccdf_at;
+
+const TAIL_THRESHOLD_MIN: f64 = 150.0; // 2.5 hours in minutes
+
+fn main() {
+    let (seed, scale) = parse_args();
+    let arms = Pipeline::new(seed, scale).run_primary_cached();
+
+    // Mean duration ± 95% CI per scheme (the figure's legend).
+    println!("# Fig 10: session durations (time on video player)");
+    println!("{:<22} {:>20} {:>12} {:>16}", "scheme", "mean min [95% CI]", "sessions", "P[> 2.5 h]");
+    let mut fugu_mean = None;
+    let mut others = Vec::new();
+    for arm in &arms {
+        let d: Vec<f64> = arm.session_durations.iter().map(|s| s / 60.0).collect();
+        let n = d.len() as f64;
+        let mean = d.iter().sum::<f64>() / n;
+        let var = d.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let ci = 1.96 * (var / n).sqrt();
+        println!(
+            "{:<22} {:>10.1} ± {:>5.1} {:>12} {:>16.4}",
+            arm.name,
+            mean,
+            ci,
+            d.len(),
+            ccdf_at(&d, TAIL_THRESHOLD_MIN)
+        );
+        if arm.name == "Fugu" {
+            fugu_mean = Some(mean);
+        } else {
+            others.push(mean);
+        }
+    }
+
+    // CCDF series, log-spaced query points (the plot's x-axis spans
+    // 10–1000 minutes on a log scale).
+    println!("\n# CCDF series: minutes\tP[duration > x] per scheme");
+    print!("# x_min");
+    for arm in &arms {
+        print!("\t{}", arm.name);
+    }
+    println!();
+    let mut x = 2.0f64;
+    while x <= 1000.0 {
+        print!("{x:.1}");
+        for arm in &arms {
+            let d: Vec<f64> = arm.session_durations.iter().map(|s| s / 60.0).collect();
+            print!("\t{:.5}", ccdf_at(&d, x));
+        }
+        println!();
+        x *= 1.6;
+    }
+
+    // SVG: log-log CCDF like the paper's Fig. 10.
+    let mut chart = Chart::new(
+        "Fig 10: CCDF of time on the video player",
+        "total time on video player (minutes)",
+        "CCDF",
+    );
+    chart.x_scale = Scale::Log10;
+    chart.y_scale = Scale::Log10;
+    for arm in &arms {
+        let d: Vec<f64> = arm.session_durations.iter().map(|s| s / 60.0).collect();
+        let mut pts = Vec::new();
+        let mut x = 2.0f64;
+        while x <= 1000.0 {
+            let p = ccdf_at(&d, x);
+            if p > 0.0 {
+                pts.push((x, p));
+            }
+            x *= 1.3;
+        }
+        if pts.len() >= 2 {
+            chart.push(Series::line(&arm.name, pts));
+        }
+    }
+    if chart.series.len() >= 2 {
+        match chart.save("fig10_duration_ccdf.svg") {
+            Ok(path) => eprintln!("[svg] wrote {}", path.display()),
+            Err(e) => eprintln!("[svg] failed: {e}"),
+        }
+    }
+
+    if let (Some(fugu), false) = (fugu_mean, others.is_empty()) {
+        let mean_others = others.iter().sum::<f64>() / others.len() as f64;
+        println!(
+            "\n# shape check: Fugu mean {:.1} min vs others' mean {:.1} min ({:+.0}%; paper: +10-20%)",
+            fugu,
+            mean_others,
+            100.0 * (fugu / mean_others - 1.0)
+        );
+    }
+    let _ = seed;
+}

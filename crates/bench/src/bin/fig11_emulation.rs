@@ -1,0 +1,126 @@
+//! Figure 11: emulation vs the real world.
+//!
+//! Three panels:
+//! * **Left** — the five schemes evaluated *in emulation* (mahimahi + FCC
+//!   traces): "almost every algorithm tested lies somewhere along the
+//!   SSIM/stall frontier".
+//! * **Middle** — the real-world experiment including **Emulation-trained
+//!   Fugu**: "Compared with the in situ Fugu — or with every other ABR
+//!   scheme — the real-world performance of emulation-trained Fugu was
+//!   horrible."
+//! * **Right** — the throughput distributions of the two worlds.
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin fig11_emulation -- [--seed N] [--scale N]`
+
+use fugu::TtpVariant;
+use puffer_bench::{parse_args, Pipeline};
+use puffer_platform::experiment::run_rct;
+use puffer_platform::SchemeSpec;
+use puffer_stats::{bootstrap_ratio_ci, weighted_mean_ci, SchemeSummary, StreamSummary};
+use puffer_trace::{bytes_per_sec_to_mbps, TraceBank};
+use rand::SeedableRng;
+
+fn panel(title: &str, arms: &[(String, Vec<StreamSummary>)], seed: u64) {
+    println!("\n## {title}");
+    println!("{:<24} {:>22} {:>22} {:>9}", "scheme", "stalled % [95% CI]", "SSIM dB [95% CI]", "streams");
+    for (name, streams) in arms {
+        if streams.is_empty() {
+            continue;
+        }
+        let pairs: Vec<(f64, f64)> = streams.iter().map(|s| (s.stall_time, s.watch_time)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let stall = bootstrap_ratio_ci(&pairs, 600, 0.95, &mut rng);
+        let ssims: Vec<f64> = streams.iter().map(|s| s.mean_ssim_db).collect();
+        let weights: Vec<f64> = streams.iter().map(|s| s.watch_time).collect();
+        let (lo, mid, hi) = weighted_mean_ci(&ssims, &weights, 1.96);
+        println!(
+            "{:<24} {:>6.3}% [{:.3},{:.3}] {:>9.2} [{:.2},{:.2}] {:>9}",
+            name, 100.0 * stall.point, 100.0 * stall.lo, 100.0 * stall.hi, mid, lo, hi,
+            streams.len()
+        );
+    }
+}
+
+fn main() {
+    let (seed, scale) = parse_args();
+    let pipeline = Pipeline::new(seed, scale);
+
+    // Models: in-situ TTP, emulation-trained TTP, Pensieve.
+    let in_situ_data = pipeline.bootstrap_dataset(false);
+    let emu_data = pipeline.bootstrap_dataset(true);
+    let ttp_insitu = pipeline.trained_ttp(TtpVariant::Full, &in_situ_data, "insitu");
+    let ttp_emu = pipeline.trained_ttp(TtpVariant::Full, &emu_data, "emulation");
+    let pensieve = std::sync::Arc::new(pipeline.pensieve());
+
+    // Left panel: five schemes in the emulation world.
+    let emu_schemes = vec![
+        SchemeSpec::fugu_frozen(ttp_emu.clone(), TtpVariant::Full, "Fugu"),
+        SchemeSpec::MpcHm,
+        SchemeSpec::Bba,
+        SchemeSpec::Pensieve(pensieve.clone()),
+        SchemeSpec::RobustMpcHm,
+    ];
+    eprintln!("[fig11] running emulation-world experiment ...");
+    let mut emu_cfg = pipeline.rct_config(true);
+    emu_cfg.retrain = None;
+    let emu = run_rct(emu_schemes, &emu_cfg);
+    let emu_arms: Vec<(String, Vec<StreamSummary>)> =
+        emu.arms.iter().map(|a| (a.name.to_string(), a.streams.clone())).collect();
+    panel("Emulation (FCC-like traces, mahimahi-style)", &emu_arms, seed ^ 0x111);
+
+    // Middle panel: deployment world with the emulation-trained Fugu arm.
+    let real_schemes = vec![
+        SchemeSpec::fugu_frozen(ttp_insitu, TtpVariant::Full, "Fugu"),
+        SchemeSpec::MpcHm,
+        SchemeSpec::Bba,
+        SchemeSpec::Pensieve(pensieve),
+        SchemeSpec::RobustMpcHm,
+        SchemeSpec::fugu_frozen(ttp_emu, TtpVariant::Full, "Emulation-trained Fugu"),
+    ];
+    eprintln!("[fig11] running deployment-world experiment (6 arms) ...");
+    let mut real_cfg = pipeline.rct_config(false);
+    real_cfg.retrain = None;
+    real_cfg.seed ^= 0x1101;
+    let real = run_rct(real_schemes, &real_cfg);
+    let real_arms: Vec<(String, Vec<StreamSummary>)> =
+        real.arms.iter().map(|a| (a.name.to_string(), a.streams.clone())).collect();
+    panel("Real world (deployment traces), incl. emulation-trained Fugu", &real_arms, seed ^ 0x222);
+
+    // Right panel: throughput distributions of the two worlds.
+    println!("\n## Throughput distributions (mean per-session rate, Mbit/s)");
+    let sample_rates = |emulation: bool, seed: u64| -> Vec<f64> {
+        let bank = if emulation { TraceBank::emulation() } else { TraceBank::puffer() };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..800)
+            .map(|_| {
+                let (_, trace) = bank.sample_session(300.0, &mut rng);
+                bytes_per_sec_to_mbps(trace.mean_rate())
+            })
+            .collect()
+    };
+    let mut fcc = sample_rates(true, seed ^ 0x333);
+    let mut puf = sample_rates(false, seed ^ 0x444);
+    fcc.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    puf.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!("{:<14} {:>12} {:>12}", "percentile", "FCC-like", "Puffer-like");
+    for pct in [5, 25, 50, 75, 95, 99] {
+        let idx = (pct * fcc.len() / 100).min(fcc.len() - 1);
+        println!("{:<14} {:>12.2} {:>12.2}", format!("p{pct}"), fcc[idx], puf[idx]);
+    }
+
+    // Shape checks.
+    let stall_of = |arms: &[(String, Vec<StreamSummary>)], name: &str| -> f64 {
+        arms.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| SchemeSummary::from_streams(s).stall_ratio)
+            .unwrap_or(f64::NAN)
+    };
+    let emu_fugu_real = stall_of(&real_arms, "Emulation-trained Fugu");
+    let insitu_fugu_real = stall_of(&real_arms, "Fugu");
+    println!(
+        "\n# shape check: emulation-trained Fugu stalls {:.3}% vs in-situ Fugu {:.3}% in the real world ({})",
+        100.0 * emu_fugu_real,
+        100.0 * insitu_fugu_real,
+        if emu_fugu_real > insitu_fugu_real { "OK: training did not generalize" } else { "MISMATCH" }
+    );
+}

@@ -1,0 +1,82 @@
+//! Figure 2: CS2P-like discrete throughput states vs a typical Puffer
+//! session.
+//!
+//! "Puffer has not observed CS2P's discrete throughput states" — Fig. 2a
+//! shows a CS2P session hopping between a few flat levels around
+//! 2.4–3.0 Mbit/s; Fig. 2b shows a Puffer session with similar mean but
+//! continuous, noisy, regime-shifting evolution.  Both series use 6-second
+//! epochs.
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin fig2_throughput_states`
+
+use puffer_bench::parse_args;
+use puffer_bench::svg::{Chart, Series};
+use puffer_bench::table::render_series;
+use puffer_trace::{bytes_per_sec_to_mbps, Cs2pLikeProcess, PufferLikeProcess, RateProcess, MBPS};
+use rand::SeedableRng;
+
+const EPOCHS: usize = 200;
+const EPOCH_SECONDS: f64 = 6.0;
+
+fn main() {
+    let (seed, _) = parse_args();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // (a) CS2P-like: four discrete states, sticky transitions (Fig. 2a).
+    let cs2p = Cs2pLikeProcess::fig2_default()
+        .sample_trace(EPOCHS as f64 * EPOCH_SECONDS, &mut rng)
+        .resample(EPOCH_SECONDS, EPOCHS);
+    let pts_a: Vec<(f64, f64)> = cs2p
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (i as f64, bytes_per_sec_to_mbps(r)))
+        .collect();
+    println!(
+        "{}",
+        render_series("Fig 2a: CS2P-like session (discrete states)", "epoch", "Mbit/s", &pts_a)
+    );
+
+    // (b) Puffer-like with a similar mean throughput (Fig. 2b).
+    let puffer = PufferLikeProcess::new(2.7 * MBPS, 0.45)
+        .sample_trace(EPOCHS as f64 * EPOCH_SECONDS, &mut rng)
+        .resample(EPOCH_SECONDS, EPOCHS);
+    let pts_b: Vec<(f64, f64)> = puffer
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (i as f64, bytes_per_sec_to_mbps(r)))
+        .collect();
+    println!(
+        "{}",
+        render_series("Fig 2b: typical Puffer session (no discrete states)", "epoch", "Mbit/s", &pts_b)
+    );
+
+    // Quantify the qualitative claim: fraction of epochs lying within 3% of
+    // one of a few discrete levels.
+    let near_level = |series: &[f64]| -> f64 {
+        let levels = [2.45, 2.6, 2.75, 2.95];
+        series
+            .iter()
+            .filter(|&&r| {
+                let mbps = bytes_per_sec_to_mbps(r);
+                levels.iter().any(|l| (mbps / l - 1.0).abs() < 0.03)
+            })
+            .count() as f64
+            / series.len() as f64
+    };
+    println!("# fraction of epochs on a discrete level:");
+    println!("#   CS2P-like:   {:.2}", near_level(&cs2p));
+    println!("#   Puffer-like: {:.2}", near_level(&puffer));
+
+    // Render the two panels as SVG.
+    let mut chart = Chart::new(
+        "Fig 2: throughput evolution, CS2P-like vs Puffer-like",
+        "epoch (6 s)",
+        "throughput (Mbit/s)",
+    );
+    chart.push(Series::line("CS2P-like", pts_a));
+    chart.push(Series::line("Puffer-like", pts_b));
+    match chart.save("fig2_throughput_states.svg") {
+        Ok(path) => eprintln!("[svg] wrote {}", path.display()),
+        Err(e) => eprintln!("[svg] failed: {e}"),
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 3: VBR encoding makes chunk size and picture quality vary within
+//! a stream.
+//!
+//! "VBR encoding lets chunk size vary within a stream" (Fig. 3a) and
+//! "Picture quality also varies with VBR encoding" (Fig. 3b) — the paper
+//! plots per-chunk compressed size (MB) and SSIM (dB) for the 5500 kbps and
+//! 200 kbps rungs over ~31 chunks of a real broadcast.  These variations are
+//! why Puffer's schemes decide on (size, SSIM) menus instead of nominal
+//! bitrates (Fig. 4).
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin fig3_vbr`
+
+use puffer_bench::parse_args;
+use puffer_media::VideoSource;
+use rand::SeedableRng;
+
+const CHUNKS: usize = 31;
+
+fn main() {
+    let (seed, _) = parse_args();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut source = VideoSource::puffer_default();
+    let top = source.ladder().highest();
+    let bottom = source.ladder().lowest();
+
+    println!("# Fig 3: per-chunk size and SSIM at the ladder extremes");
+    println!("# chunk\tsize_5500k_MB\tsize_200k_MB\tssim_5500k_dB\tssim_200k_dB");
+    let mut sizes_top = Vec::new();
+    let mut ssims_top = Vec::new();
+    let mut ssims_bottom = Vec::new();
+    for i in 0..CHUNKS {
+        let menu = source.next_chunk(&mut rng);
+        let hi = menu.option(top);
+        let lo = menu.option(bottom);
+        println!(
+            "{i}\t{:.3}\t{:.4}\t{:.2}\t{:.2}",
+            hi.size / 1e6,
+            lo.size / 1e6,
+            hi.ssim_db,
+            lo.ssim_db
+        );
+        sizes_top.push(hi.size / 1e6);
+        ssims_top.push(hi.ssim_db);
+        ssims_bottom.push(lo.ssim_db);
+    }
+
+    let min = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+    println!("\n# Shape checks against the paper's panels:");
+    println!(
+        "#   top-rung size range {:.2}-{:.2} MB ({}x dynamic range; paper shows ~0.7-6 MB)",
+        min(&sizes_top),
+        max(&sizes_top),
+        (max(&sizes_top) / min(&sizes_top)).round()
+    );
+    println!(
+        "#   top-rung SSIM range {:.1}-{:.1} dB (paper ~14-18 dB)",
+        min(&ssims_top),
+        max(&ssims_top)
+    );
+    println!(
+        "#   bottom-rung SSIM range {:.1}-{:.1} dB (paper ~6-11 dB)",
+        min(&ssims_bottom),
+        max(&ssims_bottom)
+    );
+}

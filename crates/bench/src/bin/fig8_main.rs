@@ -1,0 +1,102 @@
+//! Figure 8: the main result — SSIM vs time-spent-stalled with 95% CIs,
+//! overall and on slow network paths.
+//!
+//! Left panel: all considered streams.  Right panel: "'Slow' network paths
+//! have mean TCP delivery_rate less than 6 Mbit/s ... Such streams accounted
+//! for 16% of overall viewing time and 82% of stalls."
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin fig8_main -- [--seed N] [--scale N]`
+
+use puffer_bench::svg::{Chart, Series};
+use puffer_bench::{parse_args, Pipeline};
+use puffer_stats::{bootstrap_ratio_ci, weighted_mean_ci, StreamSummary};
+use rand::SeedableRng;
+
+fn panel_svg(title: &str, filename: &str, arms: &[(String, Vec<StreamSummary>)], seed: u64) {
+    let mut chart = Chart::new(title, "time spent stalled (%) — lower is better", "average SSIM (dB)");
+    chart.flip_x = true;
+    for (name, streams) in arms {
+        if streams.is_empty() {
+            continue;
+        }
+        let pairs: Vec<(f64, f64)> = streams.iter().map(|s| (s.stall_time, s.watch_time)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let stall = bootstrap_ratio_ci(&pairs, 600, 0.95, &mut rng);
+        let ssims: Vec<f64> = streams.iter().map(|s| s.mean_ssim_db).collect();
+        let weights: Vec<f64> = streams.iter().map(|s| s.watch_time).collect();
+        let (lo, mid, hi) = weighted_mean_ci(&ssims, &weights, 1.96);
+        chart.push(
+            Series::scatter(name, vec![(100.0 * stall.point, mid)]).with_errors(vec![(
+                100.0 * (stall.hi - stall.lo) / 2.0,
+                (hi - lo) / 2.0,
+            )]),
+        );
+    }
+    match chart.save(filename) {
+        Ok(path) => eprintln!("[svg] wrote {}", path.display()),
+        Err(e) => eprintln!("[svg] failed: {e}"),
+    }
+}
+
+fn panel(title: &str, arms: &[(String, Vec<StreamSummary>)], seed: u64) {
+    println!("\n## {title}");
+    println!(
+        "{:<22} {:>24} {:>26} {:>9}",
+        "scheme", "stalled % [95% CI]", "SSIM dB [95% CI]", "streams"
+    );
+    for (name, streams) in arms {
+        if streams.is_empty() {
+            println!("{name:<22} {:>24} {:>26} {:>9}", "-", "-", 0);
+            continue;
+        }
+        let pairs: Vec<(f64, f64)> = streams.iter().map(|s| (s.stall_time, s.watch_time)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let stall = bootstrap_ratio_ci(&pairs, 1000, 0.95, &mut rng);
+        let ssims: Vec<f64> = streams.iter().map(|s| s.mean_ssim_db).collect();
+        let weights: Vec<f64> = streams.iter().map(|s| s.watch_time).collect();
+        let (lo, mid, hi) = weighted_mean_ci(&ssims, &weights, 1.96);
+        println!(
+            "{:<22} {:>7.3}% [{:.3},{:.3}] {:>10.2} [{:.2},{:.2}] {:>9}",
+            name,
+            100.0 * stall.point,
+            100.0 * stall.lo,
+            100.0 * stall.hi,
+            mid,
+            lo,
+            hi,
+            streams.len()
+        );
+    }
+}
+
+fn main() {
+    let (seed, scale) = parse_args();
+    let arms = Pipeline::new(seed, scale).run_primary_cached();
+
+    let all: Vec<(String, Vec<StreamSummary>)> =
+        arms.iter().map(|a| (a.name.clone(), a.streams.clone())).collect();
+    let slow: Vec<(String, Vec<StreamSummary>)> = arms
+        .iter()
+        .map(|a| {
+            (a.name.clone(), a.streams.iter().filter(|s| s.is_slow_path()).copied().collect())
+        })
+        .collect();
+
+    panel("Primary experiment (all streams)", &all, seed ^ 0x81);
+    panel("Slow network paths (mean delivery_rate < 6 Mbit/s)", &slow, seed ^ 0x82);
+    panel_svg("Fig 8 (left): primary experiment", "fig8_all.svg", &all, seed ^ 0x81);
+    panel_svg("Fig 8 (right): slow network paths", "fig8_slow.svg", &slow, seed ^ 0x82);
+
+    // The paper's aggregate facts about the slow-path cut.
+    let watch = |set: &[(String, Vec<StreamSummary>)]| -> f64 {
+        set.iter().flat_map(|(_, s)| s).map(|s| s.watch_time).sum()
+    };
+    let stallsum = |set: &[(String, Vec<StreamSummary>)]| -> f64 {
+        set.iter().flat_map(|(_, s)| s).map(|s| s.stall_time).sum()
+    };
+    println!(
+        "\n# slow paths: {:.0}% of viewing time (paper: 16%), {:.0}% of stalls (paper: 82%)",
+        100.0 * watch(&slow) / watch(&all),
+        100.0 * stallsum(&slow) / stallsum(&all).max(1e-9),
+    );
+}

@@ -1,0 +1,81 @@
+//! Diagnostic: what does the trained Pensieve policy actually do?
+//!
+//! Prints the greedy action as a function of buffer level and observed
+//! throughput, using a fixed synthetic menu — useful when the RCT shows
+//! Pensieve behaving oddly (the paper itself spends §5.3 explaining
+//! Pensieve's behaviour on Puffer).
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin pensieve_report -- [--seed N] [--scale N]`
+
+use puffer_abr::{Abr, AbrContext, ChunkRecord};
+use puffer_bench::{parse_args, Pipeline};
+use puffer_media::VideoSource;
+use puffer_net::TcpInfo;
+use rand::SeedableRng;
+
+fn main() {
+    let (seed, scale) = parse_args();
+    let mut policy = Pipeline::new(seed, scale).pensieve();
+    policy.set_stochastic(false);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut src = VideoSource::puffer_default();
+    let menus: Vec<_> = (0..5).map(|_| src.next_chunk(&mut rng)).collect();
+
+    println!("# greedy rung by (throughput MB/s, buffer s); menu sizes fixed");
+    print!("{:>12}", "tput\\buffer");
+    for b in [1.0, 3.0, 6.0, 9.0, 12.0, 14.0] {
+        print!("{b:>7.1}");
+    }
+    println!();
+    for tput in [0.05, 0.1, 0.2, 0.4, 0.8, 1.5, 3.0, 8.0] {
+        print!("{:>12.2}", tput);
+        for buffer in [1.0, 3.0, 6.0, 9.0, 12.0, 14.0] {
+            let history: Vec<ChunkRecord> = (0..8)
+                .map(|_| ChunkRecord {
+                    size: tput * 1e6 * 0.8,
+                    transmission_time: 0.8,
+                })
+                .collect();
+            let ctx = AbrContext {
+                buffer,
+                prev_ssim_db: Some(14.0),
+                prev_rung: Some(5),
+                lookahead: &menus,
+                history: &history,
+                tcp_info: TcpInfo {
+                    cwnd: 30.0,
+                    in_flight: 5.0,
+                    min_rtt: 0.04,
+                    rtt: 0.05,
+                    delivery_rate: tput * 1e6,
+                },
+            };
+            print!("{:>7}", policy.choose(&ctx));
+        }
+        println!();
+    }
+
+    // Action probabilities at a generous operating point.
+    let history: Vec<ChunkRecord> =
+        (0..8).map(|_| ChunkRecord { size: 2.4e6, transmission_time: 0.8 }).collect();
+    let ctx = AbrContext {
+        buffer: 12.0,
+        prev_ssim_db: Some(16.0),
+        prev_rung: Some(8),
+        lookahead: &menus,
+        history: &history,
+        tcp_info: TcpInfo {
+            cwnd: 60.0,
+            in_flight: 5.0,
+            min_rtt: 0.03,
+            rtt: 0.04,
+            delivery_rate: 3e6,
+        },
+    };
+    let f = policy.features(&ctx);
+    println!("\n# action probabilities on a fast path with a deep buffer:");
+    for (i, p) in policy.action_probs(&f).iter().enumerate() {
+        println!("#   rung {i}: {:.3}", p);
+    }
+}

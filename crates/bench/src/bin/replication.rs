@@ -1,0 +1,83 @@
+//! Replication: run the primary comparison under several randomization
+//! seeds and report the spread of each scheme's headline numbers.
+//!
+//! §3.4's warning — "even two identical schemes will see considerable
+//! variation in average performance until a substantial amount of data is
+//! assembled" — applies to our simulated trial too.  This binary runs
+//! smaller independent replications of the Fugu/MPC/BBA comparison (same
+//! trained models, fresh sessions each time) and prints per-scheme min/mean/
+//! max of the stall ratio and SSIM across replications.
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin replication -- [--seed N] [--scale N]`
+
+use fugu::TtpVariant;
+use puffer_bench::{parse_args, Pipeline};
+use puffer_platform::experiment::run_rct;
+use puffer_platform::SchemeSpec;
+use puffer_stats::SchemeSummary;
+use std::collections::BTreeMap;
+
+const REPLICATIONS: u64 = 4;
+
+fn main() {
+    let (seed, scale) = parse_args();
+    let pipeline = Pipeline::new(seed, scale);
+    let data = pipeline.bootstrap_dataset(false);
+    let ttp = pipeline.trained_ttp(TtpVariant::Full, &data, "insitu");
+
+    let mut stalls: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut ssims: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for rep in 0..REPLICATIONS {
+        let schemes = vec![
+            SchemeSpec::fugu_frozen(ttp.clone(), TtpVariant::Full, "Fugu"),
+            SchemeSpec::MpcHm,
+            SchemeSpec::Bba,
+        ];
+        let mut cfg = pipeline.rct_config(false);
+        cfg.seed = seed.wrapping_add(0x1000 + rep);
+        cfg.sessions_per_day /= 2;
+        cfg.days = 2;
+        cfg.retrain = None;
+        eprintln!("[replication] run {} of {REPLICATIONS} ...", rep + 1);
+        let result = run_rct(schemes, &cfg);
+        for arm in &result.arms {
+            if arm.streams.is_empty() {
+                continue;
+            }
+            let agg = SchemeSummary::from_streams(&arm.streams);
+            stalls.entry(arm.name.to_string()).or_default().push(agg.stall_ratio);
+            ssims.entry(arm.name.to_string()).or_default().push(agg.mean_ssim_db);
+        }
+    }
+
+    let spread = |v: &[f64]| -> (f64, f64, f64) {
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (min, v.iter().sum::<f64>() / v.len() as f64, max)
+    };
+    println!(
+        "\n# spread over {REPLICATIONS} independent replications (min / mean / max)"
+    );
+    println!("{:<14} {:>30} {:>30}", "scheme", "stall % (min/mean/max)", "SSIM dB (min/mean/max)");
+    for (name, s) in &stalls {
+        let (s0, s1, s2) = spread(s);
+        let (q0, q1, q2) = spread(&ssims[name]);
+        println!(
+            "{name:<14} {:>9.3} /{:>7.3} /{:>7.3} {:>11.2} /{:>6.2} /{:>6.2}",
+            100.0 * s0,
+            100.0 * s1,
+            100.0 * s2,
+            q0,
+            q1,
+            q2
+        );
+    }
+    // The qualitative claim that should survive every replication.
+    let fugu = &stalls["Fugu"];
+    let mpc = &stalls["MPC-HM"];
+    let wins = fugu.iter().zip(mpc).filter(|(f, m)| f < m).count();
+    println!(
+        "\n# Fugu beat MPC-HM on stalls in {wins}/{REPLICATIONS} replications \
+         (a robust effect should win all or nearly all)"
+    );
+}

@@ -1,0 +1,87 @@
+//! §3.4 / §5.3: statistical uncertainty of real-world experiments.
+//!
+//! Reproduces the paper's three quantitative uncertainty claims:
+//!
+//! 1. "with 1.75 years of data for each scheme, the width of the 95%
+//!    confidence interval on a scheme's stall ratio is between ±10% and
+//!    ±17% of the mean value" — we compute CI width as a function of data
+//!    volume from the simulated stream population;
+//! 2. "Even with a year of accumulated experience per scheme, a 20%
+//!    improvement in rebuffering ratio would be statistically
+//!    indistinguishable";
+//! 3. "it takes about 2 stream-years of data to reliably distinguish two ABR
+//!    schemes whose innate 'true' performance differs by 15%."
+//!
+//! Usage: `cargo run --release -p puffer-bench --bin uncertainty_analysis -- [--seed N] [--scale N]`
+
+use puffer_bench::{parse_args, Pipeline};
+use puffer_stats::detect::{detection_rate, DetectConfig};
+use puffer_stats::{bootstrap_ratio_ci, stream_years_to_distinguish, SECONDS_PER_YEAR};
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let (seed, scale) = parse_args();
+    let arms = Pipeline::new(seed, scale).run_primary_cached();
+
+    // Pool all arms' considered streams into one empirical population.
+    let population: Vec<(f64, f64)> = arms
+        .iter()
+        .flat_map(|a| a.streams.iter().map(|s| (s.stall_time, s.watch_time)))
+        .collect();
+    let mean_watch = population.iter().map(|p| p.1).sum::<f64>() / population.len() as f64;
+    println!(
+        "# population: {} streams, mean watch {:.1} s, stall ratio {:.4}%",
+        population.len(),
+        mean_watch,
+        100.0 * population.iter().map(|p| p.0).sum::<f64>()
+            / population.iter().map(|p| p.1).sum::<f64>()
+    );
+
+    // (1) CI width vs data volume.
+    println!("\n## CI half-width (relative) vs data volume");
+    println!("{:>14} {:>10} {:>24}", "stream-years", "streams", "stall CI half-width");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xcc);
+    for &years in &[0.05, 0.1, 0.25, 0.5, 1.0, 1.75, 4.0] {
+        let n = ((years * SECONDS_PER_YEAR) / mean_watch).round() as usize;
+        let sample: Vec<(f64, f64)> =
+            (0..n).map(|_| *population.choose(&mut rng).unwrap()).collect();
+        let ci = bootstrap_ratio_ci(&sample, 400, 0.95, &mut rng);
+        println!(
+            "{:>14.2} {:>10} {:>22.1}%",
+            years,
+            n,
+            100.0 * ci.relative_half_width()
+        );
+    }
+    println!("# paper: ±10-17% at 1.75 stream-years per scheme");
+
+    // (2) Is a 20% improvement detectable at 1 stream-year per arm?
+    let one_year_streams = (SECONDS_PER_YEAR / mean_watch).round() as usize;
+    let cfg20 = DetectConfig {
+        improvement: 0.20,
+        n_experiments: 10,
+        n_boot: 200,
+        ..DetectConfig::default()
+    };
+    let rate = detection_rate(&population, one_year_streams, &cfg20, &mut rng);
+    println!(
+        "\n## 20% rebuffering improvement at 1 stream-year/arm: detected in {:.0}% of experiments ({})",
+        100.0 * rate,
+        if rate < 0.8 { "OK: below the 80%-power threshold, i.e. indistinguishable" } else { "detectable here" }
+    );
+
+    // (3) Stream-years to distinguish a 15% difference.
+    let cfg15 = DetectConfig {
+        improvement: 0.15,
+        n_experiments: 10,
+        n_boot: 200,
+        ..DetectConfig::default()
+    };
+    match stream_years_to_distinguish(&population, &cfg15, 4_000_000, &mut rng) {
+        Some(years) => println!(
+            "\n## stream-years to distinguish a 15% stall-ratio difference: {years:.1} (paper: ~2)"
+        ),
+        None => println!("\n## a 15% difference was not detectable within the search budget"),
+    }
+}

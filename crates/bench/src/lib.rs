@@ -1,0 +1,53 @@
+//! # puffer-bench — the figure/table regeneration harness
+//!
+//! One binary per table and figure of the paper (see `src/bin/`), plus
+//! Criterion microbenchmarks (see `benches/`).  This library holds the
+//! shared experiment pipeline:
+//!
+//! 1. train Pensieve in the emulation world (§3.3),
+//! 2. bootstrap a TTP training dataset from the deployment world (the
+//!    paper's Fugu entered the primary experiment already trained on prior
+//!    Puffer telemetry),
+//! 3. train the TTP variants on it (in situ) or on emulation data
+//!    (emulation-trained Fugu, Fig. 11),
+//! 4. run the randomized controlled trial,
+//! 5. print tables in the paper's format.
+//!
+//! Trained models are cached as text checkpoints under
+//! `target/puffer-models/` so each figure binary doesn't retrain from
+//! scratch; delete that directory (or change `--seed`/`--scale`) to retrain.
+
+pub mod pipeline;
+pub mod svg;
+pub mod table;
+
+pub use pipeline::{Pipeline, Scale};
+
+/// Parse `--seed N` and `--scale N` style CLI arguments shared by all
+/// figure binaries.
+pub fn parse_args() -> (u64, u32) {
+    let mut seed = 1u64;
+    let mut scale = 1u32;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed needs an integer"));
+                i += 2;
+            }
+            "--scale" => {
+                scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale needs an integer"));
+                i += 2;
+            }
+            other => panic!("unknown argument '{other}' (supported: --seed N, --scale N)"),
+        }
+    }
+    (seed, scale)
+}

@@ -1,0 +1,311 @@
+//! The shared experiment pipeline with on-disk model caching.
+
+use fugu::{checkpoint, Dataset, TrainConfig, Ttp, TtpVariant};
+use puffer_abr::PensievePolicy;
+use puffer_platform::experiment::{collect_training_data, run_rct, train_ttp_on, RctResult};
+use puffer_platform::pensieve_env::PensieveTrainConfig;
+use puffer_platform::{ExperimentConfig, SchemeSpec};
+use std::path::PathBuf;
+
+/// Experiment size knob.  `scale = 1` finishes in minutes on a laptop;
+/// larger scales shrink the confidence intervals toward the paper's.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale(pub u32);
+
+impl Scale {
+    /// Sessions per simulated day in the RCT.
+    pub fn sessions_per_day(self) -> usize {
+        120 * self.0 as usize
+    }
+
+    /// Simulated days in the RCT.
+    pub fn days(self) -> u32 {
+        4
+    }
+
+    /// Sessions per day in the bootstrap (training-data collection) phase.
+    pub fn bootstrap_sessions_per_day(self) -> usize {
+        100 * self.0 as usize
+    }
+
+    /// Bootstrap days (also the training window).
+    pub fn bootstrap_days(self) -> u32 {
+        3
+    }
+
+    /// Pensieve training iterations.
+    pub fn pensieve_iterations(self) -> usize {
+        (200 * self.0 as usize).min(500)
+    }
+}
+
+/// Pipeline context: seed, scale, and the model cache directory.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    pub seed: u64,
+    pub scale: Scale,
+    cache_dir: PathBuf,
+}
+
+impl Pipeline {
+    pub fn new(seed: u64, scale: u32) -> Self {
+        assert!(scale >= 1, "scale must be at least 1");
+        let cache_dir = std::env::var_os("PUFFER_MODEL_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/puffer-models"));
+        std::fs::create_dir_all(&cache_dir).expect("create model cache dir");
+        Pipeline { seed, scale: Scale(scale), cache_dir }
+    }
+
+    fn cache_path(&self, name: &str) -> PathBuf {
+        self.cache_dir.join(format!("{name}_seed{}_scale{}.txt", self.seed, self.scale.0))
+    }
+
+    /// The TTP training configuration used everywhere (§4.3 values with a
+    /// sample cap so large scales stay tractable).
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            epochs: 3,
+            max_samples_per_step: 120_000,
+            ..TrainConfig::default()
+        }
+    }
+
+    /// Pensieve, trained in emulation (cached).
+    pub fn pensieve(&self) -> PensievePolicy {
+        let path = self.cache_path("pensieve");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(p) = PensievePolicy::load_from_str(&text, self.seed) {
+                return p;
+            }
+        }
+        eprintln!("[pipeline] training Pensieve in emulation (entropy-schedule sweep, §3.3) ...");
+        let cfg = PensieveTrainConfig {
+            iterations: self.scale.pensieve_iterations(),
+            ..PensieveTrainConfig::default()
+        };
+        // Three entropy-reduction schemes, best-of selection as the paper
+        // describes (they trained six; three keeps the laptop budget sane).
+        let schedules: [(f32, f32, f32); 3] =
+            [(0.5, 0.95, 0.01), (0.35, 0.99, 0.01), (0.15, 0.985, 0.015)];
+        let (policy, scores) =
+            puffer_platform::pensieve_env::train_pensieve_with_selection(
+                &schedules,
+                &cfg,
+                self.seed ^ 0xbeef,
+            );
+        eprintln!("[pipeline] candidate rewards/chunk: {scores:?}");
+        std::fs::write(&path, policy.save_to_string()).expect("write pensieve cache");
+        policy
+    }
+
+    /// Bootstrap telemetry from a world (deployment by default), collected
+    /// under BBA — the training data depends on what was *sent*, not on who
+    /// chose it.
+    pub fn bootstrap_dataset(&self, emulation: bool) -> Dataset {
+        let cfg = ExperimentConfig {
+            seed: self.seed ^ if emulation { 0xe0_0001 } else { 0xd0_0001 },
+            sessions_per_day: self.scale.bootstrap_sessions_per_day(),
+            days: self.scale.bootstrap_days(),
+            emulation_world: emulation,
+            retrain: None,
+            ..ExperimentConfig::default()
+        };
+        collect_training_data(&SchemeSpec::Bba, &cfg)
+    }
+
+    /// A TTP variant trained on the given dataset (cached).
+    pub fn trained_ttp(&self, variant: TtpVariant, dataset: &Dataset, tag: &str) -> Ttp {
+        let name = format!("ttp_{tag}_{variant:?}").to_lowercase();
+        let path = self.cache_path(&name);
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(ttp) = checkpoint::load_from_str(&text) {
+                if ttp.config() == &variant.ttp_config() {
+                    return ttp;
+                }
+            }
+        }
+        eprintln!("[pipeline] training TTP variant {variant:?} on '{tag}' data ...");
+        let ttp = train_ttp_on(variant, dataset, &self.train_config(), self.seed ^ 0x77);
+        checkpoint::save_to_file(&ttp, &path).expect("write ttp cache");
+        ttp
+    }
+
+    /// The five arms of the primary experiment (Fig. 1).
+    pub fn primary_schemes(&self) -> Vec<SchemeSpec> {
+        let in_situ = self.bootstrap_dataset(false);
+        let ttp = self.trained_ttp(TtpVariant::Full, &in_situ, "insitu");
+        vec![
+            SchemeSpec::fugu(ttp),
+            SchemeSpec::MpcHm,
+            SchemeSpec::Bba,
+            SchemeSpec::Pensieve(std::sync::Arc::new(self.pensieve())),
+            SchemeSpec::RobustMpcHm,
+        ]
+    }
+
+    /// The RCT configuration for a world.
+    pub fn rct_config(&self, emulation: bool) -> ExperimentConfig {
+        ExperimentConfig {
+            seed: self.seed,
+            sessions_per_day: self.scale.sessions_per_day(),
+            days: self.scale.days(),
+            emulation_world: emulation,
+            retrain: Some(self.train_config()),
+            paired: true,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// Run the primary experiment (deployment world, five arms).
+    pub fn run_primary(&self) -> RctResult {
+        let schemes = self.primary_schemes();
+        eprintln!(
+            "[pipeline] running primary RCT: {} sessions/day x {} days, {} arms ...",
+            self.scale.sessions_per_day(),
+            self.scale.days(),
+            schemes.len()
+        );
+        run_rct(schemes, &self.rct_config(false))
+    }
+
+    /// The primary experiment with on-disk caching of the per-arm results —
+    /// figures 1, 4, 8, 10 and A1 all read the same run.
+    pub fn run_primary_cached(&self) -> Vec<CachedArm> {
+        let path = self.cache_path("primary_results");
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(arms) = parse_cached_arms(&text) {
+                return arms;
+            }
+        }
+        let result = self.run_primary();
+        let arms: Vec<CachedArm> = result.arms.iter().map(CachedArm::from_arm).collect();
+        std::fs::write(&path, render_cached_arms(&arms)).expect("write results cache");
+        arms
+    }
+}
+
+/// A serializable snapshot of one arm's results.
+#[derive(Debug, Clone)]
+pub struct CachedArm {
+    pub name: String,
+    pub consort: puffer_platform::ConsortCounts,
+    pub streams: Vec<puffer_stats::StreamSummary>,
+    pub session_durations: Vec<f64>,
+}
+
+impl CachedArm {
+    pub fn from_arm(arm: &puffer_platform::SchemeArm) -> Self {
+        CachedArm {
+            name: arm.name.to_string(),
+            consort: arm.consort,
+            streams: arm.streams.clone(),
+            session_durations: arm.session_durations.clone(),
+        }
+    }
+}
+
+fn render_cached_arms(arms: &[CachedArm]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("puffer-rct-results v1\n");
+    for a in arms {
+        let _ = writeln!(
+            out,
+            "arm\t{}\t{}\t{}\t{}\t{}\t{}",
+            a.name,
+            a.consort.sessions,
+            a.consort.streams,
+            a.consort.never_began,
+            a.consort.short_watch,
+            a.consort.considered
+        );
+        for s in &a.streams {
+            let _ = writeln!(
+                out,
+                "s\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                s.startup_delay,
+                s.watch_time,
+                s.stall_time,
+                s.mean_ssim_db,
+                s.ssim_variation_db,
+                s.first_chunk_ssim_db,
+                s.mean_delivery_rate,
+                s.total_bytes,
+                s.chunks
+            );
+        }
+        for d in &a.session_durations {
+            let _ = writeln!(out, "d\t{d}");
+        }
+    }
+    out
+}
+
+fn parse_cached_arms(text: &str) -> Result<Vec<CachedArm>, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some("puffer-rct-results v1") {
+        return Err("bad magic".into());
+    }
+    let mut arms: Vec<CachedArm> = Vec::new();
+    for line in lines {
+        let mut f = line.split('\t');
+        match f.next() {
+            Some("arm") => {
+                let name = f.next().ok_or("missing name")?.to_string();
+                let nums: Vec<usize> = f
+                    .map(|v| v.parse().map_err(|_| "bad consort count".to_string()))
+                    .collect::<Result<_, _>>()?;
+                if nums.len() != 5 {
+                    return Err("consort field count".into());
+                }
+                arms.push(CachedArm {
+                    name,
+                    consort: puffer_platform::ConsortCounts {
+                        sessions: nums[0],
+                        streams: nums[1],
+                        never_began: nums[2],
+                        short_watch: nums[3],
+                        considered: nums[4],
+                    },
+                    streams: Vec::new(),
+                    session_durations: Vec::new(),
+                });
+            }
+            Some("s") => {
+                let arm = arms.last_mut().ok_or("stream before arm")?;
+                let vals: Vec<f64> = f
+                    .map(|v| v.parse().map_err(|_| "bad stream field".to_string()))
+                    .collect::<Result<_, _>>()?;
+                if vals.len() != 9 {
+                    return Err("stream field count".into());
+                }
+                arm.streams.push(puffer_stats::StreamSummary {
+                    startup_delay: vals[0],
+                    watch_time: vals[1],
+                    stall_time: vals[2],
+                    mean_ssim_db: vals[3],
+                    ssim_variation_db: vals[4],
+                    first_chunk_ssim_db: vals[5],
+                    mean_delivery_rate: vals[6],
+                    total_bytes: vals[7],
+                    chunks: vals[8] as usize,
+                });
+            }
+            Some("d") => {
+                let arm = arms.last_mut().ok_or("duration before arm")?;
+                arm.session_durations.push(
+                    f.next()
+                        .ok_or("missing duration")?
+                        .parse()
+                        .map_err(|_| "bad duration".to_string())?,
+                );
+            }
+            Some(other) => return Err(format!("unknown record '{other}'")),
+            None => {}
+        }
+    }
+    if arms.is_empty() {
+        return Err("no arms".into());
+    }
+    Ok(arms)
+}

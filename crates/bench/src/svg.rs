@@ -1,0 +1,424 @@
+//! Minimal static-SVG chart rendering for the figure binaries.
+//!
+//! The experiment binaries print their data as text tables; this module
+//! additionally renders the paper-style plots (throughput traces, the
+//! SSIM-vs-stall scatter with error bars, duration CCDFs) as standalone SVG
+//! files under `target/puffer-figures/`.
+//!
+//! Design follows the data-viz ground rules: categorical hues assigned in a
+//! fixed validated order (never cycled or generated), a single y-axis, thin
+//! 2 px lines and ≥ 8 px markers, a recessive grid, text in ink — never in
+//! series color — and a legend whenever there are two or more series.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Validated categorical palette (light mode), fixed assignment order.
+const PALETTE: [&str; 8] =
+    ["#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834"];
+const SURFACE: &str = "#fcfcfb";
+const GRID: &str = "#e7e6e2";
+const AXIS: &str = "#b5b4af";
+const TEXT_PRIMARY: &str = "#0b0b0b";
+const TEXT_SECONDARY: &str = "#52514e";
+
+/// How a series is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// 2 px polyline.
+    Line,
+    /// 8 px circles, optionally with error bars.
+    Scatter,
+}
+
+/// One series: points plus optional symmetric error bars `(x_err, y_err)`.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+    pub errors: Vec<(f64, f64)>,
+    pub mark: Mark,
+}
+
+impl Series {
+    pub fn line(name: &str, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.to_string(), points, errors: Vec::new(), mark: Mark::Line }
+    }
+
+    pub fn scatter(name: &str, points: Vec<(f64, f64)>) -> Self {
+        Series { name: name.to_string(), points, errors: Vec::new(), mark: Mark::Scatter }
+    }
+
+    pub fn with_errors(mut self, errors: Vec<(f64, f64)>) -> Self {
+        assert_eq!(errors.len(), self.points.len(), "one error pair per point");
+        self.errors = errors;
+        self
+    }
+}
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Linear,
+    Log10,
+}
+
+/// A single-panel chart.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub x_scale: Scale,
+    pub y_scale: Scale,
+    /// Flip the x axis (the paper draws stall-% axes decreasing to the
+    /// right so "better QoE" is up-and-right).
+    pub flip_x: bool,
+    pub series: Vec<Series>,
+    pub width: f64,
+    pub height: f64,
+}
+
+impl Chart {
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Chart {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            flip_x: false,
+            series: Vec::new(),
+            width: 640.0,
+            height: 420.0,
+        }
+    }
+
+    pub fn push(&mut self, series: Series) {
+        assert!(self.series.len() < PALETTE.len(), "palette slots exhausted: fold into fewer series");
+        self.series.push(series);
+    }
+
+    fn transform(&self, v: f64, scale: Scale) -> f64 {
+        match scale {
+            Scale::Linear => v,
+            Scale::Log10 => v.max(1e-12).log10(),
+        }
+    }
+
+    /// Render to an SVG document string.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "chart needs at least one series");
+        let (w, h) = (self.width, self.height);
+        let (ml, mr, mt, mb) = (64.0, 16.0, 40.0, 52.0);
+        let plot_w = w - ml - mr;
+        let plot_h = h - mt - mb;
+
+        // Data bounds in transformed space (include error bars).
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.series {
+            for (i, &(x, y)) in s.points.iter().enumerate() {
+                let (ex, ey) = s.errors.get(i).copied().unwrap_or((0.0, 0.0));
+                xs.push(self.transform(x - ex, self.x_scale));
+                xs.push(self.transform(x + ex, self.x_scale));
+                ys.push(self.transform(y - ey, self.y_scale));
+                ys.push(self.transform(y + ey, self.y_scale));
+            }
+        }
+        let fmin = |v: &[f64]| v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let fmax = |v: &[f64]| v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (mut x0, mut x1) = (fmin(&xs), fmax(&xs));
+        let (mut y0, mut y1) = (fmin(&ys), fmax(&ys));
+        if (x1 - x0).abs() < 1e-12 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        // 5% padding.
+        let (xp, yp) = ((x1 - x0) * 0.05, (y1 - y0) * 0.05);
+        x0 -= xp;
+        x1 += xp;
+        y0 -= yp;
+        y1 += yp;
+
+        let px = |x: f64| -> f64 {
+            let t = (self.transform(x, self.x_scale) - x0) / (x1 - x0);
+            let t = if self.flip_x { 1.0 - t } else { t };
+            ml + t * plot_w
+        };
+        let py = |y: f64| -> f64 {
+            let t = (self.transform(y, self.y_scale) - y0) / (y1 - y0);
+            mt + (1.0 - t) * plot_h
+        };
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="system-ui, sans-serif">"#
+        );
+        let _ = write!(svg, r#"<rect width="{w}" height="{h}" fill="{SURFACE}"/>"#);
+
+        // Grid + ticks (5 intervals per axis, recessive).
+        for i in 0..=5 {
+            let t = i as f64 / 5.0;
+            let gx = ml + t * plot_w;
+            let gy = mt + t * plot_h;
+            let _ = write!(
+                svg,
+                r#"<line x1="{gx:.1}" y1="{mt}" x2="{gx:.1}" y2="{:.1}" stroke="{GRID}" stroke-width="1"/>"#,
+                mt + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<line x1="{ml}" y1="{gy:.1}" x2="{:.1}" y2="{gy:.1}" stroke="{GRID}" stroke-width="1"/>"#,
+                ml + plot_w
+            );
+            // Tick labels in data units.
+            let tx = if self.flip_x { 1.0 - t } else { t };
+            let xv = x0 + tx * (x1 - x0);
+            let yv = y0 + (1.0 - t) * (y1 - y0);
+            let xd = match self.x_scale {
+                Scale::Linear => xv,
+                Scale::Log10 => 10f64.powf(xv),
+            };
+            let yd = match self.y_scale {
+                Scale::Linear => yv,
+                Scale::Log10 => 10f64.powf(yv),
+            };
+            let _ = write!(
+                svg,
+                r#"<text x="{gx:.1}" y="{:.1}" font-size="11" fill="{TEXT_SECONDARY}" text-anchor="middle">{}</text>"#,
+                mt + plot_h + 16.0,
+                format_tick(xd)
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{gy:.1}" font-size="11" fill="{TEXT_SECONDARY}" text-anchor="end" dominant-baseline="middle">{}</text>"#,
+                ml - 6.0,
+                format_tick(yd)
+            );
+        }
+        // Axes.
+        let _ = write!(
+            svg,
+            r#"<rect x="{ml}" y="{mt}" width="{plot_w:.1}" height="{plot_h:.1}" fill="none" stroke="{AXIS}" stroke-width="1"/>"#
+        );
+
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            let color = PALETTE[si];
+            match s.mark {
+                Mark::Line => {
+                    let mut d = String::new();
+                    for (i, &(x, y)) in s.points.iter().enumerate() {
+                        let _ = write!(
+                            d,
+                            "{}{:.1},{:.1} ",
+                            if i == 0 { "M" } else { "L" },
+                            px(x),
+                            py(y)
+                        );
+                    }
+                    let _ = write!(
+                        svg,
+                        r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="2" stroke-linejoin="round"/>"#
+                    );
+                }
+                Mark::Scatter => {
+                    for (i, &(x, y)) in s.points.iter().enumerate() {
+                        let (cx, cy) = (px(x), py(y));
+                        if let Some(&(ex, ey)) = s.errors.get(i) {
+                            if ex > 0.0 {
+                                let _ = write!(
+                                    svg,
+                                    r#"<line x1="{:.1}" y1="{cy:.1}" x2="{:.1}" y2="{cy:.1}" stroke="{color}" stroke-width="1.5"/>"#,
+                                    px(x - ex),
+                                    px(x + ex)
+                                );
+                            }
+                            if ey > 0.0 {
+                                let _ = write!(
+                                    svg,
+                                    r#"<line x1="{cx:.1}" y1="{:.1}" x2="{cx:.1}" y2="{:.1}" stroke="{color}" stroke-width="1.5"/>"#,
+                                    py(y - ey),
+                                    py(y + ey)
+                                );
+                            }
+                        }
+                        // 8px marker with a 2px surface ring so overlapping
+                        // points stay separable.
+                        let _ = write!(
+                            svg,
+                            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="4" fill="{color}" stroke="{SURFACE}" stroke-width="2"/>"#
+                        );
+                    }
+                    // Direct label at the last point (selective labeling).
+                    if let Some(&(x, y)) = s.points.last() {
+                        let _ = write!(
+                            svg,
+                            r#"<text x="{:.1}" y="{:.1}" font-size="11" fill="{TEXT_PRIMARY}">{}</text>"#,
+                            px(x) + 7.0,
+                            py(y) - 7.0,
+                            xml_escape(&s.name)
+                        );
+                    }
+                }
+            }
+        }
+
+        // Title and axis labels (ink, not series color).
+        let _ = write!(
+            svg,
+            r#"<text x="{ml}" y="22" font-size="14" font-weight="600" fill="{TEXT_PRIMARY}">{}</text>"#,
+            xml_escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="12" fill="{TEXT_SECONDARY}" text-anchor="middle">{}</text>"#,
+            ml + plot_w / 2.0,
+            h - 12.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="14" y="{:.1}" font-size="12" fill="{TEXT_SECONDARY}" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>"#,
+            mt + plot_h / 2.0,
+            mt + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Legend (always present for >= 2 series).
+        if self.series.len() >= 2 {
+            let mut lx = ml + 8.0;
+            let ly = mt + 10.0;
+            for (si, s) in self.series.iter().enumerate() {
+                let color = PALETTE[si];
+                let _ = write!(
+                    svg,
+                    r#"<rect x="{lx:.1}" y="{:.1}" width="10" height="10" rx="2" fill="{color}"/>"#,
+                    ly - 8.0
+                );
+                let _ = write!(
+                    svg,
+                    r#"<text x="{:.1}" y="{ly:.1}" font-size="11" fill="{TEXT_PRIMARY}">{}</text>"#,
+                    lx + 14.0,
+                    xml_escape(&s.name)
+                );
+                lx += 14.0 + 7.0 * s.name.len() as f64 + 18.0;
+            }
+        }
+
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Write the SVG under `target/puffer-figures/` (or `$PUFFER_FIGURE_DIR`).
+    pub fn save(&self, filename: &str) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var_os("PUFFER_FIGURE_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| Path::new("target/puffer-figures").to_path_buf());
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(filename);
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.1}")
+    } else if a >= 0.01 {
+        format!("{v:.2}")
+    } else if a == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{v:.1e}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        let mut c = Chart::new("Test", "x", "y");
+        c.push(Series::line("a", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]));
+        c.push(
+            Series::scatter("b", vec![(0.5, 1.8)]).with_errors(vec![(0.1, 0.2)]),
+        );
+        c
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("Test"));
+    }
+
+    #[test]
+    fn legend_present_for_two_series_absent_for_one() {
+        let two = chart().render();
+        assert!(two.matches("<rect").count() >= 3, "legend swatches expected");
+        let mut one = Chart::new("solo", "x", "y");
+        one.push(Series::line("only", vec![(0.0, 0.0), (1.0, 1.0)]));
+        // Single series: no legend swatch beyond surface+frame rects.
+        assert_eq!(one.render().matches("rx=\"2\"").count(), 0);
+    }
+
+    #[test]
+    fn error_bars_rendered() {
+        let svg = chart().render();
+        // Two error-bar lines for the scatter point.
+        assert!(svg.matches("stroke-width=\"1.5\"").count() >= 2);
+    }
+
+    #[test]
+    fn log_scale_and_flip_do_not_crash() {
+        let mut c = Chart::new("log", "x", "y");
+        c.x_scale = Scale::Log10;
+        c.y_scale = Scale::Log10;
+        c.flip_x = true;
+        c.push(Series::line("s", vec![(1.0, 0.001), (100.0, 1.0), (1000.0, 0.01)]));
+        let svg = c.render();
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    fn degenerate_single_point_still_renders() {
+        let mut c = Chart::new("p", "x", "y");
+        c.push(Series::scatter("pt", vec![(3.0, 3.0)]));
+        assert!(c.render().contains("<circle"));
+    }
+
+    #[test]
+    fn escapes_xml_in_labels() {
+        let mut c = Chart::new("a < b & c", "x", "y");
+        c.push(Series::line("s", vec![(0.0, 0.0), (1.0, 1.0)]));
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "palette slots exhausted")]
+    fn more_than_eight_series_rejected() {
+        let mut c = Chart::new("too many", "x", "y");
+        for i in 0..9 {
+            c.push(Series::line(&format!("s{i}"), vec![(0.0, i as f64)]));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Table/series formatting in the paper's style.
+
+use crate::pipeline::CachedArm;
+use puffer_stats::{bootstrap_ratio_ci, weighted_mean_ci, ConfidenceInterval, SchemeSummary};
+use rand::SeedableRng;
+
+/// Fig. 1 row: scheme, time stalled, mean SSIM, SSIM variation, mean
+/// duration (time on site).
+#[derive(Debug, Clone)]
+pub struct PrimaryRow {
+    pub name: String,
+    pub stall_ci: ConfidenceInterval,
+    pub ssim_lo: f64,
+    pub ssim: f64,
+    pub ssim_hi: f64,
+    pub ssim_variation: f64,
+    pub mean_duration_min: f64,
+    pub duration_ci_min: f64,
+    pub n_streams: usize,
+    pub watch_years: f64,
+}
+
+/// Compute one Fig. 1 row from an arm's considered streams.
+pub fn primary_row(arm: &CachedArm, boot_seed: u64) -> PrimaryRow {
+    assert!(!arm.streams.is_empty(), "arm {} has no considered streams", arm.name);
+    let agg = SchemeSummary::from_streams(&arm.streams);
+    let pairs: Vec<(f64, f64)> =
+        arm.streams.iter().map(|s| (s.stall_time, s.watch_time)).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(boot_seed);
+    let stall_ci = bootstrap_ratio_ci(&pairs, 1000, 0.95, &mut rng);
+
+    let ssims: Vec<f64> = arm.streams.iter().map(|s| s.mean_ssim_db).collect();
+    let weights: Vec<f64> = arm.streams.iter().map(|s| s.watch_time).collect();
+    let (ssim_lo, ssim, ssim_hi) = weighted_mean_ci(&ssims, &weights, 1.96);
+
+    let durations = &arm.session_durations;
+    let mean_dur = durations.iter().sum::<f64>() / durations.len().max(1) as f64;
+    let dur_var = durations.iter().map(|d| (d - mean_dur).powi(2)).sum::<f64>()
+        / durations.len().max(1) as f64;
+    let dur_se = (dur_var / durations.len().max(1) as f64).sqrt();
+
+    PrimaryRow {
+        name: arm.name.clone(),
+        stall_ci,
+        ssim_lo,
+        ssim,
+        ssim_hi,
+        ssim_variation: agg.ssim_variation_db,
+        mean_duration_min: mean_dur / 60.0,
+        duration_ci_min: 1.96 * dur_se / 60.0,
+        n_streams: arm.streams.len(),
+        watch_years: agg.total_watch_time / puffer_stats::SECONDS_PER_YEAR,
+    }
+}
+
+/// Render Fig. 1 as a text table.
+pub fn render_primary_table(rows: &[PrimaryRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>18} {:>14} {:>16} {:>18} {:>10} {:>8}\n",
+        "Algorithm",
+        "Time stalled",
+        "Mean SSIM",
+        "SSIM variation",
+        "Mean duration",
+        "Streams",
+        "Years"
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>18} {:>14} {:>16} {:>18} {:>10} {:>8}\n",
+        "", "(lower better)", "(higher)", "(lower)", "(time on site)", "", ""
+    ));
+    out.push_str(&"-".repeat(112));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} {:>6.2}% [{:.2},{:.2}] {:>10.2} dB {:>13.2} dB {:>10.1} ± {:>4.1} min {:>10} {:>8.3}\n",
+            r.name,
+            100.0 * r.stall_ci.point,
+            100.0 * r.stall_ci.lo,
+            100.0 * r.stall_ci.hi,
+            r.ssim,
+            r.ssim_variation,
+            r.mean_duration_min,
+            r.duration_ci_min,
+            r.n_streams,
+            r.watch_years,
+        ));
+    }
+    out
+}
+
+/// Render an (x, y) series as aligned columns for plotting.
+pub fn render_series(title: &str, x_label: &str, y_label: &str, pts: &[(f64, f64)]) -> String {
+    let mut out = format!("# {title}\n# {x_label}\t{y_label}\n");
+    for (x, y) in pts {
+        out.push_str(&format!("{x:.6}\t{y:.6}\n"));
+    }
+    out
+}

@@ -1,0 +1,459 @@
+//! Stochastic model-predictive control by value iteration (§4.4).
+//!
+//! The controller maximizes the expected sum of QoE over an H-step horizon:
+//!
+//! ```text
+//! v*ᵢ(Bᵢ, Kᵢ₋₁) = max_{Kᵢˢ} Σ_{Tᵢ} Pr[T̂(Kᵢˢ) = Tᵢ]·(QoE(Kᵢˢ, Kᵢ₋₁) + v*ᵢ₊₁(Bᵢ₊₁, Kᵢˢ))
+//! ```
+//!
+//! where the transmission-time distribution comes from the TTP.  "To make the
+//! DP computationally feasible, it discretizes Bᵢ into bins" — we evaluate
+//! the recursion backward over (buffer bin × previous rung) exactly as the
+//! deterministic MPC in `puffer-abr` does; the only difference is the
+//! expectation over the 21 time bins.  With `point_estimate = true` the
+//! distribution is collapsed to its maximum-likelihood bin, which is the
+//! "Point Estimate" ablation deployed in August 2019 (§4.6) whose rebuffering
+//! was 3–9× worse.
+
+use crate::bins::bin_midpoint;
+use crate::ttp::Ttp;
+use puffer_abr::AbrContext;
+use puffer_media::{QoeParams, CHUNK_SECONDS, MAX_BUFFER_SECONDS};
+use puffer_nn::loss::argmax;
+
+/// Controller tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// QoE weights (λ = 1, µ = 100 in deployment, §4.5).
+    pub qoe: QoeParams,
+    /// Buffer discretization bins over [0, 15 s].
+    pub buffer_bins: usize,
+    /// Collapse the TTP's distribution to its MLE bin (ablation, §4.6).
+    pub point_estimate: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig { qoe: QoeParams::default(), buffer_bins: 61, point_estimate: false }
+    }
+}
+
+/// The value-iteration planner.  Stateless; all inputs arrive per decision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StochasticMpc {
+    pub config: ControllerConfig,
+}
+
+impl StochasticMpc {
+    pub fn new(config: ControllerConfig) -> Self {
+        assert!(config.buffer_bins >= 2);
+        StochasticMpc { config }
+    }
+
+    /// Plan over `ctx.lookahead` with time distributions from `ttp`; returns
+    /// the rung for the immediate chunk.
+    ///
+    /// The expected QoE of an action separates into a quality/variation term
+    /// `M[a][prev]` (independent of the transmission time) and a
+    /// stall-plus-value-to-go term `W[a][buffer bin]` (independent of the
+    /// previous rung), so one backward step costs
+    /// O(rungs·bins·(time bins + rungs)) rather than the naive
+    /// O(bins·rungs²·time bins).  Probability mass below `PROB_EPSILON` is
+    /// skipped; the TTP's distributions concentrate in a handful of bins.
+    pub fn plan(&self, ctx: &AbrContext, ttp: &Ttp) -> usize {
+        const PROB_EPSILON: f64 = 1e-4;
+        let horizon = ttp.horizon().min(ctx.lookahead.len());
+        let n_rungs = ctx.n_rungs();
+        let bins = self.config.buffer_bins;
+        let bin_w = MAX_BUFFER_SECONDS / (bins - 1) as f64;
+        let to_bin = |buffer: f64| ((buffer / bin_w).round() as usize).min(bins - 1);
+        let mu = self.config.qoe.mu;
+        let lambda = self.config.qoe.lambda;
+
+        // Time distribution per (step, rung): one batched forward per step.
+        let mut dists: Vec<Vec<Vec<f64>>> = Vec::with_capacity(horizon);
+        for step in 0..horizon {
+            let sizes: Vec<f64> =
+                ctx.lookahead[step].options.iter().map(|o| o.size).collect();
+            let mut per_rung =
+                ttp.predict_time_distributions(step, ctx.history, &ctx.tcp_info, &sizes);
+            if self.config.point_estimate {
+                for d in &mut per_rung {
+                    let mle = argmax(&d.iter().map(|&p| p as f32).collect::<Vec<_>>());
+                    d.iter_mut().for_each(|p| *p = 0.0);
+                    d[mle] = 1.0;
+                }
+            }
+            dists.push(per_rung);
+        }
+
+        // Backward value iteration over (buffer bin, previous rung).
+        let mut value = vec![vec![0.0f64; n_rungs]; bins];
+        for step in (1..horizon).rev() {
+            let menu = &ctx.lookahead[step];
+            let prev_menu = &ctx.lookahead[step - 1];
+
+            // W[a][bin]: expected (−µ·stall + value-to-go).
+            let mut w = vec![vec![0.0f64; bins]; n_rungs];
+            for (a, wa) in w.iter_mut().enumerate() {
+                for (b, &p) in dists[step][a].iter().enumerate() {
+                    if p < PROB_EPSILON {
+                        continue;
+                    }
+                    let t = bin_midpoint(b);
+                    for (bin, wab) in wa.iter_mut().enumerate() {
+                        let buffer = bin as f64 * bin_w;
+                        let stall = (t - buffer).max(0.0);
+                        let next_buf =
+                            ((buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
+                        let to_go = if step + 1 < horizon {
+                            value[to_bin(next_buf)][a]
+                        } else {
+                            0.0
+                        };
+                        *wab += p * (to_go - mu * stall);
+                    }
+                }
+            }
+            // M[a][prev]: quality minus variation penalty.
+            let mut m = vec![vec![0.0f64; n_rungs]; n_rungs];
+            for (a, opt) in menu.options.iter().enumerate() {
+                for (prev, popt) in prev_menu.options.iter().enumerate() {
+                    m[a][prev] = opt.ssim_db - lambda * (opt.ssim_db - popt.ssim_db).abs();
+                }
+            }
+            let mut next_value = vec![vec![f64::NEG_INFINITY; n_rungs]; bins];
+            for (bin, nv) in next_value.iter_mut().enumerate() {
+                for (prev, slot) in nv.iter_mut().enumerate() {
+                    let mut best = f64::NEG_INFINITY;
+                    for a in 0..n_rungs {
+                        let score = m[a][prev] + w[a][bin];
+                        if score > best {
+                            best = score;
+                        }
+                    }
+                    *slot = best;
+                }
+            }
+            value = next_value;
+        }
+
+        // Step 0 with the true buffer and previous-chunk quality.
+        let menu = &ctx.lookahead[0];
+        let mut best_rung = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (a, opt) in menu.options.iter().enumerate() {
+            let quality = self.config.qoe.chunk_qoe(opt.ssim_db, ctx.prev_ssim_db, 0.0);
+            let mut expect = 0.0;
+            for (b, &p) in dists[0][a].iter().enumerate() {
+                if p < PROB_EPSILON {
+                    continue;
+                }
+                let t = bin_midpoint(b);
+                let stall = (t - ctx.buffer).max(0.0);
+                let next_buf = ((ctx.buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
+                let to_go = if horizon > 1 { value[to_bin(next_buf)][a] } else { 0.0 };
+                expect += p * (quality - mu * stall + to_go);
+            }
+            if expect > best_score {
+                best_score = expect;
+                best_rung = a;
+            }
+        }
+        best_rung
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{ChunkObservation, Dataset};
+    use crate::training::{train, TrainConfig};
+    use crate::ttp::{Ttp, TtpConfig};
+    use puffer_abr::ChunkRecord;
+    use puffer_media::{ChunkMenu, ChunkOption};
+    use puffer_net::TcpInfo;
+    use rand::SeedableRng;
+
+    fn menus(h: usize) -> Vec<ChunkMenu> {
+        (0..h)
+            .map(|i| ChunkMenu {
+                index: i as u64,
+                options: [0.2e6, 1.0e6, 3.0e6, 5.5e6]
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &bps)| ChunkOption {
+                        size: bps / 8.0 * CHUNK_SECONDS,
+                        ssim_db: 8.0 + 3.0 * r as f64,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn tcp(rate: f64) -> TcpInfo {
+        TcpInfo { cwnd: 20.0, in_flight: 1.0, min_rtt: 0.04, rtt: 0.05, delivery_rate: rate }
+    }
+
+    fn history(rate: f64) -> Vec<ChunkRecord> {
+        (0..8)
+            .map(|_| ChunkRecord { size: rate, transmission_time: 1.0 })
+            .collect()
+    }
+
+    /// Train a TTP on a world where time ≈ size/delivery_rate + 50 ms with
+    /// multiplicative noise, so its predictions are meaningful (and genuinely
+    /// uncertain) for controller tests.  Shared across tests — training in
+    /// debug builds is slow.
+    fn trained_ttp() -> &'static Ttp {
+        use std::sync::OnceLock;
+        static TTP: OnceLock<Ttp> = OnceLock::new();
+        TTP.get_or_init(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let mut data = Dataset::new();
+            use rand::Rng;
+            for _ in 0..50 {
+                let rate = 40_000.0 + 1_500_000.0 * rng.random::<f64>();
+                let stream: Vec<ChunkObservation> = (0..20)
+                    .map(|_| {
+                        let size = 50_000.0 + 1_400_000.0 * rng.random::<f64>();
+                        let noise = 0.6 + 0.8 * rng.random::<f64>();
+                        ChunkObservation {
+                            size,
+                            transmission_time: size / rate * noise + 0.05,
+                            tcp_info: tcp(rate),
+                        }
+                    })
+                    .collect();
+                data.add_stream(1, stream);
+            }
+            let mut ttp = Ttp::new(TtpConfig::default(), 11);
+            let cfg =
+                TrainConfig { epochs: 4, max_samples_per_step: 4000, ..TrainConfig::default() };
+            train(&mut ttp, &data, 1, &cfg, &mut rng).unwrap();
+            ttp
+        })
+    }
+
+    #[test]
+    fn fast_path_full_buffer_gets_high_quality() {
+        let ttp = trained_ttp();
+        let m = menus(5);
+        let h = history(1_400_000.0);
+        let ctx = AbrContext {
+            buffer: 12.0,
+            prev_ssim_db: None,
+            prev_rung: None,
+            lookahead: &m,
+            history: &h,
+            tcp_info: tcp(1_400_000.0),
+        };
+        let rung = StochasticMpc::default().plan(&ctx, ttp);
+        assert!(rung >= 2, "fast path should pick a high rung, got {rung}");
+    }
+
+    #[test]
+    fn slow_path_low_buffer_is_conservative() {
+        let ttp = trained_ttp();
+        let m = menus(5);
+        let h = history(60_000.0);
+        let ctx = AbrContext {
+            buffer: 1.0,
+            prev_ssim_db: None,
+            prev_rung: None,
+            lookahead: &m,
+            history: &h,
+            tcp_info: tcp(60_000.0),
+        };
+        let rung = StochasticMpc::default().plan(&ctx, ttp);
+        assert_eq!(rung, 0, "slow path + shallow buffer must pick the bottom rung");
+    }
+
+    #[test]
+    fn buffer_level_changes_the_decision() {
+        let ttp = trained_ttp();
+        let m = menus(5);
+        // Rate where the top rung is marginal: ~0.7 MB/s (top chunk 1.37 MB
+        // takes ~2 s).
+        let h = history(700_000.0);
+        let plan_at = |buffer: f64| {
+            let ctx = AbrContext {
+                buffer,
+                prev_ssim_db: None,
+                prev_rung: None,
+                lookahead: &m,
+                history: &h,
+                tcp_info: tcp(700_000.0),
+            };
+            StochasticMpc::default().plan(&ctx, ttp)
+        };
+        assert!(plan_at(0.5) <= plan_at(13.0), "deeper buffer must not reduce quality");
+        assert!(plan_at(0.5) < 3, "shallow buffer should not gamble on the top rung");
+    }
+
+    #[test]
+    fn point_estimate_differs_from_probabilistic_under_uncertainty() {
+        // A trained TTP on noisy data produces genuinely-spread
+        // distributions; collapsing them to the MLE bin discards tail risk.
+        // Scan a grid of (buffer, rate) contexts and require (a) at least one
+        // decision to differ and (b) the probabilistic controller to be at
+        // least as cautious on average (§4.6: the deployed point-estimate
+        // Fugu had 3–9× worse rebuffering).
+        let ttp = trained_ttp();
+        let m = menus(5);
+        let prob = StochasticMpc::default();
+        let point = StochasticMpc::new(ControllerConfig {
+            point_estimate: true,
+            ..ControllerConfig::default()
+        });
+        let mut differs = 0usize;
+        let mut prob_sum = 0usize;
+        let mut point_sum = 0usize;
+        for bi in 0..8 {
+            for ri in 0..10 {
+                let buffer = 0.5 + 1.5 * bi as f64;
+                let rate = 60_000.0 + 130_000.0 * ri as f64;
+                let h = history(rate);
+                let ctx = AbrContext {
+                    buffer,
+                    prev_ssim_db: Some(12.0),
+                    prev_rung: Some(1),
+                    lookahead: &m,
+                    history: &h,
+                    tcp_info: tcp(rate),
+                };
+                let a = prob.plan(&ctx, ttp);
+                let b = point.plan(&ctx, ttp);
+                prob_sum += a;
+                point_sum += b;
+                if a != b {
+                    differs += 1;
+                }
+            }
+        }
+        assert!(differs > 0, "MLE collapse should change some decision");
+        assert!(
+            prob_sum <= point_sum + 5,
+            "probabilistic planning should not be much more aggressive: {prob_sum} vs {point_sum}"
+        );
+    }
+
+    /// A deliberately-naive reference implementation of the §4.4 recursion
+    /// (no M/W decomposition, no probability pruning) used to validate the
+    /// optimized planner.
+    fn naive_plan(cfg: &ControllerConfig, ctx: &AbrContext, ttp: &Ttp) -> usize {
+        let horizon = ttp.horizon().min(ctx.lookahead.len());
+        let n_rungs = ctx.n_rungs();
+        let bins = cfg.buffer_bins;
+        let bin_w = MAX_BUFFER_SECONDS / (bins - 1) as f64;
+        let to_bin = |buffer: f64| ((buffer / bin_w).round() as usize).min(bins - 1);
+        let mut dists: Vec<Vec<Vec<f64>>> = Vec::new();
+        for step in 0..horizon {
+            let mut per_rung = Vec::new();
+            for opt in &ctx.lookahead[step].options {
+                per_rung.push(ttp.predict_time_distribution(
+                    step,
+                    ctx.history,
+                    &ctx.tcp_info,
+                    opt.size,
+                ));
+            }
+            dists.push(per_rung);
+        }
+        let mut value = vec![vec![0.0f64; n_rungs]; bins];
+        for step in (1..horizon).rev() {
+            let menu = &ctx.lookahead[step];
+            let prev_menu = &ctx.lookahead[step - 1];
+            let mut next = vec![vec![f64::NEG_INFINITY; n_rungs]; bins];
+            for bin in 0..bins {
+                let buffer = bin as f64 * bin_w;
+                for prev in 0..n_rungs {
+                    for (a, opt) in menu.options.iter().enumerate() {
+                        let mut e = 0.0;
+                        for (b, &p) in dists[step][a].iter().enumerate() {
+                            let t = bin_midpoint(b);
+                            let stall = (t - buffer).max(0.0);
+                            let q = cfg.qoe.chunk_qoe(
+                                opt.ssim_db,
+                                Some(prev_menu.options[prev].ssim_db),
+                                stall,
+                            );
+                            let nb = ((buffer - t).max(0.0) + CHUNK_SECONDS)
+                                .min(MAX_BUFFER_SECONDS);
+                            let to_go =
+                                if step + 1 < horizon { value[to_bin(nb)][a] } else { 0.0 };
+                            e += p * (q + to_go);
+                        }
+                        if e > next[bin][prev] {
+                            next[bin][prev] = e;
+                        }
+                    }
+                }
+            }
+            value = next;
+        }
+        let menu = &ctx.lookahead[0];
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for (a, opt) in menu.options.iter().enumerate() {
+            let mut e = 0.0;
+            for (b, &p) in dists[0][a].iter().enumerate() {
+                let t = bin_midpoint(b);
+                let stall = (t - ctx.buffer).max(0.0);
+                let q = cfg.qoe.chunk_qoe(opt.ssim_db, ctx.prev_ssim_db, stall);
+                let nb = ((ctx.buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
+                let to_go = if horizon > 1 { value[to_bin(nb)][a] } else { 0.0 };
+                e += p * (q + to_go);
+            }
+            if e > best.1 {
+                best = (a, e);
+            }
+        }
+        best.0
+    }
+
+    #[test]
+    fn optimized_planner_matches_naive_reference() {
+        let ttp = trained_ttp();
+        let m = menus(5);
+        let planner = StochasticMpc::default();
+        let mut checked = 0;
+        for bi in 0..5 {
+            for ri in 0..6 {
+                let buffer = 0.5 + 2.8 * bi as f64;
+                let rate = 80_000.0 + 220_000.0 * ri as f64;
+                let h = history(rate);
+                let ctx = AbrContext {
+                    buffer,
+                    prev_ssim_db: Some(13.0),
+                    prev_rung: Some(2),
+                    lookahead: &m,
+                    history: &h,
+                    tcp_info: tcp(rate),
+                };
+                let fast = planner.plan(&ctx, ttp);
+                let slow = naive_plan(&planner.config, &ctx, ttp);
+                assert_eq!(fast, slow, "buffer={buffer} rate={rate}");
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 30);
+    }
+
+    #[test]
+    fn horizon_respects_lookahead_length() {
+        let ttp = trained_ttp();
+        let m = menus(2); // shorter than the TTP's 5-step horizon
+        let h = history(800_000.0);
+        let ctx = AbrContext {
+            buffer: 8.0,
+            prev_ssim_db: None,
+            prev_rung: None,
+            lookahead: &m,
+            history: &h,
+            tcp_info: tcp(800_000.0),
+        };
+        // Must not panic and must return a valid rung.
+        let rung = StochasticMpc::default().plan(&ctx, ttp);
+        assert!(rung < 4);
+    }
+}

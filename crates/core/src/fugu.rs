@@ -1,0 +1,127 @@
+//! Fugu: the TTP plus the stochastic MPC controller behind the [`Abr`] trait.
+
+use crate::controller::{ControllerConfig, StochasticMpc};
+use crate::ttp::Ttp;
+use puffer_abr::{Abr, AbrContext};
+
+/// The deployed Fugu algorithm (Fig. 6): a server-side controller that, per
+/// chunk, queries the Transmission Time Predictor for every candidate
+/// (step, rung) and maximizes expected QoE by value iteration, then replans
+/// after each chunk (receding horizon).
+///
+/// The TTP inside is replaceable at runtime — the daily in-situ retraining
+/// loop swaps in a freshly trained model via [`Fugu::replace_ttp`]
+/// ("update model", Fig. 6).
+#[derive(Debug, Clone)]
+pub struct Fugu {
+    ttp: Ttp,
+    controller: StochasticMpc,
+    name: &'static str,
+}
+
+impl Fugu {
+    /// Standard Fugu with the given (typically trained) TTP.
+    pub fn new(ttp: Ttp) -> Self {
+        Fugu { ttp, controller: StochasticMpc::default(), name: "Fugu" }
+    }
+
+    /// Fugu with a custom controller configuration (used by ablations — e.g.
+    /// the point-estimate controller) and display name.
+    pub fn with_controller(ttp: Ttp, config: ControllerConfig, name: &'static str) -> Self {
+        Fugu { ttp, controller: StochasticMpc::new(config), name }
+    }
+
+    pub fn ttp(&self) -> &Ttp {
+        &self.ttp
+    }
+
+    /// Swap in a retrained TTP (the "update model" arrow of Fig. 6).
+    pub fn replace_ttp(&mut self, ttp: Ttp) {
+        assert_eq!(
+            ttp.config(),
+            self.ttp.config(),
+            "replacement TTP must have the same architecture"
+        );
+        self.ttp = ttp;
+    }
+
+    /// Mutable TTP access for in-place retraining.
+    pub fn ttp_mut(&mut self) -> &mut Ttp {
+        &mut self.ttp
+    }
+}
+
+impl Abr for Fugu {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        self.controller.plan(ctx, &self.ttp)
+    }
+
+    // History and tcp_info arrive through the context; Fugu keeps no
+    // per-stream state of its own, so delivery/reset notifications are no-ops.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ttp::TtpConfig;
+    use puffer_abr::ChunkRecord;
+    use puffer_media::{ChunkMenu, ChunkOption, CHUNK_SECONDS};
+    use puffer_net::TcpInfo;
+
+    fn menus() -> Vec<ChunkMenu> {
+        (0..5)
+            .map(|i| ChunkMenu {
+                index: i,
+                options: (0..10)
+                    .map(|r| ChunkOption {
+                        size: (0.2e6 + 0.55e6 * r as f64) / 8.0 * CHUNK_SECONDS,
+                        ssim_db: 8.0 + r as f64,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn implements_abr_and_returns_valid_rung() {
+        let mut fugu = Fugu::new(Ttp::new(TtpConfig::default(), 1));
+        let m = menus();
+        let h: Vec<ChunkRecord> = vec![];
+        let ctx = AbrContext {
+            buffer: 0.0,
+            prev_ssim_db: None,
+            prev_rung: None,
+            lookahead: &m,
+            history: &h,
+            tcp_info: TcpInfo {
+                cwnd: 10.0,
+                in_flight: 0.0,
+                min_rtt: 0.04,
+                rtt: 0.04,
+                delivery_rate: 187_500.0,
+            },
+        };
+        let rung = fugu.choose(&ctx);
+        assert!(rung < 10);
+        assert_eq!(fugu.name(), "Fugu");
+    }
+
+    #[test]
+    fn replace_ttp_swaps_model() {
+        let mut fugu = Fugu::new(Ttp::new(TtpConfig::default(), 2));
+        let other = Ttp::new(TtpConfig::default(), 3);
+        fugu.replace_ttp(other);
+    }
+
+    #[test]
+    #[should_panic(expected = "same architecture")]
+    fn replace_ttp_rejects_architecture_mismatch() {
+        let mut fugu = Fugu::new(Ttp::new(TtpConfig::default(), 4));
+        let other = Ttp::new(TtpConfig { hidden: vec![32] , ..TtpConfig::default() }, 5);
+        fugu.replace_ttp(other);
+    }
+}

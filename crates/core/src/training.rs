@@ -1,0 +1,330 @@
+//! Supervised training of the TTP (§4.3).
+//!
+//! "We train the TTP on D with standard supervised learning: the training
+//! minimizes the cross-entropy loss between the output probability
+//! distribution and the discretized actual transmission time using stochastic
+//! gradient descent.  We retrain the TTP every day, using training data
+//! collected on Puffer over the prior 14 days ... we weight more recent days
+//! more heavily, and we shuffle the sampled data ... The weights from the
+//! previous day's model are loaded to warm-start the retraining."
+//!
+//! [`train`] performs one (re)training pass; warm starting falls out of
+//! mutating the caller's existing [`Ttp`] in place.  [`evaluate`] computes
+//! the prediction-accuracy metrics the ablation study reports (Fig. 7).
+
+use crate::dataset::{Dataset, Sample};
+use crate::ttp::Ttp;
+use puffer_nn::{loss, optim::Sgd, Matrix, Scaler};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyper-parameters of one retraining pass.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Passes over the window's samples.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Sliding window length in days (paper: 14).
+    pub window_days: u32,
+    /// Recency half-life in days for sample weights.
+    pub recency_half_life: f64,
+    /// Refit the input scaler on this window (first training should; later
+    /// retrains may keep the old statistics to stay warm-start compatible).
+    pub refit_scaler: bool,
+    /// Cap on samples per step (subsampled uniformly) to bound retrain cost.
+    pub max_samples_per_step: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 3,
+            lr: 0.01,
+            momentum: 0.9,
+            batch_size: 64,
+            window_days: 14,
+            recency_half_life: 4.0,
+            refit_scaler: true,
+            max_samples_per_step: 200_000,
+        }
+    }
+}
+
+/// What a training pass saw and achieved.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Samples used per lookahead step.
+    pub samples_per_step: Vec<usize>,
+    /// Final-epoch mean cross-entropy per step (nats).
+    pub final_ce_per_step: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Mean cross-entropy across steps.
+    pub fn mean_ce(&self) -> f32 {
+        if self.final_ce_per_step.is_empty() {
+            return f32::NAN;
+        }
+        self.final_ce_per_step.iter().sum::<f32>() / self.final_ce_per_step.len() as f32
+    }
+}
+
+/// Retrain `ttp` in place on the dataset window ending at `current_day`.
+///
+/// Returns `None` when the window holds no samples (nothing to train on).
+pub fn train<R: Rng + ?Sized>(
+    ttp: &mut Ttp,
+    data: &Dataset,
+    current_day: u32,
+    cfg: &TrainConfig,
+    rng: &mut R,
+) -> Option<TrainReport> {
+    // Materialize per-step samples.
+    let mut per_step: Vec<Vec<Sample>> = (0..ttp.horizon())
+        .map(|step| {
+            let mut s = data.build_samples(
+                ttp,
+                step,
+                current_day,
+                cfg.window_days,
+                cfg.recency_half_life,
+            );
+            if s.len() > cfg.max_samples_per_step {
+                s.shuffle(rng);
+                s.truncate(cfg.max_samples_per_step);
+            }
+            s
+        })
+        .collect();
+    if per_step[0].is_empty() {
+        return None;
+    }
+
+    if cfg.refit_scaler {
+        // Fit on step-0 features (all steps share the feature layout).
+        let rows: Vec<Vec<f32>> = per_step[0].iter().map(|s| s.features.clone()).collect();
+        ttp.set_scaler(Scaler::fit(&rows));
+    }
+    let scaler = ttp.scaler().clone();
+
+    let mut samples_per_step = Vec::with_capacity(ttp.horizon());
+    let mut final_ce_per_step = Vec::with_capacity(ttp.horizon());
+    for (step, samples) in per_step.iter_mut().enumerate() {
+        samples_per_step.push(samples.len());
+        if samples.is_empty() {
+            final_ce_per_step.push(f32::NAN);
+            continue;
+        }
+        // Pre-scale features once.
+        let scaled: Vec<Vec<f32>> = samples.iter().map(|s| scaler.transform(&s.features)).collect();
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut opt = Sgd::new(cfg.lr, cfg.momentum);
+        let mut last_epoch_ce = 0.0f64;
+        for epoch in 0..cfg.epochs {
+            // "we shuffle the sampled data to remove correlation in the
+            // sequence of inputs" (§4.3).
+            order.shuffle(rng);
+            let mut epoch_ce = 0.0f64;
+            let mut batches = 0usize;
+            for batch in order.chunks(cfg.batch_size) {
+                let rows: Vec<Vec<f32>> = batch.iter().map(|&i| scaled[i].clone()).collect();
+                let targets: Vec<usize> = batch.iter().map(|&i| samples[i].target).collect();
+                let weights: Vec<f32> = batch.iter().map(|&i| samples[i].weight).collect();
+                let x = Matrix::from_rows(&rows);
+                let net = &mut ttp.nets_mut()[step];
+                let cache = net.forward_cache(&x);
+                let (ce, dlogits) =
+                    loss::softmax_cross_entropy(cache.logits(), &targets, Some(&weights));
+                net.zero_grad();
+                net.backward(&cache, &dlogits);
+                net.clip_grad_norm(5.0);
+                net.step(&mut opt);
+                epoch_ce += f64::from(ce);
+                batches += 1;
+            }
+            if epoch == cfg.epochs - 1 {
+                last_epoch_ce = epoch_ce / batches.max(1) as f64;
+            }
+        }
+        final_ce_per_step.push(last_epoch_ce as f32);
+    }
+    Some(TrainReport { samples_per_step, final_ce_per_step })
+}
+
+/// Prediction-quality metrics on held-out data (the quantities compared in
+/// the Fig. 7 ablation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalReport {
+    /// Mean cross-entropy over step-0 samples (nats; lower is better).
+    pub cross_entropy: f32,
+    /// Mean probability assigned to the correct bin ("expected accuracy",
+    /// §4.6; higher is better).
+    pub expected_accuracy: f32,
+    /// Fraction of samples whose argmax bin is correct ("maximum likelihood"
+    /// accuracy; higher is better).
+    pub argmax_accuracy: f32,
+    /// Samples evaluated.
+    pub n: usize,
+}
+
+/// Evaluate step-0 prediction quality on a dataset window.
+pub fn evaluate(ttp: &Ttp, data: &Dataset, current_day: u32, window_days: u32) -> EvalReport {
+    let samples = data.build_samples(ttp, 0, current_day, window_days, f64::INFINITY);
+    assert!(!samples.is_empty(), "cannot evaluate on an empty window");
+    let mut ce = 0.0f64;
+    let mut expected = 0.0f64;
+    let mut correct = 0usize;
+    for s in &samples {
+        let probs = ttp.predict_probs(0, &s.features);
+        let p_true = f64::from(probs[s.target]).max(1e-12);
+        ce += -p_true.ln();
+        expected += p_true;
+        if loss::argmax(&probs) == s.target {
+            correct += 1;
+        }
+    }
+    let n = samples.len();
+    EvalReport {
+        cross_entropy: (ce / n as f64) as f32,
+        expected_accuracy: (expected / n as f64) as f32,
+        argmax_accuracy: correct as f32 / n as f32,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ChunkObservation;
+    use crate::ttp::TtpConfig;
+    use puffer_net::TcpInfo;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// A world where transmission time is a clean function of delivery_rate:
+    /// learnable signal for the TTP.
+    fn synthetic_dataset(days: std::ops::RangeInclusive<u32>, streams_per_day: usize) -> Dataset {
+        let mut d = Dataset::new();
+        let mut r = rng(99);
+        for day in days {
+            for _ in 0..streams_per_day {
+                // Per-stream rate regime.
+                let rate = 100_000.0 + 900_000.0 * r.random::<f64>(); // B/s
+                let stream: Vec<ChunkObservation> = (0..30)
+                    .map(|_| {
+                        let size = 100_000.0 + 1_400_000.0 * r.random::<f64>();
+                        let time = size / rate + 0.05;
+                        ChunkObservation {
+                            size,
+                            transmission_time: time,
+                            tcp_info: TcpInfo {
+                                cwnd: 20.0,
+                                in_flight: 2.0,
+                                min_rtt: 0.04,
+                                rtt: 0.05,
+                                delivery_rate: rate,
+                            },
+                        }
+                    })
+                    .collect();
+                d.add_stream(day, stream);
+            }
+        }
+        d
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig { epochs: 4, max_samples_per_step: 5_000, ..TrainConfig::default() }
+    }
+
+    #[test]
+    fn training_reduces_cross_entropy_below_uniform() {
+        let data = synthetic_dataset(1..=3, 20);
+        let mut ttp = Ttp::new(TtpConfig::default(), 1);
+        let before = evaluate(&ttp, &data, 3, 14);
+        let report = train(&mut ttp, &data, 3, &quick_cfg(), &mut rng(1)).unwrap();
+        let after = evaluate(&ttp, &data, 3, 14);
+        let uniform_ce = (crate::bins::N_BINS as f32).ln();
+        assert!(report.mean_ce() < uniform_ce, "train CE {} vs uniform {uniform_ce}", report.mean_ce());
+        assert!(after.cross_entropy < before.cross_entropy, "{after:?} vs {before:?}");
+        assert!(after.cross_entropy < 0.8 * uniform_ce);
+        assert!(after.expected_accuracy > before.expected_accuracy);
+    }
+
+    #[test]
+    fn empty_window_returns_none() {
+        let data = Dataset::new();
+        let mut ttp = Ttp::new(TtpConfig::default(), 2);
+        assert!(train(&mut ttp, &data, 5, &quick_cfg(), &mut rng(2)).is_none());
+    }
+
+    #[test]
+    fn report_counts_match_window() {
+        let data = synthetic_dataset(1..=2, 5);
+        let mut ttp = Ttp::new(TtpConfig::default(), 3);
+        let report = train(&mut ttp, &data, 2, &quick_cfg(), &mut rng(3)).unwrap();
+        assert_eq!(report.samples_per_step.len(), 5);
+        // Step 0: 10 streams × 30 chunks = 300 samples.
+        assert_eq!(report.samples_per_step[0], 300);
+        // Deeper steps lose `step` samples per stream.
+        assert_eq!(report.samples_per_step[4], 300 - 4 * 10);
+    }
+
+    #[test]
+    fn warm_start_converges_faster_than_cold() {
+        let data = synthetic_dataset(1..=3, 15);
+        // Pre-train one TTP.
+        let mut warm = Ttp::new(TtpConfig::default(), 4);
+        let _ = train(&mut warm, &data, 3, &quick_cfg(), &mut rng(4)).unwrap();
+        // One more *single-epoch* pass from warm vs from scratch.
+        let one_epoch = TrainConfig { epochs: 1, refit_scaler: false, ..quick_cfg() };
+        let mut cold = Ttp::new(TtpConfig::default(), 5);
+        // Give the cold model the same scaler so the comparison is fair.
+        cold.set_scaler(warm.scaler().clone());
+        let _ = train(&mut warm, &data, 3, &one_epoch, &mut rng(6)).unwrap();
+        let _ = train(&mut cold, &data, 3, &one_epoch, &mut rng(6)).unwrap();
+        let warm_eval = evaluate(&warm, &data, 3, 14);
+        let cold_eval = evaluate(&cold, &data, 3, 14);
+        assert!(
+            warm_eval.cross_entropy < cold_eval.cross_entropy,
+            "warm {warm_eval:?} vs cold {cold_eval:?}"
+        );
+    }
+
+    #[test]
+    fn linear_ablation_trains_but_worse_than_dnn() {
+        // §4.6: "A linear-regression model ... performs much worse on
+        // prediction accuracy."  The advantage comes from nonlinearity; our
+        // synthetic world has time ≈ size/rate, which is multiplicative and
+        // not linearly representable.
+        let data = synthetic_dataset(1..=3, 20);
+        let cfg = quick_cfg();
+        let mut dnn = Ttp::new(TtpConfig::default(), 6);
+        let mut linear = Ttp::new(TtpConfig { hidden: vec![], ..TtpConfig::default() }, 7);
+        train(&mut dnn, &data, 3, &cfg, &mut rng(8)).unwrap();
+        train(&mut linear, &data, 3, &cfg, &mut rng(8)).unwrap();
+        let dnn_eval = evaluate(&dnn, &data, 3, 14);
+        let lin_eval = evaluate(&linear, &data, 3, 14);
+        assert!(
+            dnn_eval.cross_entropy < lin_eval.cross_entropy,
+            "dnn {dnn_eval:?} vs linear {lin_eval:?}"
+        );
+    }
+
+    #[test]
+    fn max_samples_cap_is_respected() {
+        let data = synthetic_dataset(1..=2, 30);
+        let mut ttp = Ttp::new(TtpConfig::default(), 9);
+        let cfg = TrainConfig { max_samples_per_step: 100, epochs: 1, ..TrainConfig::default() };
+        let report = train(&mut ttp, &data, 2, &cfg, &mut rng(9)).unwrap();
+        assert!(report.samples_per_step.iter().all(|&n| n <= 100));
+    }
+}

@@ -1,0 +1,413 @@
+//! The Transmission Time Predictor (§4.2, §4.5).
+//!
+//! One fully-connected network *per lookahead step* ("if optimizing for the
+//! total QoE of the next five chunks, five neural networks are trained" —
+//! multiple networks in parallel are functionally equivalent to one that
+//! takes the future step as input, §4.2).  Each network takes:
+//!
+//! 1. sizes of the past *t* = 8 chunks,
+//! 2. transmission times of the past 8 chunks,
+//! 3. internal TCP statistics (`tcp_info`: cwnd, in-flight, min RTT,
+//!    smoothed RTT, delivery rate),
+//! 4. the size of the chunk proposed for transmission,
+//!
+//! and outputs a probability distribution over the 21 transmission-time bins
+//! of [`crate::bins`].
+//!
+//! The ablation variants of §4.6 are expressed through [`TtpConfig`]:
+//! `hidden: vec![]` is the linear-regression ablation, `use_tcp_info: false`
+//! drops input (3), and `target: Throughput` predicts a throughput
+//! distribution with no regard to the proposed size (input 4), which is then
+//! re-binned into time bins at query time for an apples-to-apples comparison.
+
+use crate::bins::{self, N_BINS};
+use puffer_abr::ChunkRecord;
+use puffer_net::TcpInfo;
+use puffer_nn::{loss, Activation, Matrix, Mlp, Scaler};
+
+/// What the network's output distribution ranges over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionTarget {
+    /// Distribution over transmission-time bins of the *proposed* chunk
+    /// (the real TTP).
+    TransmissionTime,
+    /// Distribution over throughput bins, ignoring the proposed chunk size
+    /// (the "Throughput Predictor" ablation of Fig. 7).
+    Throughput,
+}
+
+/// Geometric throughput-bin centers for the throughput ablation, bytes/s.
+/// 21 bins spanning ≈ 0.2–120 Mbit/s.
+pub fn throughput_bin_center(bin: usize) -> f64 {
+    assert!(bin < N_BINS);
+    25_000.0 * 1.45f64.powi(bin as i32)
+}
+
+/// Bin index for an observed throughput (bytes/s): nearest geometric center
+/// in log space.
+pub fn throughput_bin_index(throughput: f64) -> usize {
+    assert!(throughput > 0.0 && throughput.is_finite());
+    let ratio = 1.45f64.ln();
+    let idx = ((throughput / 25_000.0).ln() / ratio).round();
+    (idx.max(0.0) as usize).min(N_BINS - 1)
+}
+
+/// Architecture and feature configuration of a TTP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TtpConfig {
+    /// Lookahead steps (networks trained): paper uses 5.
+    pub horizon: usize,
+    /// Past chunks in the input window: paper uses 8.
+    pub history_len: usize,
+    /// Hidden-layer widths: paper uses [64, 64]; empty = linear model.
+    pub hidden: Vec<usize>,
+    /// Include the five `tcp_info` fields.
+    pub use_tcp_info: bool,
+    /// What the output distribution ranges over.
+    pub target: PredictionTarget,
+}
+
+impl Default for TtpConfig {
+    fn default() -> Self {
+        TtpConfig {
+            horizon: 5,
+            history_len: 8,
+            hidden: vec![64, 64],
+            use_tcp_info: true,
+            target: PredictionTarget::TransmissionTime,
+        }
+    }
+}
+
+impl TtpConfig {
+    /// Input dimensionality implied by the configuration.
+    pub fn n_features(&self) -> usize {
+        let mut n = 2 * self.history_len;
+        if self.use_tcp_info {
+            n += 5;
+        }
+        if self.target == PredictionTarget::TransmissionTime {
+            n += 1; // proposed chunk size
+        }
+        n
+    }
+}
+
+/// The predictor: `horizon` networks plus a shared input scaler.
+#[derive(Debug, Clone)]
+pub struct Ttp {
+    config: TtpConfig,
+    nets: Vec<Mlp>,
+    scaler: Scaler,
+}
+
+impl Ttp {
+    /// Randomly-initialized TTP (scaler starts as identity; training fits it).
+    pub fn new(config: TtpConfig, seed: u64) -> Self {
+        assert!(config.horizon >= 1);
+        assert!(config.history_len >= 1);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut dims = vec![config.n_features()];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(N_BINS);
+        let nets =
+            (0..config.horizon).map(|_| Mlp::new(&dims, Activation::Relu, &mut rng)).collect();
+        let scaler = Scaler::identity(config.n_features());
+        Ttp { config, nets, scaler }
+    }
+
+    pub fn config(&self) -> &TtpConfig {
+        &self.config
+    }
+
+    pub fn horizon(&self) -> usize {
+        self.config.horizon
+    }
+
+    pub fn scaler(&self) -> &Scaler {
+        &self.scaler
+    }
+
+    pub fn set_scaler(&mut self, scaler: Scaler) {
+        assert_eq!(scaler.dim(), self.config.n_features());
+        self.scaler = scaler;
+    }
+
+    /// Mutable access to the per-step networks (training).
+    pub fn nets_mut(&mut self) -> &mut [Mlp] {
+        &mut self.nets
+    }
+
+    pub fn nets(&self) -> &[Mlp] {
+        &self.nets
+    }
+
+    /// Copy weights from another TTP of identical configuration (warm-start
+    /// retraining, §4.3).
+    pub fn copy_params_from(&mut self, other: &Ttp) {
+        assert_eq!(self.config, other.config, "TTP configurations must match");
+        for (a, b) in self.nets.iter_mut().zip(&other.nets) {
+            a.copy_params_from(b);
+        }
+        self.scaler = other.scaler.clone();
+    }
+
+    /// Raw (unscaled) feature vector for a prediction.
+    ///
+    /// `history` is oldest-first and zero-padded on the left when shorter
+    /// than `history_len` — the same convention at training and serving time.
+    pub fn raw_features(
+        &self,
+        history: &[ChunkRecord],
+        tcp_info: &TcpInfo,
+        proposed_size: f64,
+    ) -> Vec<f32> {
+        let h = self.config.history_len;
+        let mut f = Vec::with_capacity(self.config.n_features());
+        let pad = h.saturating_sub(history.len());
+        let recent = &history[history.len().saturating_sub(h)..];
+        // Left-pad each block with zeros when the history is short.
+        f.resize(pad, 0.0);
+        for r in recent {
+            f.push(r.size as f32);
+        }
+        f.resize(h + pad, 0.0);
+        for r in recent {
+            f.push(r.transmission_time as f32);
+        }
+        if self.config.use_tcp_info {
+            f.push(tcp_info.cwnd as f32);
+            f.push(tcp_info.in_flight as f32);
+            f.push(tcp_info.min_rtt as f32);
+            f.push(tcp_info.rtt as f32);
+            f.push(tcp_info.delivery_rate as f32);
+        }
+        if self.config.target == PredictionTarget::TransmissionTime {
+            f.push(proposed_size as f32);
+        }
+        debug_assert_eq!(f.len(), self.config.n_features());
+        f
+    }
+
+    /// Network output distribution for a *raw* feature vector at lookahead
+    /// `step` (0 = the chunk about to be sent).  For the throughput target,
+    /// the distribution ranges over throughput bins.
+    pub fn predict_probs(&self, step: usize, raw_features: &[f32]) -> Vec<f32> {
+        assert!(step < self.config.horizon, "step {step} beyond horizon");
+        let scaled = self.scaler.transform(raw_features);
+        let logits = self.nets[step].forward(&Matrix::row_vector(&scaled));
+        loss::softmax_rows(&logits).row(0).to_vec()
+    }
+
+    /// Probability distribution over *transmission-time* bins for sending a
+    /// chunk of `proposed_size` at lookahead `step` — the interface the
+    /// controller consumes, uniform across targets.
+    pub fn predict_time_distribution(
+        &self,
+        step: usize,
+        history: &[ChunkRecord],
+        tcp_info: &TcpInfo,
+        proposed_size: f64,
+    ) -> Vec<f64> {
+        self.predict_time_distributions(step, history, tcp_info, &[proposed_size])
+            .pop()
+            .expect("one size in, one distribution out")
+    }
+
+    /// Batched variant of [`Ttp::predict_time_distribution`]: one forward
+    /// pass for all candidate sizes of a step (the controller queries all
+    /// ladder rungs at once; < 0.3 ms per chunk on the paper's server, §4.5).
+    pub fn predict_time_distributions(
+        &self,
+        step: usize,
+        history: &[ChunkRecord],
+        tcp_info: &TcpInfo,
+        proposed_sizes: &[f64],
+    ) -> Vec<Vec<f64>> {
+        assert!(step < self.config.horizon, "step {step} beyond horizon");
+        assert!(!proposed_sizes.is_empty());
+        let rows: Vec<Vec<f32>> = proposed_sizes
+            .iter()
+            .map(|&s| self.scaler.transform(&self.raw_features(history, tcp_info, s)))
+            .collect();
+        let logits = self.nets[step].forward(&Matrix::from_rows(&rows));
+        let probs = loss::softmax_rows(&logits);
+        proposed_sizes
+            .iter()
+            .enumerate()
+            .map(|(r, &size)| match self.config.target {
+                PredictionTarget::TransmissionTime => {
+                    probs.row(r).iter().map(|&p| f64::from(p)).collect()
+                }
+                PredictionTarget::Throughput => {
+                    // Re-bin: each throughput bin implies a transmission
+                    // time for this size.
+                    let mut time_probs = vec![0.0f64; N_BINS];
+                    for (b, &p) in probs.row(r).iter().enumerate() {
+                        let t = size / throughput_bin_center(b);
+                        time_probs[bins::bin_index(t)] += f64::from(p);
+                    }
+                    time_probs
+                }
+            })
+            .collect()
+    }
+
+    /// Expected transmission time under the predicted distribution.
+    pub fn expected_time(
+        &self,
+        step: usize,
+        history: &[ChunkRecord],
+        tcp_info: &TcpInfo,
+        proposed_size: f64,
+    ) -> f64 {
+        self.predict_time_distribution(step, history, tcp_info, proposed_size)
+            .iter()
+            .enumerate()
+            .map(|(b, &p)| p * bins::bin_midpoint(b))
+            .sum()
+    }
+
+    /// The training target bin for an observed transfer, per the configured
+    /// prediction target.
+    pub fn target_bin(&self, size: f64, transmission_time: f64) -> usize {
+        match self.config.target {
+            PredictionTarget::TransmissionTime => bins::bin_index(transmission_time),
+            PredictionTarget::Throughput => throughput_bin_index(size / transmission_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp() -> TcpInfo {
+        TcpInfo { cwnd: 20.0, in_flight: 5.0, min_rtt: 0.04, rtt: 0.05, delivery_rate: 500_000.0 }
+    }
+
+    fn history(n: usize) -> Vec<ChunkRecord> {
+        (0..n)
+            .map(|i| ChunkRecord {
+                size: 400_000.0 + 10_000.0 * i as f64,
+                transmission_time: 0.8,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = TtpConfig::default();
+        assert_eq!(c.horizon, 5);
+        assert_eq!(c.history_len, 8);
+        assert_eq!(c.hidden, vec![64, 64]);
+        assert!(c.use_tcp_info);
+        // 8 sizes + 8 times + 5 tcp stats + proposed size = 22.
+        assert_eq!(c.n_features(), 22);
+    }
+
+    #[test]
+    fn ablation_feature_counts() {
+        let no_tcp = TtpConfig { use_tcp_info: false, ..TtpConfig::default() };
+        assert_eq!(no_tcp.n_features(), 17);
+        let tput = TtpConfig { target: PredictionTarget::Throughput, ..TtpConfig::default() };
+        assert_eq!(tput.n_features(), 21, "throughput ablation drops the proposed size");
+        let linear = TtpConfig { hidden: vec![], ..TtpConfig::default() };
+        assert_eq!(linear.n_features(), 22);
+    }
+
+    #[test]
+    fn linear_config_builds_single_layer_net() {
+        let ttp = Ttp::new(TtpConfig { hidden: vec![], ..TtpConfig::default() }, 1);
+        assert_eq!(ttp.nets()[0].layers().len(), 1);
+    }
+
+    #[test]
+    fn feature_padding_on_short_history() {
+        let ttp = Ttp::new(TtpConfig::default(), 2);
+        let f = ttp.raw_features(&history(3), &tcp(), 1_000_000.0);
+        assert_eq!(f.len(), 22);
+        // First five size slots and first five time slots are zero.
+        for k in 0..5 {
+            assert_eq!(f[k], 0.0, "size pad {k}");
+            assert_eq!(f[8 + k], 0.0, "time pad {k}");
+        }
+        assert!(f[5] > 0.0);
+        // Proposed size is last.
+        assert_eq!(f[21], 1_000_000.0);
+    }
+
+    #[test]
+    fn long_history_is_truncated_to_last_eight() {
+        let ttp = Ttp::new(TtpConfig::default(), 3);
+        let h = history(20);
+        let f = ttp.raw_features(&h, &tcp(), 500_000.0);
+        // First size slot should be h[12].size (the 8th-from-last).
+        assert_eq!(f[0], h[12].size as f32);
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let ttp = Ttp::new(TtpConfig::default(), 4);
+        for step in 0..5 {
+            let d = ttp.predict_time_distribution(step, &history(8), &tcp(), 800_000.0);
+            assert_eq!(d.len(), N_BINS);
+            let s: f64 = d.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "step {step} sums to {s}");
+            assert!(d.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn throughput_variant_rebins_to_time() {
+        let ttp =
+            Ttp::new(TtpConfig { target: PredictionTarget::Throughput, ..TtpConfig::default() }, 5);
+        let d = ttp.predict_time_distribution(0, &history(8), &tcp(), 800_000.0);
+        let s: f64 = d.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        // Bigger proposed chunks shift probability mass toward longer bins.
+        let small = ttp.expected_time(0, &history(8), &tcp(), 50_000.0);
+        let big = ttp.expected_time(0, &history(8), &tcp(), 8_000_000.0);
+        assert!(big > small, "throughput model must still scale time with size via re-binning");
+    }
+
+    #[test]
+    fn throughput_bins_roundtrip() {
+        for b in 0..N_BINS {
+            assert_eq!(throughput_bin_index(throughput_bin_center(b)), b);
+        }
+        assert_eq!(throughput_bin_index(1.0), 0);
+        assert_eq!(throughput_bin_index(1e12), N_BINS - 1);
+    }
+
+    #[test]
+    fn target_bin_respects_variant() {
+        let time_ttp = Ttp::new(TtpConfig::default(), 6);
+        assert_eq!(time_ttp.target_bin(1_000_000.0, 1.0), crate::bins::bin_index(1.0));
+        let tput_ttp =
+            Ttp::new(TtpConfig { target: PredictionTarget::Throughput, ..TtpConfig::default() }, 7);
+        assert_eq!(
+            tput_ttp.target_bin(1_000_000.0, 1.0),
+            throughput_bin_index(1_000_000.0)
+        );
+    }
+
+    #[test]
+    fn warm_start_copies_everything() {
+        let a = Ttp::new(TtpConfig::default(), 8);
+        let mut b = Ttp::new(TtpConfig::default(), 9);
+        b.copy_params_from(&a);
+        let d1 = a.predict_time_distribution(0, &history(8), &tcp(), 600_000.0);
+        let d2 = b.predict_time_distribution(0, &history(8), &tcp(), 600_000.0);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond horizon")]
+    fn step_beyond_horizon_panics() {
+        let ttp = Ttp::new(TtpConfig::default(), 10);
+        let f = ttp.raw_features(&history(8), &tcp(), 1.0);
+        let _ = ttp.predict_probs(5, &f);
+    }
+}

@@ -1,0 +1,155 @@
+//! The ten-rung encoding ladder of §3.1.
+
+/// One encoding configuration ("bitrate", though Puffer encodes with CRF so
+/// actual chunk sizes vary — Fig. 3a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rung {
+    /// Frame height (e.g. 1080 for 1080p60).
+    pub height: u32,
+    /// libx264 constant rate factor.
+    pub crf: u32,
+    /// Long-run average bitrate in bits/second at nominal scene complexity.
+    pub nominal_bitrate: f64,
+}
+
+impl Rung {
+    /// Average bytes per 2.002-second chunk at nominal complexity.
+    pub fn nominal_chunk_bytes(&self) -> f64 {
+        self.nominal_bitrate / 8.0 * crate::CHUNK_SECONDS
+    }
+}
+
+/// An ordered set of rungs, lowest quality first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncoderLadder {
+    rungs: Vec<Rung>,
+}
+
+impl EncoderLadder {
+    /// The Puffer ladder: ten H.264 versions from 240p60/CRF 26 (~200 kbps)
+    /// to 1080p60/CRF 20 (~5500 kbps) (§3.1).  Intermediate rungs are spaced
+    /// geometrically, matching how streaming ladders are provisioned.
+    pub fn puffer_default() -> Self {
+        // (height, crf, kbps) — endpooints fixed by the paper, interior
+        // interpolated across standard resolutions.
+        let spec: [(u32, u32, f64); 10] = [
+            (240, 26, 200.0),
+            (240, 24, 290.0),
+            (360, 26, 420.0),
+            (360, 24, 610.0),
+            (480, 26, 880.0),
+            (480, 24, 1280.0),
+            (720, 26, 1860.0),
+            (720, 24, 2700.0),
+            (1080, 22, 3900.0),
+            (1080, 20, 5500.0),
+        ];
+        EncoderLadder {
+            rungs: spec
+                .iter()
+                .map(|&(height, crf, kbps)| Rung {
+                    height,
+                    crf,
+                    nominal_bitrate: kbps * 1000.0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Build a custom ladder (must be non-empty and sorted by bitrate).
+    pub fn new(rungs: Vec<Rung>) -> Self {
+        assert!(!rungs.is_empty(), "ladder needs at least one rung");
+        assert!(
+            rungs.windows(2).all(|w| w[0].nominal_bitrate < w[1].nominal_bitrate),
+            "rungs must be strictly increasing in bitrate"
+        );
+        EncoderLadder { rungs }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    pub fn rungs(&self) -> &[Rung] {
+        &self.rungs
+    }
+
+    pub fn rung(&self, i: usize) -> &Rung {
+        &self.rungs[i]
+    }
+
+    /// Lowest rung index.
+    pub fn lowest(&self) -> usize {
+        0
+    }
+
+    /// Highest rung index.
+    pub fn highest(&self) -> usize {
+        self.rungs.len() - 1
+    }
+
+    /// Highest rung whose nominal bitrate is at most `bitrate` bits/s;
+    /// falls back to the lowest rung if none qualifies (BBA's rate map and
+    /// rate-based baselines use this).
+    pub fn rung_for_bitrate(&self, bitrate: f64) -> usize {
+        let mut best = 0;
+        for (i, r) in self.rungs.iter().enumerate() {
+            if r.nominal_bitrate <= bitrate {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn puffer_ladder_matches_paper_endpoints() {
+        let l = EncoderLadder::puffer_default();
+        assert_eq!(l.len(), 10);
+        let lo = l.rung(0);
+        let hi = l.rung(9);
+        assert_eq!((lo.height, lo.crf), (240, 26));
+        assert!((lo.nominal_bitrate - 200_000.0).abs() < 1.0);
+        assert_eq!((hi.height, hi.crf), (1080, 20));
+        assert!((hi.nominal_bitrate - 5_500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ladder_is_strictly_increasing() {
+        let l = EncoderLadder::puffer_default();
+        for w in l.rungs().windows(2) {
+            assert!(w[0].nominal_bitrate < w[1].nominal_bitrate);
+        }
+    }
+
+    #[test]
+    fn rung_for_bitrate_selects_correctly() {
+        let l = EncoderLadder::puffer_default();
+        assert_eq!(l.rung_for_bitrate(0.0), 0, "below ladder → lowest");
+        assert_eq!(l.rung_for_bitrate(250_000.0), 0);
+        assert_eq!(l.rung_for_bitrate(300_000.0), 1);
+        assert_eq!(l.rung_for_bitrate(1e9), 9, "above ladder → highest");
+    }
+
+    #[test]
+    fn nominal_chunk_bytes() {
+        let r = Rung { height: 240, crf: 26, nominal_bitrate: 200_000.0 };
+        // 200 kbit/s over 2.002 s ≈ 50 050 bytes.
+        assert!((r.nominal_chunk_bytes() - 50_050.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_ladder_rejected() {
+        let r = |b: f64| Rung { height: 240, crf: 26, nominal_bitrate: b };
+        let _ = EncoderLadder::new(vec![r(500.0), r(400.0)]);
+    }
+}

@@ -1,0 +1,61 @@
+//! SSIM index ↔ decibel conversion.
+//!
+//! The paper reports quality as SSIM in decibels: `dB = -10·log10(1 − SSIM)`.
+//! A perfect reconstruction (SSIM = 1) is +∞ dB; the paper's streams average
+//! around 16–17 dB (SSIM ≈ 0.975–0.980), and first chunks on cold start are
+//! near 10 dB (SSIM = 0.9) (Figs. 1, 8, 9).
+
+/// Convert an SSIM index in `[0, 1)` to decibels.
+///
+/// # Panics
+/// Panics if `ssim` is outside `[0, 1)` (a chunk can't be *better* than its
+/// source, and exactly 1.0 would be infinite dB).
+pub fn index_to_db(ssim: f64) -> f64 {
+    assert!((0.0..1.0).contains(&ssim), "SSIM index must be in [0, 1), got {ssim}");
+    -10.0 * (1.0 - ssim).log10()
+}
+
+/// Convert SSIM in decibels back to the index.
+pub fn db_to_index(db: f64) -> f64 {
+    assert!(db >= 0.0, "SSIM dB must be non-negative, got {db}");
+    1.0 - 10f64.powf(-db / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert!(index_to_db(0.0).abs() < 1e-12);
+        assert!((index_to_db(0.9) - 10.0).abs() < 1e-9);
+        assert!((index_to_db(0.99) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_operating_point() {
+        // 16.9 dB (Fugu's primary-experiment mean, Fig. 1) ↔ SSIM ≈ 0.9796.
+        let idx = db_to_index(16.9);
+        assert!((idx - 0.9796).abs() < 0.0005, "got {idx}");
+    }
+
+    #[test]
+    fn roundtrip() {
+        for &x in &[0.1, 0.5, 0.9, 0.975, 0.999] {
+            let back = db_to_index(index_to_db(x));
+            assert!((back - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monotone() {
+        assert!(index_to_db(0.95) < index_to_db(0.96));
+        assert!(db_to_index(10.0) < db_to_index(12.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn perfect_ssim_rejected() {
+        index_to_db(1.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # puffer-net — the transport substrate
+//!
+//! Puffer serves video over a WebSocket (TLS/TCP) from a datacenter server;
+//! each serving daemon is "configured with a different TCP congestion control
+//! (for the primary analysis, we used BBR)" (§3.2), and the sender-side
+//! kernel's `tcp_info` structure is logged with every chunk and fed to the
+//! TTP (§4.2, Appendix B).  This crate replaces the Linux kernel + real
+//! Internet path with an analytic, deterministic flow model driven by a
+//! [`puffer_trace::RateTrace`]:
+//!
+//! * [`Connection`] simulates one long-lived TCP connection carrying video
+//!   chunks: slow start, congestion avoidance, slow-start restart after idle
+//!   periods, window- vs. link-limited phases, bottleneck queueing, and a
+//!   BBR-flavoured or CUBIC-flavoured congestion controller
+//!   ([`CongestionControl`]).
+//! * [`TcpInfo`] mirrors the fields Puffer records from the kernel — `cwnd`,
+//!   `in_flight`, `min_rtt`, `rtt`, `delivery_rate` (Appendix B) — synthesized
+//!   from the model state at the moment a chunk is sent.
+//!
+//! Two transport behaviours matter to the paper and are preserved:
+//!
+//! 1. **Transmission time is not linear in filesize** (§4.6 "it is well known
+//!    ... that transmission time does not scale linearly with filesize"):
+//!    every transfer pays an RTT floor, small transfers are window-limited
+//!    (slow start / slow-start restart after idle), and only large transfers
+//!    reach the link rate.  This is what the TTP exploits over a throughput
+//!    predictor.
+//! 2. **Sender-side statistics carry predictive signal**, especially on cold
+//!    start (Fig. 9): the handshake RTT correlates with the path class, and
+//!    `delivery_rate` tracks the current regime of the link.
+
+pub mod tcp;
+
+pub use tcp::{CongestionControl, Connection, TcpInfo, Transfer};
+
+/// TCP maximum segment size in bytes (Ethernet MTU minus headers, rounded the
+/// way mahimahi counts it).
+pub const MSS: f64 = 1500.0;
+
+/// Initial congestion window in packets (Linux default, RFC 6928).
+pub const INIT_CWND: f64 = 10.0;

@@ -1,0 +1,98 @@
+//! Property-based tests for the TCP model: causality, conservation, and
+//! monotonicity over arbitrary paths and workloads.
+
+use proptest::prelude::*;
+use puffer_net::{CongestionControl, Connection};
+use puffer_trace::trace::{Epoch, RateTrace};
+use puffer_trace::{PufferLikeProcess, RateProcess};
+use rand::SeedableRng;
+
+fn arb_link() -> impl Strategy<Value = RateTrace> {
+    prop::collection::vec((0.2f64..4.0, 1e4f64..4e6), 1..8).prop_map(|v| {
+        RateTrace::new(
+            &v.into_iter().map(|(duration, rate)| Epoch { duration, rate }).collect::<Vec<_>>(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 150, ..ProptestConfig::default() })]
+
+    #[test]
+    fn transfers_are_causal_and_positive(
+        link in arb_link(),
+        rtt in 0.005f64..0.3,
+        queue in 2e4f64..1e6,
+        sizes in prop::collection::vec(2e3f64..6e6, 1..12),
+        gaps in prop::collection::vec(0.0f64..5.0, 12),
+        cubic in any::<bool>(),
+    ) {
+        let cc = if cubic { CongestionControl::Cubic } else { CongestionControl::Bbr };
+        let mut conn = Connection::new(link, rtt, queue, cc, 0.0);
+        let mut now = 0.0f64;
+        let mut total = 0.0;
+        for (i, &size) in sizes.iter().enumerate() {
+            now = conn.last_completion().max(now) + gaps[i];
+            let t = conn.send(now, size);
+            prop_assert!(t.completion > t.start, "completion after start");
+            prop_assert!(t.transmission_time() >= rtt / 2.0,
+                "cannot beat the speed of light: {} < {}", t.transmission_time(), rtt / 2.0);
+            prop_assert!(t.throughput().is_finite() && t.throughput() > 0.0);
+            total += size;
+        }
+        prop_assert!((conn.bytes_sent() - total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tcp_info_always_sane(
+        link in arb_link(),
+        rtt in 0.005f64..0.3,
+        sizes in prop::collection::vec(1e4f64..3e6, 1..10),
+    ) {
+        let mut conn = Connection::new(link, rtt, 3e5, CongestionControl::Bbr, 0.0);
+        for &size in &sizes {
+            let now = conn.last_completion() + 0.8;
+            let info = conn.tcp_info(now);
+            prop_assert!(info.cwnd >= 1.0 && info.cwnd.is_finite());
+            prop_assert!(info.in_flight >= 0.0 && info.in_flight.is_finite());
+            prop_assert!((info.min_rtt - rtt).abs() < 1e-12, "min_rtt is propagation");
+            prop_assert!(info.rtt >= info.min_rtt * 0.99, "srtt >= min_rtt");
+            prop_assert!(info.delivery_rate > 0.0 && info.delivery_rate.is_finite());
+            let _ = conn.send(now, size);
+        }
+    }
+
+    #[test]
+    fn bigger_chunks_never_finish_sooner(
+        seed in 0u64..3_000,
+        rtt in 0.01f64..0.15,
+        small in 1e4f64..5e5,
+        factor in 1.1f64..8.0,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let trace = PufferLikeProcess::new(6e5, 0.4).sample_trace(120.0, &mut rng);
+        let t_small = {
+            let mut c = Connection::new(trace.clone(), rtt, 2e5, CongestionControl::Bbr, 0.0);
+            c.send(0.0, small).transmission_time()
+        };
+        let t_big = {
+            let mut c = Connection::new(trace, rtt, 2e5, CongestionControl::Bbr, 0.0);
+            c.send(0.0, small * factor).transmission_time()
+        };
+        prop_assert!(t_big >= t_small - 1e-9, "big {t_big} vs small {t_small}");
+    }
+
+    #[test]
+    fn throughput_bounded_by_peak_link_rate(
+        link in arb_link(),
+        size in 1e5f64..8e6,
+    ) {
+        let peak = link.epochs().map(|(_, r)| r).fold(0.0, f64::max);
+        let mut conn = Connection::new(link, 0.02, 3e5, CongestionControl::Bbr, 0.0);
+        // Warm up so the window isn't the limiter, then measure.
+        let _ = conn.send(0.0, 2e6);
+        let t = conn.send(conn.last_completion(), size);
+        prop_assert!(t.throughput() <= peak * 1.01 + 1.0,
+            "goodput {} cannot exceed the bottleneck peak {}", t.throughput(), peak);
+    }
+}

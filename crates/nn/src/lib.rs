@@ -1,0 +1,81 @@
+//! # puffer-nn — a minimal dense neural-network substrate
+//!
+//! The paper trains its Transmission Time Predictor (TTP) in PyTorch and loads
+//! the trained model into C++ for inference (§4.5).  This crate replaces that
+//! stack with a small, dependency-free implementation of exactly the pieces the
+//! paper needs:
+//!
+//! * fully-connected networks with ReLU hidden layers ([`Mlp`]),
+//! * softmax + cross-entropy classification over discretized transmission-time
+//!   bins ([`loss::softmax_cross_entropy`]),
+//! * stochastic gradient descent with momentum and Adam ([`optim`]),
+//! * per-feature input standardization ([`Scaler`]),
+//! * plain-text checkpoints so models can be saved/loaded deterministically
+//!   without a serialization framework ([`serialize`]).
+//!
+//! The networks involved are tiny (the TTP is 2 hidden layers of 64 units,
+//! §4.5), so the implementation favours clarity and exact reproducibility over
+//! raw speed: matrices are row-major `Vec<f32>`, the matmul is a cache-friendly
+//! triple loop, and all randomness comes from caller-provided seeded RNGs.
+//!
+//! ## Example
+//!
+//! ```
+//! use puffer_nn::{Mlp, Activation, optim::{Sgd, Optimizer}, loss};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! // A 4 -> 16 -> 3 classifier.
+//! let mut net = Mlp::new(&[4, 16, 3], Activation::Relu, &mut rng);
+//! let mut opt = Sgd::new(0.05, 0.9);
+//! let x = puffer_nn::Matrix::from_rows(&[vec![0.1, -0.2, 0.3, 0.4]]);
+//! for _ in 0..50 {
+//!     let cache = net.forward_cache(&x);
+//!     let (l, dlogits) = loss::softmax_cross_entropy(cache.logits(), &[2], None);
+//!     net.zero_grad();
+//!     net.backward(&cache, &dlogits);
+//!     net.step(&mut opt);
+//!     let _ = l;
+//! }
+//! let probs = loss::softmax_rows(&net.forward(&x));
+//! assert!(probs.get(0, 2) > 0.9);
+//! ```
+
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+pub mod scaler;
+pub mod serialize;
+
+pub use matrix::Matrix;
+pub use mlp::{Activation, ForwardCache, Linear, Mlp};
+pub use scaler::Scaler;
+
+/// Draw a standard normal sample with the Box–Muller transform.
+///
+/// `rand` 0.9 without `rand_distr` has no normal distribution; the handful of
+/// call sites here (weight init) do not justify an extra dependency.
+pub fn standard_normal<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,238 @@
+//! Row-major `f32` matrices sized for small dense networks.
+//!
+//! The TTP and Pensieve policy networks are at most a few hundred units wide,
+//! so a straightforward owned-`Vec` matrix with a loop-order-optimized matmul
+//! is plenty; no BLAS, no SIMD intrinsics, no unsafe.
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/buffer mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "at least one row required");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// A 1×n row vector.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Matrix { rows: 1, cols: v.len(), data: v.to_vec() }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self * other` — (m×k)·(k×n) → m×n, ikj loop order so the innermost
+    /// loop streams both the output row and the `other` row.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // common after ReLU
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row counts must agree");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "column counts must agree");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Explicit transpose (used rarely; prefer the fused variants above).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Add `v` to every row of `self` in place (broadcast bias add).
+    pub fn add_row_broadcast(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.cols, "bias length must match columns");
+        for r in 0..self.rows {
+            for (x, &b) in self.row_mut(r).iter_mut().zip(v) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Elementwise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Sum each column into a vector (used for bias gradients).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm, useful for gradient-clipping and tests.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn fused_transposed_matmuls_agree_with_explicit() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0, 0.5], vec![0.0, 3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![2.0, 1.0], vec![-1.0, 0.0], vec![0.5, 3.0]]);
+        // aᵀ (3×2) · a? Use shapes that line up:
+        // t_matmul: aᵀ(3x2)·c where c has 2 rows.
+        let c = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.t_matmul(&c), a.transpose().matmul(&c));
+        // matmul_t: a(2x3)·bᵀ? b is 3x2 so bᵀ is 2x3 — need matching cols: use b.transpose (2x3)
+        let bt = b.transpose();
+        assert_eq!(a.matmul_t(&bt), a.matmul(&bt.transpose()));
+    }
+
+    #[test]
+    fn broadcast_and_colsums() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_row_broadcast(&[1.0, -1.0]);
+        assert_eq!(m.col_sums(), vec![3.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+        assert_eq!(m.get(0, 2), 3.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! Fully-connected networks with manual backpropagation.
+//!
+//! The paper's TTP is "a fully-connected neural network, with two hidden
+//! layers with 64 neurons each" (§4.5); the linear-model ablation (§4.6) is
+//! the same network with zero hidden layers.  [`Mlp`] covers both, plus the
+//! somewhat larger Pensieve policy/value networks.
+
+use crate::matrix::Matrix;
+use crate::optim::Optimizer;
+
+/// Hidden-layer nonlinearity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// max(0, x) — used by the TTP.
+    Relu,
+    /// tanh(x) — used by the Pensieve-style policy network.
+    Tanh,
+    /// No nonlinearity; `Mlp::new(&[i, o], Identity, ..)` is linear regression.
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated* output `y = f(x)`.
+    fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Identity => 1.0,
+        }
+    }
+
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Identity => "identity",
+        }
+    }
+
+    pub(crate) fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "relu" => Some(Activation::Relu),
+            "tanh" => Some(Activation::Tanh),
+            "identity" => Some(Activation::Identity),
+            _ => None,
+        }
+    }
+}
+
+/// One dense layer `y = x·W + b` with accumulated gradients.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weights, shape `in_dim × out_dim`.
+    pub w: Matrix,
+    /// Bias, length `out_dim`.
+    pub b: Vec<f32>,
+    /// Gradient of the loss w.r.t. `w`, accumulated by [`Linear::backward`].
+    pub gw: Matrix,
+    /// Gradient of the loss w.r.t. `b`.
+    pub gb: Vec<f32>,
+}
+
+impl Linear {
+    /// He-initialized layer (appropriate for ReLU; harmless for the others).
+    pub fn new<R: rand::Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let std = (2.0 / in_dim as f64).sqrt();
+        let mut w = Matrix::zeros(in_dim, out_dim);
+        for x in w.data_mut() {
+            *x = (crate::standard_normal(rng) * std) as f32;
+        }
+        Linear {
+            w,
+            b: vec![0.0; out_dim],
+            gw: Matrix::zeros(in_dim, out_dim),
+            gb: vec![0.0; out_dim],
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass for a batch (`x`: batch × in_dim).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        y.add_row_broadcast(&self.b);
+        y
+    }
+
+    /// Backward pass: given the layer input `x` and upstream gradient `dy`,
+    /// accumulate `gw`/`gb` and return the gradient w.r.t. `x`.
+    pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
+        // gw += xᵀ·dy
+        let gw = x.t_matmul(dy);
+        for (g, n) in self.gw.data_mut().iter_mut().zip(gw.data()) {
+            *g += n;
+        }
+        for (g, n) in self.gb.iter_mut().zip(dy.col_sums()) {
+            *g += n;
+        }
+        // dx = dy·Wᵀ
+        dy.matmul_t(&self.w)
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.gw.data_mut().fill(0.0);
+        self.gb.fill(0.0);
+    }
+}
+
+/// Intermediate activations retained for backprop.
+///
+/// `acts[0]` is the input batch; `acts[i]` for `0 < i < L` are post-activation
+/// hidden outputs; `acts[L]` is the raw output (logits — the final layer has
+/// no nonlinearity).
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    acts: Vec<Matrix>,
+}
+
+impl ForwardCache {
+    /// Raw network output (pre-softmax logits / regression output).
+    pub fn logits(&self) -> &Matrix {
+        self.acts.last().expect("cache always holds input + output")
+    }
+}
+
+/// A multi-layer perceptron: dense layers with a shared hidden activation and
+/// a linear output layer.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Build a network with the given layer sizes, e.g. `&[22, 64, 64, 21]`
+    /// for the TTP.  `dims.len() >= 2`; `dims.len() == 2` yields a pure linear
+    /// model (the paper's linear-regression ablation).
+    pub fn new<R: rand::Rng + ?Sized>(dims: &[usize], activation: Activation, rng: &mut R) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        Mlp { layers, activation }
+    }
+
+    /// Construct from explicit layers (used by checkpoint loading).
+    pub fn from_layers(layers: Vec<Linear>, activation: Activation) -> Self {
+        assert!(!layers.is_empty());
+        for pair in layers.windows(2) {
+            assert_eq!(pair[0].out_dim(), pair[1].in_dim(), "layer shape chain broken");
+        }
+        Mlp { layers, activation }
+    }
+
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.data().len() + l.b.len()).sum()
+    }
+
+    /// Forward pass returning only the output.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i != last {
+                h.map_inplace(|v| self.activation.apply(v));
+            }
+        }
+        h
+    }
+
+    /// Forward pass retaining activations for [`Mlp::backward`].
+    pub fn forward_cache(&self, x: &Matrix) -> ForwardCache {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.clone());
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut h = layer.forward(acts.last().unwrap());
+            if i != last {
+                h.map_inplace(|v| self.activation.apply(v));
+            }
+            acts.push(h);
+        }
+        ForwardCache { acts }
+    }
+
+    /// Backpropagate `dlogits` (gradient w.r.t. the raw output), accumulating
+    /// parameter gradients; returns the gradient w.r.t. the input batch.
+    pub fn backward(&mut self, cache: &ForwardCache, dlogits: &Matrix) -> Matrix {
+        assert_eq!(cache.acts.len(), self.layers.len() + 1, "cache/net mismatch");
+        let n_layers = self.layers.len();
+        let mut grad = dlogits.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            if i != n_layers - 1 {
+                // Multiply by activation derivative at this layer's output.
+                let y = &cache.acts[i + 1];
+                let act = self.activation;
+                for (g, &out) in grad.data_mut().iter_mut().zip(y.data()) {
+                    *g *= act.derivative_from_output(out);
+                }
+            }
+            grad = layer.backward(&cache.acts[i], &grad);
+        }
+        grad
+    }
+
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Clip the global gradient norm to `max_norm` (returns the pre-clip norm).
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let mut sq = 0.0f32;
+        for l in &self.layers {
+            sq += l.gw.data().iter().map(|g| g * g).sum::<f32>();
+            sq += l.gb.iter().map(|g| g * g).sum::<f32>();
+        }
+        let norm = sq.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for l in &mut self.layers {
+                for g in l.gw.data_mut() {
+                    *g *= scale;
+                }
+                for g in &mut l.gb {
+                    *g *= scale;
+                }
+            }
+        }
+        norm
+    }
+
+    /// Apply one optimizer step using the accumulated gradients.
+    pub fn step<O: Optimizer>(&mut self, opt: &mut O) {
+        let mut slot = 0;
+        for l in &mut self.layers {
+            opt.step(l.w.data_mut(), l.gw.data(), slot);
+            slot += 1;
+            opt.step(&mut l.b, &l.gb, slot);
+            slot += 1;
+        }
+    }
+
+    /// Copy parameters from another network of identical architecture
+    /// (used to warm-start daily retraining, §4.3).
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            assert_eq!(a.w.rows(), b.w.rows());
+            assert_eq!(a.w.cols(), b.w.cols());
+            a.w = b.w.clone();
+            a.b = b.b.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = Mlp::new(&[5, 8, 3], Activation::Relu, &mut rng());
+        let x = Matrix::zeros(4, 5);
+        let y = net.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 3));
+        assert_eq!(net.parameter_count(), 5 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn identity_two_layer_is_linear() {
+        let mut r = rng();
+        let net = Mlp::new(&[3, 2], Activation::Identity, &mut r);
+        let x1 = Matrix::row_vector(&[1.0, 0.0, 0.0]);
+        let x2 = Matrix::row_vector(&[0.0, 1.0, 0.0]);
+        let mut x12 = Matrix::row_vector(&[1.0, 1.0, 0.0]);
+        // Linearity: f(x1 + x2) - f(0) == (f(x1) - f(0)) + (f(x2) - f(0)).
+        let zero = Matrix::row_vector(&[0.0, 0.0, 0.0]);
+        let f0 = net.forward(&zero);
+        let f1 = net.forward(&x1);
+        let f2 = net.forward(&x2);
+        let f12 = net.forward(&mut x12);
+        for c in 0..2 {
+            let lhs = f12.get(0, c) - f0.get(0, c);
+            let rhs = (f1.get(0, c) - f0.get(0, c)) + (f2.get(0, c) - f0.get(0, c));
+            assert!((lhs - rhs).abs() < 1e-5);
+        }
+    }
+
+    /// Numerical gradient check: backprop must agree with finite differences.
+    #[test]
+    fn gradient_check_cross_entropy() {
+        let mut r = rng();
+        let mut net = Mlp::new(&[4, 6, 3], Activation::Tanh, &mut r);
+        let x = Matrix::from_rows(&[
+            vec![0.5, -1.0, 0.25, 2.0],
+            vec![-0.5, 0.3, 1.5, -0.7],
+        ]);
+        let targets = [0usize, 2];
+
+        let cache = net.forward_cache(&x);
+        let (_, dlogits) = loss::softmax_cross_entropy(cache.logits(), &targets, None);
+        net.zero_grad();
+        net.backward(&cache, &dlogits);
+
+        // Analytic grads snapshot.
+        let analytic: Vec<f32> = net
+            .layers
+            .iter()
+            .flat_map(|l| l.gw.data().iter().chain(l.gb.iter()).copied().collect::<Vec<_>>())
+            .collect();
+
+        // Numeric grads via central differences on every 7th parameter
+        // (checking all ~50 is also fine, this is just faster).
+        let eps = 1e-3f32;
+        let mut idx = 0usize;
+        let mut checked = 0;
+        for li in 0..net.layers.len() {
+            let wlen = net.layers[li].w.data().len();
+            let blen = net.layers[li].b.len();
+            for k in 0..(wlen + blen) {
+                if idx % 3 == 0 {
+                    let read = |net: &Mlp, k: usize| {
+                        if k < wlen {
+                            net.layers[li].w.data()[k]
+                        } else {
+                            net.layers[li].b[k - wlen]
+                        }
+                    };
+                    let write = |net: &mut Mlp, k: usize, v: f32| {
+                        if k < wlen {
+                            net.layers[li].w.data_mut()[k] = v;
+                        } else {
+                            net.layers[li].b[k - wlen] = v;
+                        }
+                    };
+                    let orig = read(&net, k);
+                    write(&mut net, k, orig + eps);
+                    let (lp, _) = loss::softmax_cross_entropy(&net.forward(&x), &targets, None);
+                    write(&mut net, k, orig - eps);
+                    let (lm, _) = loss::softmax_cross_entropy(&net.forward(&x), &targets, None);
+                    write(&mut net, k, orig);
+                    let numeric = (lp - lm) / (2.0 * eps);
+                    let ana = analytic[idx];
+                    assert!(
+                        (numeric - ana).abs() < 2e-2 * (1.0 + numeric.abs().max(ana.abs())),
+                        "param {idx}: numeric {numeric} vs analytic {ana}"
+                    );
+                    checked += 1;
+                }
+                idx += 1;
+            }
+        }
+        assert!(checked > 10, "gradient check covered too few parameters");
+    }
+
+    #[test]
+    fn grad_clipping_bounds_norm() {
+        let mut r = rng();
+        let mut net = Mlp::new(&[4, 8, 3], Activation::Relu, &mut r);
+        let x = Matrix::from_rows(&[vec![10.0, -10.0, 5.0, 3.0]]);
+        let cache = net.forward_cache(&x);
+        let (_, d) = loss::softmax_cross_entropy(cache.logits(), &[1], None);
+        net.zero_grad();
+        net.backward(&cache, &d);
+        net.clip_grad_norm(0.01);
+        let mut sq = 0.0f32;
+        for l in net.layers() {
+            sq += l.gw.data().iter().map(|g| g * g).sum::<f32>();
+            sq += l.gb.iter().map(|g| g * g).sum::<f32>();
+        }
+        assert!(sq.sqrt() <= 0.011);
+    }
+
+    #[test]
+    fn warm_start_copies_parameters() {
+        let mut r = rng();
+        let a = Mlp::new(&[3, 5, 2], Activation::Relu, &mut r);
+        let mut b = Mlp::new(&[3, 5, 2], Activation::Relu, &mut r);
+        b.copy_params_from(&a);
+        let x = Matrix::row_vector(&[0.4, -0.2, 0.9]);
+        assert_eq!(a.forward(&x).data(), b.forward(&x).data());
+    }
+}

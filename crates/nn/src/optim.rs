@@ -1,0 +1,226 @@
+//! First-order optimizers.
+//!
+//! The TTP is trained "using stochastic gradient descent" (§4.3); we provide
+//! SGD with momentum plus Adam (used for the Pensieve policy-gradient
+//! training, where plain SGD is finicky).
+//!
+//! Optimizers are stateful per parameter tensor.  [`Mlp::step`] calls
+//! [`Optimizer::step`] once per tensor with a stable `slot` index, which lets
+//! Adam keep its moment estimates without the network knowing about them.
+//!
+//! [`Mlp::step`]: crate::Mlp::step
+
+/// A stateful gradient-descent rule applied tensor-by-tensor.
+pub trait Optimizer {
+    /// Update `params` in place given `grads`.  `slot` identifies the tensor
+    /// (stable across calls) so implementations can keep per-tensor state.
+    fn step(&mut self, params: &mut [f32], grads: &[f32], slot: usize);
+
+    /// Current learning rate (for logging / schedules).
+    fn learning_rate(&self) -> f32;
+
+    /// Replace the learning rate (schedules are driven externally).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and optional L2
+/// weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    fn slot_state(&mut self, slot: usize, len: usize) -> &mut Vec<f32> {
+        while self.velocity.len() <= slot {
+            self.velocity.push(Vec::new());
+        }
+        let v = &mut self.velocity[slot];
+        if v.len() != len {
+            v.clear();
+            v.resize(len, 0.0);
+        }
+        v
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], slot: usize) {
+        assert_eq!(params.len(), grads.len());
+        let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
+        let vel = self.slot_state(slot, params.len());
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(vel.iter_mut()) {
+            let g = g + wd * *p;
+            *v = momentum * *v + g;
+            *p -= lr * *v;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Advance the shared timestep.  Call once per optimization step, before
+    /// the per-tensor `step` calls (handled automatically when `slot == 0`).
+    fn state(&mut self, slot: usize, len: usize) -> (&mut Vec<f32>, &mut Vec<f32>) {
+        while self.m.len() <= slot {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        if self.m[slot].len() != len {
+            self.m[slot].clear();
+            self.m[slot].resize(len, 0.0);
+            self.v[slot].clear();
+            self.v[slot].resize(len, 0.0);
+        }
+        // Split borrow.
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        (&mut ms[slot], &mut vs[slot])
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f32], grads: &[f32], slot: usize) {
+        assert_eq!(params.len(), grads.len());
+        if slot == 0 {
+            self.t += 1;
+        }
+        let t = self.t.max(1);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let bc1 = 1.0 - b1.powi(t);
+        let bc2 = 1.0 - b2.powi(t);
+        let (m, v) = self.state(slot, params.len());
+        for (((p, &g), m), v) in params.iter_mut().zip(grads).zip(m.iter_mut()).zip(v.iter_mut()) {
+            let g = g + wd * *p;
+            *m = b1 * *m + (1.0 - b1) * g;
+            *v = b2 * *v + (1.0 - b2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *p -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)² with both optimizers.
+    fn minimize<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let mut x = [0.0f32];
+        for _ in 0..steps {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(&mut x, &g, 0);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        assert!((minimize(&mut opt, 200) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05, 0.9);
+        assert!((minimize(&mut opt, 400) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        assert!((minimize(&mut opt, 500) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        // With zero gradient, weight decay should pull params toward zero.
+        let mut opt = Sgd::new(0.1, 0.0).with_weight_decay(0.5);
+        let mut p = [10.0f32];
+        for _ in 0..100 {
+            opt.step(&mut p, &[0.0], 0);
+        }
+        assert!(p[0].abs() < 1.0);
+    }
+
+    #[test]
+    fn slots_keep_independent_state() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut a = [0.0f32];
+        let mut b = [0.0f32];
+        for _ in 0..50 {
+            let ga = [2.0 * (a[0] - 1.0)];
+            opt.step(&mut a, &ga, 0);
+            let gb = [2.0 * (b[0] + 1.0)];
+            opt.step(&mut b, &gb, 1);
+        }
+        assert!((a[0] - 1.0).abs() < 0.05);
+        assert!((b[0] + 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+}

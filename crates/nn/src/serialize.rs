@@ -1,0 +1,270 @@
+//! Plain-text model checkpoints.
+//!
+//! The paper trains in PyTorch and loads weights into a C++ server (§4.5); the
+//! interchange artifact is a model checkpoint.  We use a line-oriented text
+//! format rather than a serialization framework so that checkpoints are
+//! diffable, deterministic, and dependency-free:
+//!
+//! ```text
+//! puffer-nn-mlp v1
+//! activation relu
+//! scaler 22
+//! mean <22 floats>
+//! std <22 floats>
+//! layers 3
+//! layer 22 64
+//! w <22*64 floats, row-major>
+//! b <64 floats>
+//! ...
+//! end
+//! ```
+//!
+//! Floats are written with `{:e}` (scientific, full precision round-trip for
+//! f32) separated by single spaces.
+
+use crate::matrix::Matrix;
+use crate::mlp::{Activation, Linear, Mlp};
+use crate::scaler::Scaler;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A checkpoint couples a network with the input scaler it was trained with.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    pub net: Mlp,
+    pub scaler: Scaler,
+}
+
+/// Errors from parsing a checkpoint.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Magic line or section header missing/unrecognized.
+    Format(String),
+    /// A float failed to parse.
+    Number(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Format(s) => write!(f, "bad checkpoint format: {s}"),
+            LoadError::Number(s) => write!(f, "bad number in checkpoint: {s}"),
+            LoadError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn write_floats(out: &mut String, label: &str, vals: &[f32]) {
+    out.push_str(label);
+    for v in vals {
+        let _ = write!(out, " {v:e}");
+    }
+    out.push('\n');
+}
+
+fn parse_floats(line: &str, label: &str, expect: usize) -> Result<Vec<f32>, LoadError> {
+    let mut it = line.split_whitespace();
+    let got = it.next().unwrap_or("");
+    if got != label {
+        return Err(LoadError::Format(format!("expected '{label}', got '{got}'")));
+    }
+    let vals: Result<Vec<f32>, _> = it.map(str::parse::<f32>).collect();
+    let vals = vals.map_err(|e| LoadError::Number(e.to_string()))?;
+    if vals.len() != expect {
+        return Err(LoadError::Format(format!(
+            "'{label}' expected {expect} values, got {}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+/// Serialize a checkpoint to a string.
+pub fn save_to_string(ckpt: &Checkpoint) -> String {
+    let mut out = String::new();
+    out.push_str("puffer-nn-mlp v1\n");
+    let _ = writeln!(out, "activation {}", ckpt.net.activation().name());
+    let _ = writeln!(out, "scaler {}", ckpt.scaler.dim());
+    write_floats(&mut out, "mean", ckpt.scaler.mean());
+    write_floats(&mut out, "std", ckpt.scaler.std());
+    let _ = writeln!(out, "layers {}", ckpt.net.layers().len());
+    for l in ckpt.net.layers() {
+        let _ = writeln!(out, "layer {} {}", l.in_dim(), l.out_dim());
+        write_floats(&mut out, "w", l.w.data());
+        write_floats(&mut out, "b", &l.b);
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parse a checkpoint from a string.
+pub fn load_from_str(s: &str) -> Result<Checkpoint, LoadError> {
+    let mut lines = s.lines();
+    let mut next = |what: &str| {
+        lines
+            .next()
+            .ok_or_else(|| LoadError::Format(format!("unexpected EOF, wanted {what}")))
+    };
+
+    if next("magic")? != "puffer-nn-mlp v1" {
+        return Err(LoadError::Format("missing magic line".into()));
+    }
+    let act_line = next("activation")?;
+    let act_name = act_line
+        .strip_prefix("activation ")
+        .ok_or_else(|| LoadError::Format("missing activation".into()))?;
+    let activation = Activation::from_name(act_name)
+        .ok_or_else(|| LoadError::Format(format!("unknown activation '{act_name}'")))?;
+
+    let scaler_line = next("scaler")?;
+    let dim: usize = scaler_line
+        .strip_prefix("scaler ")
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| LoadError::Format("bad scaler header".into()))?;
+    let mean = parse_floats(next("mean")?, "mean", dim)?;
+    let std = parse_floats(next("std")?, "std", dim)?;
+    if std.iter().any(|&s| s <= 0.0 || !s.is_finite()) {
+        return Err(LoadError::Format("scaler std must be positive and finite".into()));
+    }
+    let scaler = Scaler::from_parts(mean, std);
+
+    let layers_line = next("layers")?;
+    let n_layers: usize = layers_line
+        .strip_prefix("layers ")
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| LoadError::Format("bad layers header".into()))?;
+    if n_layers == 0 {
+        return Err(LoadError::Format("network must have at least one layer".into()));
+    }
+
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let hdr = next("layer")?;
+        let mut it = hdr.split_whitespace();
+        if it.next() != Some("layer") {
+            return Err(LoadError::Format("missing layer header".into()));
+        }
+        let in_dim: usize = it
+            .next()
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| LoadError::Format("bad layer in_dim".into()))?;
+        let out_dim: usize = it
+            .next()
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| LoadError::Format("bad layer out_dim".into()))?;
+        let w = parse_floats(next("w")?, "w", in_dim * out_dim)?;
+        let b = parse_floats(next("b")?, "b", out_dim)?;
+        layers.push(Linear {
+            w: Matrix::from_vec(in_dim, out_dim, w),
+            b,
+            gw: Matrix::zeros(in_dim, out_dim),
+            gb: vec![0.0; out_dim],
+        });
+    }
+    if next("end")? != "end" {
+        return Err(LoadError::Format("missing end marker".into()));
+    }
+    Ok(Checkpoint { net: Mlp::from_layers(layers, activation), scaler })
+}
+
+/// Write a checkpoint to a file.
+pub fn save_to_file(ckpt: &Checkpoint, path: &Path) -> Result<(), LoadError> {
+    std::fs::write(path, save_to_string(ckpt))?;
+    Ok(())
+}
+
+/// Read a checkpoint from a file.
+pub fn load_from_file(path: &Path) -> Result<Checkpoint, LoadError> {
+    load_from_str(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_checkpoint() -> Checkpoint {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let net = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng);
+        let scaler = Scaler::fit(&[
+            vec![0.0, 10.0, 100.0, -5.0],
+            vec![1.0, 20.0, 50.0, 5.0],
+            vec![2.0, 30.0, 75.0, 0.0],
+        ]);
+        Checkpoint { net, scaler }
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let ckpt = sample_checkpoint();
+        let s = save_to_string(&ckpt);
+        let loaded = load_from_str(&s).unwrap();
+        let x = Matrix::row_vector(&ckpt.scaler.transform(&[1.5, 22.0, 60.0, 1.0]));
+        assert_eq!(ckpt.net.forward(&x).data(), loaded.net.forward(&x).data());
+        assert_eq!(ckpt.scaler, loaded.scaler);
+    }
+
+    #[test]
+    fn double_roundtrip_is_fixed_point() {
+        let ckpt = sample_checkpoint();
+        let s1 = save_to_string(&ckpt);
+        let s2 = save_to_string(&load_from_str(&s1).unwrap());
+        assert_eq!(s1, s2, "text format must be a serialization fixed point");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(load_from_str("not a checkpoint").is_err());
+        assert!(load_from_str("").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let ckpt = sample_checkpoint();
+        let s = save_to_string(&ckpt);
+        let truncated: String = s.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert!(load_from_str(&truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_float_count() {
+        let ckpt = sample_checkpoint();
+        let s = save_to_string(&ckpt);
+        // Drop one float from the mean line.
+        let hacked: String = s
+            .lines()
+            .map(|l| {
+                if l.starts_with("mean ") {
+                    let parts: Vec<&str> = l.split(' ').collect();
+                    parts[..parts.len() - 1].join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(load_from_str(&hacked).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ckpt = sample_checkpoint();
+        let dir = std::env::temp_dir().join("puffer_nn_test_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        save_to_file(&ckpt, &path).unwrap();
+        let loaded = load_from_file(&path).unwrap();
+        assert_eq!(ckpt.net.parameter_count(), loaded.net.parameter_count());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the NN substrate: algebraic identities of the
+//! matrix kernels, softmax/CE math, scaler round trips, and checkpoint
+//! serialization over arbitrary architectures.
+
+use proptest::prelude::*;
+use puffer_nn::serialize::{load_from_str, save_to_string, Checkpoint};
+use puffer_nn::{loss, Activation, Matrix, Mlp, Scaler};
+use rand::SeedableRng;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 120, ..ProptestConfig::default() })]
+
+    #[test]
+    fn transpose_is_involution(m in arb_matrix(4, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn fused_matmuls_match_explicit(
+        a in arb_matrix(3, 5),
+        b in arb_matrix(3, 4),
+        c in arb_matrix(6, 5),
+    ) {
+        // t_matmul: aᵀ·b == transpose(a)·b
+        let fused = a.t_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+        // matmul_t: a·cᵀ == a·transpose(c)
+        let fused2 = a.matmul_t(&c);
+        let explicit2 = a.matmul(&c.transpose());
+        for (x, y) in fused2.data().iter().zip(explicit2.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_identity(m in arb_matrix(5, 5)) {
+        let mut eye = Matrix::zeros(5, 5);
+        for i in 0..5 {
+            eye.set(i, i, 1.0);
+        }
+        let out = m.matmul(&eye);
+        for (x, y) in out.data().iter().zip(m.data()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(logits in arb_matrix(6, 21)) {
+        let p = loss::softmax_rows(&logits);
+        for r in 0..p.rows() {
+            let sum: f32 = p.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_grad_rows_sum_zero(
+        logits in arb_matrix(4, 10),
+        targets in prop::collection::vec(0usize..10, 4),
+    ) {
+        let (ce, grad) = loss::softmax_cross_entropy(&logits, &targets, None);
+        prop_assert!(ce >= 0.0);
+        for r in 0..grad.rows() {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn scaler_roundtrip(rows in prop::collection::vec(
+        prop::collection::vec(-1e4f32..1e4, 6), 2..40)
+    ) {
+        let scaler = Scaler::fit(&rows);
+        for row in &rows {
+            let back = scaler.inverse_transform(&scaler.transform(row));
+            for (a, b) in row.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-2 * (1.0 + a.abs()), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_arbitrary_architecture(
+        seed in 0u64..10_000,
+        hidden in prop::collection::vec(1usize..20, 0..3),
+        input in 1usize..12,
+        output in 1usize..12,
+    ) {
+        let mut dims = vec![input];
+        dims.extend(&hidden);
+        dims.push(output);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&dims, Activation::Relu, &mut rng);
+        let ckpt = Checkpoint { net, scaler: Scaler::identity(input) };
+        let loaded = load_from_str(&save_to_string(&ckpt)).unwrap();
+        let x = Matrix::row_vector(&vec![0.5; input]);
+        let a = ckpt.net.forward(&x);
+        let b = loaded.net.forward(&x);
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_finite(
+        seed in 0u64..10_000,
+        features in prop::collection::vec(-100.0f32..100.0, 8),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[8, 16, 5], Activation::Tanh, &mut rng);
+        let x = Matrix::row_vector(&features);
+        let a = net.forward(&x);
+        let b = net.forward(&x);
+        prop_assert_eq!(a.data(), b.data());
+        prop_assert!(a.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,129 @@
+//! The daily open-data archive (Appendix B, §7).
+//!
+//! "Along with this paper, we are publishing our full archive of traces and
+//! results on the Puffer website.  The system posts new data each day" —
+//! three measurements per day: `video_sent`, `video_acked`, and
+//! `client_buffer`, with sensitive fields redacted.  [`DailyArchive`]
+//! accumulates a day's telemetry and writes the same three CSV files.
+
+use crate::telemetry::{client_buffer_csv, video_sent_csv, StreamTelemetry, VideoAcked};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Accumulates one day's telemetry and writes the public dump.
+#[derive(Debug, Default, Clone)]
+pub struct DailyArchive {
+    video_sent: Vec<crate::telemetry::VideoSent>,
+    video_acked: Vec<VideoAcked>,
+    client_buffer: Vec<crate::telemetry::ClientBuffer>,
+}
+
+impl DailyArchive {
+    pub fn new() -> Self {
+        DailyArchive::default()
+    }
+
+    /// Fold one stream's telemetry into the day.
+    pub fn add_stream(&mut self, telemetry: &StreamTelemetry) {
+        self.video_sent.extend_from_slice(&telemetry.video_sent);
+        self.video_acked.extend_from_slice(&telemetry.video_acked);
+        self.client_buffer.extend_from_slice(&telemetry.client_buffer);
+    }
+
+    /// Data points accumulated, per measurement.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.video_sent.len(), self.video_acked.len(), self.client_buffer.len())
+    }
+
+    fn video_acked_csv(&self) -> String {
+        let mut out = String::from("time,stream_id,expt_id,size\n");
+        for d in &self.video_acked {
+            let _ = writeln!(out, "{:.3},{},{},{:.0}", d.time, d.stream_id, d.expt_id, d.size);
+        }
+        out
+    }
+
+    /// Write `video_sent_<day>.csv`, `video_acked_<day>.csv`, and
+    /// `client_buffer_<day>.csv` under `dir`; returns the paths written.
+    pub fn write(&self, dir: &Path, day: u32) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let files = [
+            (format!("video_sent_{day}.csv"), video_sent_csv(&self.video_sent)),
+            (format!("video_acked_{day}.csv"), self.video_acked_csv()),
+            (format!("client_buffer_{day}.csv"), client_buffer_csv(&self.client_buffer)),
+        ];
+        let mut paths = Vec::new();
+        for (name, content) in files {
+            let path = dir.join(name);
+            std::fs::write(&path, content)?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{BufferEvent, ClientBuffer, VideoSent};
+
+    fn telemetry() -> StreamTelemetry {
+        let mut t = StreamTelemetry::default();
+        t.video_sent.push(VideoSent {
+            time: 1.0,
+            stream_id: 5,
+            expt_id: 1,
+            size: 4e5,
+            ssim_index: 0.97,
+            cwnd: 20.0,
+            in_flight: 2.0,
+            min_rtt: 0.04,
+            rtt: 0.05,
+            delivery_rate: 9e5,
+        });
+        t.video_acked.push(VideoAcked { time: 1.5, stream_id: 5, expt_id: 1, size: 4e5 });
+        t.client_buffer.push(ClientBuffer {
+            time: 1.5,
+            stream_id: 5,
+            expt_id: 1,
+            event: BufferEvent::Startup,
+            buffer: 2.002,
+            cum_rebuf: 0.0,
+        });
+        t
+    }
+
+    #[test]
+    fn accumulates_streams() {
+        let mut a = DailyArchive::new();
+        a.add_stream(&telemetry());
+        a.add_stream(&telemetry());
+        assert_eq!(a.counts(), (2, 2, 2));
+    }
+
+    #[test]
+    fn writes_three_csv_files() {
+        let mut a = DailyArchive::new();
+        a.add_stream(&telemetry());
+        let dir = std::env::temp_dir().join("puffer_archive_test");
+        let paths = a.write(&dir, 17).unwrap();
+        assert_eq!(paths.len(), 3);
+        for p in &paths {
+            let content = std::fs::read_to_string(p).unwrap();
+            assert!(content.lines().count() >= 2, "{p:?} has header + data");
+            assert!(content.starts_with("time,"), "{p:?} has the schema header");
+        }
+        assert!(paths[0].file_name().unwrap().to_str().unwrap().contains("video_sent_17"));
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn acked_join_preserved_in_dump() {
+        let mut a = DailyArchive::new();
+        a.add_stream(&telemetry());
+        let csv = a.video_acked_csv();
+        assert!(csv.contains("1.500,5,1,400000"));
+    }
+}

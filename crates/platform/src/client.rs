@@ -1,0 +1,258 @@
+//! The browser player's buffer dynamics.
+//!
+//! Puffer's client is deliberately "dumb" (§3.2) — all control lives on the
+//! server; the client just appends chunks to the MediaSource buffer, plays at
+//! 1 s/s, and reports its buffer level.  [`PlaybackBuffer`] models exactly
+//! that: an event-driven accumulator where chunk arrivals add 2.002 s of
+//! video, the playhead drains continuously, and hitting zero stalls playback
+//! until the next arrival.
+
+use puffer_media::CHUNK_SECONDS;
+
+/// Client-side playback state, advanced by chunk-arrival events.
+#[derive(Debug, Clone)]
+pub struct PlaybackBuffer {
+    /// Wall-clock time of the last processed event.
+    last_event: f64,
+    /// Seconds of video buffered at `last_event`.
+    buffer: f64,
+    /// Playback has begun (first chunk arrived).
+    playing: bool,
+    /// Cumulative rebuffer (stall) time, seconds.
+    cum_stall: f64,
+    /// Stall time incurred by the most recent arrival's inter-arrival gap.
+    last_gap_stall: f64,
+    /// Time playback began, if it has.
+    play_start: Option<f64>,
+    /// Chunks appended.
+    chunks: usize,
+}
+
+impl PlaybackBuffer {
+    /// A fresh client that opened the player at `t0`.
+    pub fn new(t0: f64) -> Self {
+        PlaybackBuffer {
+            last_event: t0,
+            buffer: 0.0,
+            playing: false,
+            cum_stall: 0.0,
+            last_gap_stall: 0.0,
+            play_start: None,
+            chunks: 0,
+        }
+    }
+
+    /// Buffer level at an arbitrary time ≥ the last event (read-only query —
+    /// what the client's quarter-second reports would show).
+    pub fn buffer_at(&self, t: f64) -> f64 {
+        assert!(t >= self.last_event - 1e-9, "cannot query the past");
+        if !self.playing {
+            return self.buffer;
+        }
+        (self.buffer - (t - self.last_event)).max(0.0)
+    }
+
+    /// Process the arrival of one chunk at time `t`.
+    pub fn on_chunk_arrival(&mut self, t: f64) {
+        assert!(t >= self.last_event - 1e-9, "events must be ordered");
+        let elapsed = (t - self.last_event).max(0.0);
+        if self.playing {
+            let drained = elapsed.min(self.buffer);
+            let stall = elapsed - drained;
+            self.buffer -= drained;
+            self.cum_stall += stall;
+            self.last_gap_stall = stall;
+        } else {
+            // First chunk: playback starts on arrival.
+            self.playing = true;
+            self.play_start = Some(t);
+            self.last_gap_stall = 0.0;
+        }
+        self.buffer += CHUNK_SECONDS;
+        self.chunks += 1;
+        self.last_event = t;
+    }
+
+    /// Earliest time ≥ `from` at which the buffer has room for one more
+    /// chunk under a `max_buffer`-second cap (the server "will always send
+    /// the next chunk as long as the client has room", §6.2).
+    pub fn time_with_room(&self, from: f64, max_buffer: f64) -> f64 {
+        let level = self.buffer_at(from);
+        let threshold = max_buffer - CHUNK_SECONDS;
+        if level <= threshold || !self.playing {
+            from
+        } else {
+            from + (level - threshold)
+        }
+    }
+
+    pub fn playing(&self) -> bool {
+        self.playing
+    }
+
+    /// Cumulative stall time since playback began, as of the last event.
+    pub fn cum_stall(&self) -> f64 {
+        self.cum_stall
+    }
+
+    /// Cumulative stall time as of an arbitrary time `t ≥` the last event —
+    /// includes the trailing stall if the buffer runs dry after the final
+    /// chunk arrival (e.g. the user leaves mid-rebuffer).
+    pub fn cum_stall_at(&self, t: f64) -> f64 {
+        assert!(t >= self.last_event - 1e-9, "cannot query the past");
+        if !self.playing {
+            return self.cum_stall;
+        }
+        let elapsed = (t - self.last_event).max(0.0);
+        self.cum_stall + (elapsed - self.buffer).max(0.0)
+    }
+
+    /// Stall incurred while waiting for the most recent chunk.
+    pub fn last_gap_stall(&self) -> f64 {
+        self.last_gap_stall
+    }
+
+    pub fn play_start(&self) -> Option<f64> {
+        self.play_start
+    }
+
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Seconds of video played back by time `t` (excludes stalls).
+    pub fn played_at(&self, t: f64) -> f64 {
+        match self.play_start {
+            None => 0.0,
+            Some(_) => self.chunks as f64 * CHUNK_SECONDS - self.buffer_at(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty_and_idle() {
+        let b = PlaybackBuffer::new(5.0);
+        assert!(!b.playing());
+        assert_eq!(b.buffer_at(100.0), 0.0);
+        assert_eq!(b.cum_stall(), 0.0);
+        assert_eq!(b.play_start(), None);
+    }
+
+    #[test]
+    fn first_arrival_starts_playback() {
+        let mut b = PlaybackBuffer::new(0.0);
+        b.on_chunk_arrival(0.7);
+        assert!(b.playing());
+        assert_eq!(b.play_start(), Some(0.7));
+        assert!((b.buffer_at(0.7) - CHUNK_SECONDS).abs() < 1e-9);
+        // Waiting before the first chunk is startup delay, not a stall.
+        assert_eq!(b.cum_stall(), 0.0);
+    }
+
+    #[test]
+    fn buffer_drains_at_one_second_per_second() {
+        let mut b = PlaybackBuffer::new(0.0);
+        b.on_chunk_arrival(0.0);
+        assert!((b.buffer_at(1.0) - (CHUNK_SECONDS - 1.0)).abs() < 1e-9);
+        assert_eq!(b.buffer_at(10.0), 0.0, "buffer can't go negative");
+    }
+
+    #[test]
+    fn back_to_back_arrivals_accumulate() {
+        let mut b = PlaybackBuffer::new(0.0);
+        for i in 0..5 {
+            b.on_chunk_arrival(0.1 * i as f64);
+        }
+        // ~5 chunks minus 0.4 s of playback.
+        assert!((b.buffer_at(0.4) - (5.0 * CHUNK_SECONDS - 0.4)).abs() < 1e-9);
+        assert_eq!(b.cum_stall(), 0.0);
+    }
+
+    #[test]
+    fn late_chunk_causes_stall() {
+        let mut b = PlaybackBuffer::new(0.0);
+        b.on_chunk_arrival(0.0); // buffer = 2.002
+        b.on_chunk_arrival(5.0); // gap of 5 > 2.002 → stall of 2.998
+        assert!((b.cum_stall() - (5.0 - CHUNK_SECONDS)).abs() < 1e-9);
+        assert!((b.last_gap_stall() - (5.0 - CHUNK_SECONDS)).abs() < 1e-9);
+        // After the arrival the buffer holds exactly one chunk.
+        assert!((b.buffer_at(5.0) - CHUNK_SECONDS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stalls_accumulate_across_gaps() {
+        let mut b = PlaybackBuffer::new(0.0);
+        b.on_chunk_arrival(0.0);
+        b.on_chunk_arrival(3.0); // stall 0.998
+        b.on_chunk_arrival(4.0); // no stall (buffer was ~1 chunk)
+        b.on_chunk_arrival(12.0); // gap 8 vs buffer ~3.0 → stall ~5.0
+        let expected = (3.0 - CHUNK_SECONDS) + (8.0 - (2.0 * CHUNK_SECONDS + CHUNK_SECONDS - 8.0 + 8.0 - 8.0)).max(0.0);
+        // Compute directly instead: verify via invariant below.
+        let _ = expected;
+        // Invariant: play time + stall time = wall time since play start.
+        let wall = 12.0;
+        let played = b.played_at(12.0);
+        assert!(
+            (played + b.cum_stall() - wall).abs() < 1e-9,
+            "played {played} + stall {} must equal wall {wall}",
+            b.cum_stall()
+        );
+    }
+
+    #[test]
+    fn room_gating() {
+        let mut b = PlaybackBuffer::new(0.0);
+        // Fill to ~14 s.
+        for i in 0..7 {
+            b.on_chunk_arrival(0.01 * i as f64);
+        }
+        let now = 0.06;
+        let level = b.buffer_at(now);
+        assert!(level > 13.0);
+        let room_at = b.time_with_room(now, 15.0);
+        // Must wait until level drains to 15 − 2.002 = 12.998.
+        assert!((room_at - (now + (level - (15.0 - CHUNK_SECONDS)))).abs() < 1e-9);
+        // And indeed there is room at that time.
+        assert!(b.buffer_at(room_at) <= 15.0 - CHUNK_SECONDS + 1e-9);
+    }
+
+    #[test]
+    fn room_is_immediate_when_below_threshold() {
+        let mut b = PlaybackBuffer::new(0.0);
+        b.on_chunk_arrival(0.0);
+        assert_eq!(b.time_with_room(1.0, 15.0), 1.0);
+    }
+
+    #[test]
+    fn trailing_stall_is_counted() {
+        let mut b = PlaybackBuffer::new(0.0);
+        b.on_chunk_arrival(0.0); // buffer = 2.002
+        // Query 5 s later with nothing else arriving: 2.998 s of stall.
+        assert!((b.cum_stall_at(5.0) - (5.0 - CHUNK_SECONDS)).abs() < 1e-9);
+        // But the event-time accumulator hasn't moved.
+        assert_eq!(b.cum_stall(), 0.0);
+        // Before the buffer drains there is no trailing stall.
+        assert_eq!(b.cum_stall_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn played_time_accounts_for_buffer() {
+        let mut b = PlaybackBuffer::new(0.0);
+        b.on_chunk_arrival(0.0);
+        b.on_chunk_arrival(0.1);
+        // At t=1: played 1 s of the ~4 s received.
+        assert!((b.played_at(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn out_of_order_events_rejected() {
+        let mut b = PlaybackBuffer::new(0.0);
+        b.on_chunk_arrival(2.0);
+        b.on_chunk_arrival(1.0);
+    }
+}

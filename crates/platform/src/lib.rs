@@ -1,0 +1,48 @@
+//! # puffer-platform — the randomized controlled trial
+//!
+//! Puffer (§3) is "a free, publicly accessible website that live-streams six
+//! over-the-air commercial television channels", operated "as a randomized
+//! controlled trial; sessions are randomly assigned to one of a set of ABR or
+//! congestion-control schemes", with users blinded to the assignment.  This
+//! crate is that experiment, run against the synthetic substrates:
+//!
+//! * [`client`] — the playback-buffer state machine of the browser player
+//!   (startup, steady drain at 1 s/s, stalls, the 15-second cap);
+//! * [`stream`] — one stream: the server-side send loop over a
+//!   [`puffer_net::Connection`], invoking an [`puffer_abr::Abr`] per chunk
+//!   and recording telemetry;
+//! * [`session`] — sessions carrying many streams over one TCP connection
+//!   (channel changes, §3.2);
+//! * [`user`] — participant behaviour: heavy-tailed watch intents, rapid
+//!   channel zapping, stall abandonment, and QoE-sensitive tail retention
+//!   (the Fig. 10 phenomenon);
+//! * [`telemetry`] — the `video_sent` / `video_acked` / `client_buffer`
+//!   measurements of Appendix B, plus the daily-archive writer;
+//! * [`scheme`] — the scheme registry mapping experiment arms to algorithms
+//!   (Fig. 5);
+//! * [`experiment`] — the day-by-day RCT driver: blinded randomization,
+//!   parallel session execution, CONSORT-style exclusion accounting
+//!   (Fig. A1), nightly in-situ retraining of Fugu's TTP (§4.3), and
+//!   Pensieve's emulation training environment (§3.3, §5.2).
+
+pub mod archive;
+pub mod client;
+pub mod experiment;
+pub mod pensieve_env;
+pub mod scheme;
+pub mod session;
+pub mod stream;
+pub mod telemetry;
+pub mod user;
+
+pub use archive::DailyArchive;
+pub use experiment::{ConsortCounts, ExperimentConfig, RctResult, SchemeArm};
+pub use pensieve_env::{train_pensieve, PensieveTrainConfig};
+pub use scheme::SchemeSpec;
+pub use session::{run_session, SessionOutcome};
+pub use stream::{run_stream, ChunkLog, QuitReason, StreamConfig, StreamOutcome};
+pub use user::UserModel;
+
+/// Minimum watch time for a stream to enter the primary analysis:
+/// "counting all streams that played at least 4 seconds of video" (§5).
+pub const MIN_CONSIDERED_WATCH: f64 = 4.0;

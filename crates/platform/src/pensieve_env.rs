@@ -1,0 +1,283 @@
+//! Pensieve's training environment (§3.3, §5.2).
+//!
+//! Pensieve is trained with reinforcement learning in *emulation*: "we used
+//! the authors' provided script to generate 1000 simulated videos as training
+//! videos, and a combination of the FCC and Norway traces ... as training
+//! traces", with clients playing a 10-minute clip repeatedly (§5.2).  Here
+//! the emulation world is [`TraceBank::emulation`] (stationary FCC-like
+//! paths), episodes are 10-minute watch segments, and the reward is the
+//! bitrate-based QoE Pensieve optimizes (Fig. 5): it cannot see SSIM (§3.3).
+
+use crate::stream::{run_stream, StreamConfig};
+use crate::user::{StreamIntent, UserModel};
+use puffer_abr::pensieve::{PensievePolicy, PensieveTrainer, Trajectory};
+use puffer_abr::{Abr, AbrContext, ChunkRecord};
+use puffer_media::{pensieve_reward, VideoSource, CHUNK_SECONDS};
+use puffer_net::{CongestionControl, Connection};
+use puffer_trace::TraceBank;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// An [`Abr`] wrapper that records (state, action) pairs during an episode
+/// so the trainer can assemble a [`Trajectory`] afterwards.
+struct RecordingPensieve<'a> {
+    policy: &'a mut PensievePolicy,
+    states: Vec<Vec<f32>>,
+    actions: Vec<usize>,
+}
+
+impl Abr for RecordingPensieve<'_> {
+    fn name(&self) -> &'static str {
+        "Pensieve (training)"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let features = self.policy.features(ctx);
+        let action = self.policy.act(&features);
+        self.states.push(features);
+        self.actions.push(action);
+        action
+    }
+
+    fn on_chunk_delivered(&mut self, record: ChunkRecord) {
+        let _ = record;
+    }
+
+    fn reset_stream(&mut self) {}
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PensieveTrainConfig {
+    /// Training iterations (synchronous batches).
+    pub iterations: usize,
+    /// Episodes per iteration.
+    pub episodes_per_iter: usize,
+    /// Episode length, seconds (the 10-minute clip of §5.2).
+    pub episode_seconds: f64,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Initial entropy-bonus weight and its multiplicative decay per
+    /// iteration ("entropy reduction scheme", §3.3) with a floor.
+    pub entropy_init: f32,
+    pub entropy_decay: f32,
+    pub entropy_floor: f32,
+}
+
+impl Default for PensieveTrainConfig {
+    fn default() -> Self {
+        PensieveTrainConfig {
+            iterations: 60,
+            episodes_per_iter: 8,
+            episode_seconds: 600.0,
+            lr: 2e-3,
+            entropy_init: 0.2,
+            entropy_decay: 0.97,
+            entropy_floor: 0.02,
+        }
+    }
+}
+
+/// One training episode: a 10-minute stream in the emulation world.
+/// Returns the trajectory and the episode's mean reward.
+fn run_episode<R: Rng + ?Sized>(
+    policy: &mut PensievePolicy,
+    bank: &TraceBank,
+    cfg: &PensieveTrainConfig,
+    rng: &mut R,
+) -> Trajectory {
+    let (path, trace) = bank.sample_session(cfg.episode_seconds * 1.3 + 60.0, rng);
+    let queue = (path.buffer_seconds * path.base_rate).max(16_000.0);
+    let mut conn = Connection::new(trace, path.min_rtt, queue, CongestionControl::Bbr, 0.0);
+    let mut source = VideoSource::puffer_default();
+    // An automated training client: never zaps, never abandons.
+    let user = UserModel {
+        zap_prob: 0.0,
+        stall_quit_rate: 0.0,
+        tail_quit_base: 0.0,
+        ..UserModel::default()
+    };
+    let mut recorder = RecordingPensieve { policy, states: Vec::new(), actions: Vec::new() };
+    let out = run_stream(
+        &mut conn,
+        &mut source,
+        &mut recorder,
+        &user,
+        StreamIntent::Watch(cfg.episode_seconds),
+        0.0,
+        &StreamConfig::default(),
+        0.0,
+        rng,
+    );
+
+    // Rewards from the chunk log: bitrate-based QoE (Fig. 5).
+    let mut traj = Trajectory::default();
+    let mut prev_bitrate: Option<f64> = None;
+    for (i, c) in out.chunk_log.iter().enumerate() {
+        let bitrate = c.size * 8.0 / CHUNK_SECONDS;
+        let r = pensieve_reward(bitrate, prev_bitrate, c.stall) as f32;
+        prev_bitrate = Some(bitrate);
+        // The recorder may have one extra decision whose chunk never played
+        // (user deadline); align on the chunk log.
+        if i < recorder.states.len() {
+            traj.push(recorder.states[i].clone(), recorder.actions[i], r);
+        }
+    }
+    traj
+}
+
+/// Train a Pensieve policy in the emulation world.  Deterministic given the
+/// seed.  Returns the trained policy (set to greedy for deployment by the
+/// scheme registry).
+pub fn train_pensieve(cfg: &PensieveTrainConfig, seed: u64) -> PensievePolicy {
+    let bank = TraceBank::emulation();
+    let mut policy = PensievePolicy::new(seed);
+    policy.set_stochastic(true);
+    policy.set_exploration_epsilon(0.04);
+    let mut trainer = PensieveTrainer::new(cfg.lr);
+    trainer.entropy_weight = cfg.entropy_init;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ p_hash());
+    for _ in 0..cfg.iterations {
+        let mut trajectories = Vec::with_capacity(cfg.episodes_per_iter);
+        for _ in 0..cfg.episodes_per_iter {
+            let t = run_episode(&mut policy, &bank, cfg, &mut rng);
+            if !t.is_empty() {
+                trajectories.push(t);
+            }
+        }
+        if !trajectories.is_empty() {
+            trainer.update(&mut policy, &trajectories);
+        }
+        trainer.decay_entropy(cfg.entropy_decay, cfg.entropy_floor);
+    }
+    policy.set_stochastic(false);
+    policy.set_exploration_epsilon(0.0);
+    policy
+}
+
+/// Mean per-chunk reward of a (greedy) policy over fresh emulation episodes.
+pub fn evaluate_policy(
+    policy: &PensievePolicy,
+    cfg: &PensieveTrainConfig,
+    episodes: usize,
+    seed: u64,
+) -> f64 {
+    let bank = TraceBank::emulation();
+    let mut greedy = policy.clone();
+    greedy.set_stochastic(false);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut total = 0.0f64;
+    let mut n = 0usize;
+    for _ in 0..episodes {
+        let t = run_episode(&mut greedy, &bank, cfg, &mut rng);
+        total += t.rewards.iter().map(|&r| f64::from(r)).sum::<f64>();
+        n += t.len();
+    }
+    total / n.max(1) as f64
+}
+
+/// The paper's actual procedure (§3.3): "We wrote an automated tool to train
+/// 6 different models with various entropy reduction schemes.  We tested
+/// these manually over a few real networks, then selected the model with the
+/// best performance."  Trains one model per `(entropy_init, decay, floor)`
+/// schedule and returns the one with the best greedy evaluation reward,
+/// along with each candidate's score.
+pub fn train_pensieve_with_selection(
+    schedules: &[(f32, f32, f32)],
+    base: &PensieveTrainConfig,
+    seed: u64,
+) -> (PensievePolicy, Vec<f64>) {
+    assert!(!schedules.is_empty());
+    let mut best: Option<(PensievePolicy, f64)> = None;
+    let mut scores = Vec::with_capacity(schedules.len());
+    for (i, &(init, decay, floor)) in schedules.iter().enumerate() {
+        let cfg = PensieveTrainConfig {
+            entropy_init: init,
+            entropy_decay: decay,
+            entropy_floor: floor,
+            ..*base
+        };
+        let policy = train_pensieve(&cfg, seed.wrapping_add(i as u64 * 0x1111));
+        let score = evaluate_policy(&policy, base, 12, seed ^ 0xe7a1);
+        scores.push(score);
+        if best.as_ref().is_none_or(|(_, s)| score > *s) {
+            best = Some((policy, score));
+        }
+    }
+    (best.expect("at least one schedule").0, scores)
+}
+
+// A silly constant mixer kept out of the seed literal for clarity.
+#[allow(non_snake_case)]
+fn p_hash() -> u64 {
+    0x5851_f42d_4c95_7f2d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> PensieveTrainConfig {
+        PensieveTrainConfig {
+            iterations: 3,
+            episodes_per_iter: 2,
+            episode_seconds: 60.0,
+            ..PensieveTrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn episodes_produce_aligned_trajectories() {
+        let bank = TraceBank::emulation();
+        let mut policy = PensievePolicy::new(5);
+        policy.set_stochastic(true);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let t = run_episode(&mut policy, &bank, &tiny_cfg(), &mut rng);
+        assert!(!t.is_empty(), "a 60 s episode must yield chunks");
+        assert_eq!(t.states.len(), t.actions.len());
+        assert_eq!(t.states.len(), t.rewards.len());
+    }
+
+    #[test]
+    fn training_runs_and_returns_greedy_policy() {
+        let policy = train_pensieve(&tiny_cfg(), 1);
+        // Greedy determinism after training.
+        let mut p1 = policy.clone();
+        let mut p2 = policy.clone();
+        let f: Vec<f32> = (0..puffer_abr::pensieve::N_FEATURES).map(|i| i as f32 * 0.01).collect();
+        assert_eq!(p1.act(&f), p2.act(&f));
+    }
+
+    #[test]
+    fn training_improves_reward_on_average() {
+        // Compare mean episode reward before vs after a short training run.
+        let bank = TraceBank::emulation();
+        let cfg = PensieveTrainConfig {
+            iterations: 20,
+            episodes_per_iter: 6,
+            episode_seconds: 120.0,
+            ..PensieveTrainConfig::default()
+        };
+        let mean_reward = |policy: &mut PensievePolicy, seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut total = 0.0f64;
+            let mut n = 0usize;
+            for _ in 0..8 {
+                let t = run_episode(policy, &bank, &cfg, &mut rng);
+                total += t.rewards.iter().map(|&r| f64::from(r)).sum::<f64>();
+                n += t.len();
+            }
+            total / n.max(1) as f64
+        };
+        let mut fresh = PensievePolicy::new(3);
+        fresh.set_stochastic(true);
+        let before = mean_reward(&mut fresh, 100);
+        let mut trained = train_pensieve(&cfg, 3);
+        trained.set_stochastic(true);
+        let after = mean_reward(&mut trained, 100);
+        assert!(
+            after > before - 0.2,
+            "training must not collapse the reward: before {before:.3} after {after:.3}"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Sessions: many streams over one TCP connection.
+//!
+//! "A 'session' represents one visit to the Puffer video player and may
+//! contain many 'streams.'  Reloading starts a new session, but changing
+//! channels only starts a new stream and does not change TCP connections or
+//! ABR algorithms" (Fig. A1).  The primary experiment randomized 337,170
+//! sessions carrying 1,595,356 streams — about 4.7 streams per session.
+
+use crate::stream::{run_stream, QuitReason, StreamConfig, StreamOutcome};
+use crate::user::UserModel;
+use puffer_abr::Abr;
+use puffer_media::VideoSource;
+use puffer_net::{CongestionControl, Connection};
+use puffer_trace::TraceBank;
+use rand::SeedableRng;
+
+/// Gap between a channel change and the first send of the new stream
+/// (player teardown/setup on the same WebSocket), seconds.
+const CHANNEL_SWITCH_GAP: f64 = 0.25;
+
+/// Everything one session produced.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Stream outcomes in order.
+    pub streams: Vec<StreamOutcome>,
+    /// Total time on the video player, seconds (Fig. 10's quantity).
+    pub total_time: f64,
+    /// Mean bottleneck trace rate, bytes/s (diagnostics).
+    pub path_mean_rate: f64,
+    /// Path class name (diagnostics).
+    pub path_class: &'static str,
+}
+
+/// Run one session: sample a path, open a connection, and play streams until
+/// the participant's session intent is exhausted or they abandon.
+///
+/// All randomness derives from `seed`, so sessions can run on any thread in
+/// any order with identical results.
+pub fn run_session(
+    bank: &TraceBank,
+    abr: &mut dyn Abr,
+    user: &UserModel,
+    cc: CongestionControl,
+    base_stream_cfg: StreamConfig,
+    session_id: u64,
+    seed: u64,
+) -> SessionOutcome {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let intent = user.session_intent(&mut rng);
+    // The trace loops, so sampling a bounded horizon suffices even for
+    // marathon sessions.
+    let trace_horizon = (intent * 1.2 + 120.0).min(7200.0);
+    let (path, trace) = bank.sample_session(trace_horizon, &mut rng);
+    let queue_capacity = (path.buffer_seconds * path.base_rate).max(16_000.0);
+    let mut conn = Connection::new(trace, path.min_rtt, queue_capacity, cc, 0.0);
+    let path_mean_rate = path.base_rate;
+
+    let mut streams = Vec::new();
+    let mut t = 0.0f64;
+    let mut remaining = intent;
+    let mut stream_seq = 0u64;
+    while remaining > 1.0 {
+        let stream_intent = user.next_stream_intent(remaining, &mut rng);
+        let mut source = VideoSource::puffer_default();
+        abr.reset_stream();
+        let cfg = StreamConfig {
+            stream_id: session_id * 1000 + stream_seq,
+            ..base_stream_cfg
+        };
+        let out = run_stream(
+            &mut conn,
+            &mut source,
+            abr,
+            user,
+            stream_intent,
+            t,
+            &cfg,
+            t,
+            &mut rng,
+        );
+        let end = out.end_time.max(t);
+        let abandoned = matches!(
+            out.quit,
+            QuitReason::AbandonedStall | QuitReason::AbandonedTail
+        );
+        streams.push(out);
+        let consumed = (end - t).max(0.05);
+        t = end + CHANNEL_SWITCH_GAP;
+        remaining -= consumed + CHANNEL_SWITCH_GAP;
+        stream_seq += 1;
+        if abandoned {
+            break; // the user left the site, not just the channel
+        }
+    }
+
+    SessionOutcome {
+        streams,
+        total_time: t.max(0.0),
+        path_mean_rate,
+        path_class: path.class.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_abr::Bba;
+
+    fn run(seed: u64) -> SessionOutcome {
+        let bank = TraceBank::puffer();
+        let mut abr = Bba::default();
+        let user = UserModel::default();
+        run_session(
+            &bank,
+            &mut abr,
+            &user,
+            CongestionControl::Bbr,
+            StreamConfig::default(),
+            1,
+            seed,
+        )
+    }
+
+    #[test]
+    fn sessions_contain_streams() {
+        let mut total_streams = 0usize;
+        for seed in 0..20 {
+            let out = run(seed);
+            assert!(!out.streams.is_empty());
+            assert!(out.total_time > 0.0);
+            total_streams += out.streams.len();
+        }
+        // Fig. A1: ~4.7 streams per session on average.  Allow a wide band.
+        let mean = total_streams as f64 / 20.0;
+        assert!((1.5..12.0).contains(&mean), "mean streams/session {mean}");
+    }
+
+    #[test]
+    fn stream_ids_are_unique_within_session() {
+        let out = run(3);
+        let mut ids = std::collections::HashSet::new();
+        for s in &out.streams {
+            for v in &s.telemetry.video_sent {
+                ids.insert(v.stream_id);
+            }
+        }
+        let distinct_streams =
+            out.streams.iter().filter(|s| !s.telemetry.video_sent.is_empty()).count();
+        assert_eq!(ids.len(), distinct_streams);
+    }
+
+    #[test]
+    fn some_streams_never_begin() {
+        // Zap streams that end before the first chunk plays are the bulk of
+        // Fig. A1's exclusions.
+        let mut never = 0;
+        let mut total = 0;
+        for seed in 0..40 {
+            let out = run(seed);
+            for s in &out.streams {
+                total += 1;
+                if s.summary.is_none() {
+                    never += 1;
+                }
+            }
+        }
+        let frac = never as f64 / total as f64;
+        assert!((0.02..0.7).contains(&frac), "never-began fraction {frac} of {total}");
+    }
+
+    #[test]
+    fn total_time_bounds_stream_times() {
+        let out = run(9);
+        let sum: f64 = out
+            .streams
+            .iter()
+            .filter_map(|s| s.summary.as_ref())
+            .map(|s| s.watch_time)
+            .sum();
+        assert!(sum <= out.total_time + 1.0, "watch {sum} vs session {}", out.total_time);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(77);
+        let b = run(77);
+        assert_eq!(a.streams.len(), b.streams.len());
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.path_class, b.path_class);
+    }
+}

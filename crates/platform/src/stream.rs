@@ -1,0 +1,444 @@
+//! One stream: the server-side send loop.
+//!
+//! A "stream" is one continuously-played channel within a session; changing
+//! channels starts a new stream on the same TCP connection (§3.2, Fig. A1).
+//! Per chunk, the server (a) waits until the client's 15-second buffer has
+//! room, (b) asks the assigned ABR scheme for a rung, (c) sends the chunk
+//! over the connection, and (d) records telemetry.  The client plays the
+//! video and the user may leave — at their intended time, in disgust during
+//! a stall, or, deep in the session tail, when QoE stops justifying staying
+//! (§5.1).
+
+use crate::client::PlaybackBuffer;
+use crate::telemetry::{BufferEvent, ClientBuffer, StreamTelemetry, VideoAcked, VideoSent};
+use crate::user::{StreamIntent, UserModel};
+use fugu::ChunkObservation;
+use puffer_abr::{Abr, AbrContext, ChunkRecord, HISTORY_LEN, HORIZON};
+use puffer_media::{ssim, ChunkMenu, VideoSource, MAX_BUFFER_SECONDS};
+use puffer_net::Connection;
+use puffer_stats::StreamSummary;
+use rand::Rng;
+
+/// Why the stream ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuitReason {
+    /// The user left before the first chunk played ("did not begin playing",
+    /// Fig. A1).
+    NeverBegan,
+    /// The user watched as long as they intended.
+    IntentDone,
+    /// A rebuffering event drove the user away.
+    AbandonedStall,
+    /// Deep-tail retention check failed (§5.1).
+    AbandonedTail,
+}
+
+/// Per-chunk record kept for analysis and RL training.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkLog {
+    pub rung: usize,
+    pub size: f64,
+    pub ssim_db: f64,
+    pub transmission_time: f64,
+    /// Stall incurred waiting for this chunk, seconds.
+    pub stall: f64,
+    /// Client buffer at the send decision, seconds.
+    pub buffer_before: f64,
+    pub send_time: f64,
+}
+
+/// Static parameters of a stream run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    pub stream_id: u64,
+    pub expt_id: u32,
+    /// Menus visible to MPC-family schemes (paper: 5).
+    pub lookahead: usize,
+    /// Fixed player/startup overhead added to the startup delay metric
+    /// (WebSocket setup, MediaSource init, first decode), seconds.
+    pub startup_overhead: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            stream_id: 0,
+            expt_id: 0,
+            lookahead: HORIZON,
+            startup_overhead: 0.4,
+        }
+    }
+}
+
+/// Everything a stream run produces.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Summary figures; `None` when playback never began.
+    pub summary: Option<StreamSummary>,
+    pub chunk_log: Vec<ChunkLog>,
+    /// Per-chunk observations for TTP training (§4.3).
+    pub observations: Vec<ChunkObservation>,
+    pub telemetry: StreamTelemetry,
+    /// Wall-clock time when the stream ended.
+    pub end_time: f64,
+    pub quit: QuitReason,
+}
+
+/// Number of recent chunks over which tail-retention QoE is assessed.
+const RECENT_WINDOW: usize = 32;
+
+/// Run one stream starting at `start_time` over an existing connection.
+///
+/// `session_watch_before` is the wall time already spent in this session
+/// (for the 2.5-hour tail-retention rule).
+#[allow(clippy::too_many_arguments)]
+pub fn run_stream<R: Rng + ?Sized>(
+    conn: &mut Connection,
+    source: &mut VideoSource,
+    abr: &mut dyn Abr,
+    user: &UserModel,
+    intent: StreamIntent,
+    session_watch_before: f64,
+    cfg: &StreamConfig,
+    start_time: f64,
+    rng: &mut R,
+) -> StreamOutcome {
+    let intent_secs = match intent {
+        StreamIntent::Zap(d) | StreamIntent::Watch(d) => d,
+    };
+    let deadline = start_time + intent_secs.max(0.05);
+
+    let mut upcoming: Vec<ChunkMenu> =
+        (0..cfg.lookahead.max(1)).map(|_| source.next_chunk(rng)).collect();
+    let mut client = PlaybackBuffer::new(start_time);
+    let mut history: Vec<ChunkRecord> = Vec::new();
+    let mut telemetry = StreamTelemetry::default();
+    let mut chunk_log: Vec<ChunkLog> = Vec::new();
+    let mut observations: Vec<ChunkObservation> = Vec::new();
+    let mut prev_ssim_db: Option<f64> = None;
+    let mut prev_rung: Option<usize> = None;
+    let mut delivery_rates: Vec<f64> = Vec::new();
+    let mut quit = QuitReason::IntentDone;
+    let mut end_time = deadline;
+
+    let mut last_completion = start_time.max(conn.last_completion());
+
+    loop {
+        // Server sends the next chunk as soon as the client has room.
+        let send_t = client.time_with_room(last_completion, MAX_BUFFER_SECONDS);
+        if send_t >= deadline {
+            break; // the user will leave before this chunk matters
+        }
+        let tcp_info = conn.tcp_info(send_t);
+        let ctx = AbrContext {
+            buffer: client.buffer_at(send_t),
+            prev_ssim_db,
+            prev_rung,
+            lookahead: &upcoming,
+            history: &history[history.len().saturating_sub(HISTORY_LEN)..],
+            tcp_info,
+        };
+        let rung = abr.choose(&ctx).min(upcoming[0].n_rungs() - 1);
+        let opt = upcoming[0].options[rung];
+
+        telemetry.video_sent.push(VideoSent {
+            time: send_t,
+            stream_id: cfg.stream_id,
+            expt_id: cfg.expt_id,
+            size: opt.size,
+            ssim_index: ssim::db_to_index(opt.ssim_db),
+            cwnd: tcp_info.cwnd,
+            in_flight: tcp_info.in_flight,
+            min_rtt: tcp_info.min_rtt,
+            rtt: tcp_info.rtt,
+            delivery_rate: tcp_info.delivery_rate,
+        });
+        delivery_rates.push(tcp_info.delivery_rate);
+
+        let transfer = conn.send(send_t, opt.size);
+        let arrival = transfer.completion;
+        last_completion = arrival;
+
+        telemetry.video_acked.push(VideoAcked {
+            time: arrival,
+            stream_id: cfg.stream_id,
+            expt_id: cfg.expt_id,
+            size: opt.size,
+        });
+        let record = ChunkRecord {
+            size: opt.size,
+            transmission_time: transfer.transmission_time(),
+        };
+        abr.on_chunk_delivered(record);
+        history.push(record);
+        observations.push(ChunkObservation {
+            size: opt.size,
+            transmission_time: transfer.transmission_time(),
+            tcp_info,
+        });
+
+        if arrival >= deadline {
+            // The user leaves while this chunk is still in flight.
+            if !client.playing() {
+                quit = QuitReason::NeverBegan;
+            }
+            end_time = deadline;
+            break;
+        }
+
+        let started = client.playing();
+        client.on_chunk_arrival(arrival);
+        let stall = client.last_gap_stall();
+        telemetry.client_buffer.push(ClientBuffer {
+            time: arrival,
+            stream_id: cfg.stream_id,
+            expt_id: cfg.expt_id,
+            event: if !started {
+                BufferEvent::Startup
+            } else if stall > 0.0 {
+                BufferEvent::Rebuffer
+            } else {
+                BufferEvent::Periodic
+            },
+            buffer: client.buffer_at(arrival),
+            cum_rebuf: client.cum_stall(),
+        });
+        chunk_log.push(ChunkLog {
+            rung,
+            size: opt.size,
+            ssim_db: opt.ssim_db,
+            transmission_time: transfer.transmission_time(),
+            stall,
+            buffer_before: client.buffer_at(send_t.max(arrival - 1e-9)).min(15.0),
+            send_time: send_t,
+        });
+        prev_ssim_db = Some(opt.ssim_db);
+        prev_rung = Some(rung);
+
+        // Slide the lookahead window.
+        upcoming.remove(0);
+        upcoming.push(source.next_chunk(rng));
+
+        // --- user behaviour ---
+        if stall > 0.0 && user.quits_on_stall(stall, rng) {
+            quit = QuitReason::AbandonedStall;
+            end_time = arrival;
+            break;
+        }
+        let session_time = session_watch_before + (arrival - start_time);
+        let recent = &chunk_log[chunk_log.len().saturating_sub(RECENT_WINDOW)..];
+        let recent_ssim =
+            recent.iter().map(|c| c.ssim_db).sum::<f64>() / recent.len() as f64;
+        let recent_var = if recent.len() > 1 {
+            recent
+                .windows(2)
+                .map(|w| (w[1].ssim_db - w[0].ssim_db).abs())
+                .sum::<f64>()
+                / (recent.len() - 1) as f64
+        } else {
+            0.0
+        };
+        let recent_wall = arrival - recent[0].send_time;
+        let recent_stall_frac = if recent_wall > 0.0 {
+            recent.iter().map(|c| c.stall).sum::<f64>() / recent_wall
+        } else {
+            0.0
+        };
+        if user.quits_in_tail(session_time, recent_ssim, recent_var, recent_stall_frac, rng) {
+            quit = QuitReason::AbandonedTail;
+            end_time = arrival;
+            break;
+        }
+    }
+
+    if !client.playing() {
+        return StreamOutcome {
+            summary: None,
+            chunk_log,
+            observations,
+            telemetry,
+            end_time,
+            quit: QuitReason::NeverBegan,
+        };
+    }
+
+    let play_start = client.play_start().expect("playing implies a start");
+    let watch_time = (end_time - play_start).max(0.0);
+    // Stall accounting includes any trailing rebuffer between the final
+    // chunk arrival and the user's departure, but never exceeds the watch.
+    let stall_time = client.cum_stall_at(end_time.max(play_start)).min(watch_time);
+    let ssims: Vec<f64> = chunk_log.iter().map(|c| c.ssim_db).collect();
+    let mean_ssim = if ssims.is_empty() {
+        0.0
+    } else {
+        ssims.iter().sum::<f64>() / ssims.len() as f64
+    };
+    let variation = if ssims.len() > 1 {
+        ssims.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (ssims.len() - 1) as f64
+    } else {
+        0.0
+    };
+    let summary = StreamSummary {
+        startup_delay: (play_start - start_time) + cfg.startup_overhead,
+        watch_time,
+        stall_time,
+        mean_ssim_db: mean_ssim,
+        ssim_variation_db: variation,
+        first_chunk_ssim_db: ssims.first().copied().unwrap_or(0.0),
+        mean_delivery_rate: if delivery_rates.is_empty() {
+            0.0
+        } else {
+            delivery_rates.iter().sum::<f64>() / delivery_rates.len() as f64
+        },
+        total_bytes: chunk_log.iter().map(|c| c.size).sum(),
+        chunks: chunk_log.len(),
+    };
+    StreamOutcome {
+        summary: Some(summary),
+        chunk_log,
+        observations,
+        telemetry,
+        end_time,
+        quit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puffer_abr::Bba;
+    use puffer_net::CongestionControl;
+    use puffer_trace::{RateTrace, MBPS};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn conn(rate_mbps: f64) -> Connection {
+        Connection::new(
+            RateTrace::constant(rate_mbps * MBPS, 600.0),
+            0.04,
+            250_000.0,
+            CongestionControl::Bbr,
+            0.0,
+        )
+    }
+
+    fn run(
+        rate_mbps: f64,
+        intent: StreamIntent,
+        seed: u64,
+    ) -> StreamOutcome {
+        let mut c = conn(rate_mbps);
+        let mut src = VideoSource::puffer_default();
+        let mut abr = Bba::default();
+        let user = UserModel::default();
+        run_stream(
+            &mut c,
+            &mut src,
+            &mut abr,
+            &user,
+            intent,
+            0.0,
+            &StreamConfig::default(),
+            0.0,
+            &mut rng(seed),
+        )
+    }
+
+    #[test]
+    fn healthy_stream_plays_without_stalls() {
+        let out = run(20.0, StreamIntent::Watch(120.0), 1);
+        let s = out.summary.expect("must play");
+        assert_eq!(out.quit, QuitReason::IntentDone);
+        assert!(s.stall_time < 0.01, "fast link shouldn't stall: {}", s.stall_time);
+        // ~120 s of wall time => ~60 chunks played plus up to ~7 buffered
+        // ahead (the 15-second buffer the server keeps full).
+        assert!((50..=70).contains(&s.chunks), "{} chunks", s.chunks);
+        assert!(s.mean_ssim_db > 10.0);
+        assert!(s.startup_delay > 0.4 && s.startup_delay < 2.0, "{}", s.startup_delay);
+    }
+
+    #[test]
+    fn starved_stream_stalls() {
+        // 0.25 Mbit/s cannot even sustain the lowest (0.2 Mbit/s nominal)
+        // rung with VBR excursions and RTT overheads → stalls appear.
+        let out = run(0.22, StreamIntent::Watch(300.0), 2);
+        if let Some(s) = out.summary {
+            assert!(
+                s.stall_time > 0.0 || out.quit == QuitReason::AbandonedStall,
+                "starved stream should stall: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zap_before_startup_never_begins() {
+        // Leave after 100 ms; startup takes at least one chunk delivery.
+        let out = run(2.0, StreamIntent::Zap(0.1), 3);
+        assert_eq!(out.quit, QuitReason::NeverBegan);
+        assert!(out.summary.is_none());
+    }
+
+    #[test]
+    fn telemetry_sent_acked_match() {
+        let out = run(6.0, StreamIntent::Watch(60.0), 4);
+        assert_eq!(out.telemetry.video_sent.len(), out.telemetry.video_acked.len());
+        let tt = out.telemetry.transmission_times();
+        for (i, c) in out.chunk_log.iter().enumerate() {
+            assert!((tt[i] - c.transmission_time).abs() < 1e-9);
+            assert!(tt[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn buffer_never_exceeds_cap() {
+        let out = run(30.0, StreamIntent::Watch(90.0), 5);
+        for cb in &out.telemetry.client_buffer {
+            assert!(
+                cb.buffer <= MAX_BUFFER_SECONDS + 1e-6,
+                "buffer {} exceeds cap",
+                cb.buffer
+            );
+        }
+    }
+
+    #[test]
+    fn observations_align_with_chunks_sent() {
+        let out = run(6.0, StreamIntent::Watch(45.0), 6);
+        assert_eq!(out.observations.len(), out.telemetry.video_sent.len());
+        for (o, v) in out.observations.iter().zip(&out.telemetry.video_sent) {
+            assert_eq!(o.size, v.size);
+        }
+    }
+
+    #[test]
+    fn watch_time_invariant() {
+        let out = run(6.0, StreamIntent::Watch(200.0), 7);
+        let s = out.summary.unwrap();
+        // watch = played + stalls; both non-negative; watch ≤ intent + slack.
+        assert!(s.watch_time <= 200.0 + 1.0);
+        assert!(s.stall_time >= 0.0 && s.stall_time <= s.watch_time);
+    }
+
+    #[test]
+    fn faster_links_get_better_quality() {
+        let slow = run(1.2, StreamIntent::Watch(240.0), 8).summary.unwrap();
+        let fast = run(25.0, StreamIntent::Watch(240.0), 8).summary.unwrap();
+        assert!(
+            fast.mean_ssim_db > slow.mean_ssim_db + 1.0,
+            "fast {} vs slow {}",
+            fast.mean_ssim_db,
+            slow.mean_ssim_db
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(4.0, StreamIntent::Watch(100.0), 42);
+        let b = run(4.0, StreamIntent::Watch(100.0), 42);
+        assert_eq!(a.chunk_log.len(), b.chunk_log.len());
+        assert_eq!(a.summary.unwrap(), b.summary.unwrap());
+    }
+}

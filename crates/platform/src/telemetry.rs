@@ -1,0 +1,205 @@
+//! Client/server telemetry, mirroring the open-data measurements of
+//! Appendix B.
+//!
+//! Puffer's public archive has three essential measurements: `video_sent`
+//! (one datum per chunk sent, with `tcp_info` fields), `video_acked` (one
+//! per acknowledgement, from which transmission time is derived), and
+//! `client_buffer` (quarter-second buffer/rebuffer reports and events).  We
+//! reproduce the same schema so analyses written against the paper's archive
+//! shape work against simulated data, and provide a CSV-ish writer for the
+//! daily dumps.
+
+use std::fmt::Write as _;
+
+/// One datum of `video_sent` (Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoSent {
+    /// Epoch time (simulation seconds) when the chunk was sent.
+    pub time: f64,
+    /// Unique stream identifier.
+    pub stream_id: u64,
+    /// Experimental-group identifier (scheme arm).
+    pub expt_id: u32,
+    /// Chunk size, bytes.
+    pub size: f64,
+    /// SSIM index of the chunk (not dB — matching the archive field).
+    pub ssim_index: f64,
+    /// `tcpi_snd_cwnd`, packets.
+    pub cwnd: f64,
+    /// Packets in flight.
+    pub in_flight: f64,
+    /// `tcpi_min_rtt`, seconds.
+    pub min_rtt: f64,
+    /// `tcpi_rtt` (smoothed), seconds.
+    pub rtt: f64,
+    /// `tcpi_delivery_rate`, bytes/second.
+    pub delivery_rate: f64,
+}
+
+/// One datum of `video_acked`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoAcked {
+    /// Epoch time when the chunk's last byte was acknowledged.
+    pub time: f64,
+    pub stream_id: u64,
+    pub expt_id: u32,
+    /// Byte count acknowledged (matches the `video_sent` size).
+    pub size: f64,
+}
+
+/// Event type of a `client_buffer` datum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferEvent {
+    /// Periodic report (the client reports every quarter second; we emit one
+    /// per chunk arrival to bound volume).
+    Periodic,
+    /// Playback started.
+    Startup,
+    /// The player entered rebuffering.
+    Rebuffer,
+    /// The player resumed after rebuffering.
+    Play,
+}
+
+impl BufferEvent {
+    pub fn name(self) -> &'static str {
+        match self {
+            BufferEvent::Periodic => "periodic",
+            BufferEvent::Startup => "startup",
+            BufferEvent::Rebuffer => "rebuffer",
+            BufferEvent::Play => "play",
+        }
+    }
+}
+
+/// One datum of `client_buffer`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientBuffer {
+    pub time: f64,
+    pub stream_id: u64,
+    pub expt_id: u32,
+    pub event: BufferEvent,
+    /// Playback buffer size, seconds.
+    pub buffer: f64,
+    /// Cumulative rebuffer time in the current stream, seconds.
+    pub cum_rebuf: f64,
+}
+
+/// All telemetry of one stream.
+#[derive(Debug, Clone, Default)]
+pub struct StreamTelemetry {
+    pub video_sent: Vec<VideoSent>,
+    pub video_acked: Vec<VideoAcked>,
+    pub client_buffer: Vec<ClientBuffer>,
+}
+
+impl StreamTelemetry {
+    /// Derive per-chunk transmission times by joining `video_sent` with
+    /// `video_acked` in order — the join the paper describes ("Each data
+    /// point can be matched to a data point in video_sent ... and used to
+    /// calculate the transmission time of the chunk").
+    pub fn transmission_times(&self) -> Vec<f64> {
+        self.video_sent
+            .iter()
+            .zip(&self.video_acked)
+            .map(|(s, a)| a.time - s.time)
+            .collect()
+    }
+}
+
+/// Render `video_sent` data as the daily CSV dump.
+pub fn video_sent_csv(data: &[VideoSent]) -> String {
+    let mut out = String::from(
+        "time,stream_id,expt_id,size,ssim_index,cwnd,in_flight,min_rtt,rtt,delivery_rate\n",
+    );
+    for d in data {
+        let _ = writeln!(
+            out,
+            "{:.3},{},{},{:.0},{:.5},{:.1},{:.1},{:.6},{:.6},{:.0}",
+            d.time,
+            d.stream_id,
+            d.expt_id,
+            d.size,
+            d.ssim_index,
+            d.cwnd,
+            d.in_flight,
+            d.min_rtt,
+            d.rtt,
+            d.delivery_rate
+        );
+    }
+    out
+}
+
+/// Render `client_buffer` data as the daily CSV dump.
+pub fn client_buffer_csv(data: &[ClientBuffer]) -> String {
+    let mut out = String::from("time,stream_id,expt_id,event,buffer,cum_rebuf\n");
+    for d in data {
+        let _ = writeln!(
+            out,
+            "{:.3},{},{},{},{:.3},{:.3}",
+            d.time,
+            d.stream_id,
+            d.expt_id,
+            d.event.name(),
+            d.buffer,
+            d.cum_rebuf
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(time: f64) -> VideoSent {
+        VideoSent {
+            time,
+            stream_id: 7,
+            expt_id: 2,
+            size: 500_000.0,
+            ssim_index: 0.975,
+            cwnd: 30.0,
+            in_flight: 4.0,
+            min_rtt: 0.04,
+            rtt: 0.05,
+            delivery_rate: 1.2e6,
+        }
+    }
+
+    #[test]
+    fn transmission_times_from_join() {
+        let mut t = StreamTelemetry::default();
+        t.video_sent.push(sent(10.0));
+        t.video_acked.push(VideoAcked { time: 10.8, stream_id: 7, expt_id: 2, size: 500_000.0 });
+        t.video_sent.push(sent(11.0));
+        t.video_acked.push(VideoAcked { time: 12.5, stream_id: 7, expt_id: 2, size: 500_000.0 });
+        let tt = t.transmission_times();
+        assert!((tt[0] - 0.8).abs() < 1e-9);
+        assert!((tt[1] - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = video_sent_csv(&[sent(1.0), sent(2.0)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("time,stream_id"));
+        assert!(lines[1].starts_with("1.000,7,2,500000,0.97500"));
+    }
+
+    #[test]
+    fn buffer_event_names() {
+        assert_eq!(BufferEvent::Rebuffer.name(), "rebuffer");
+        let csv = client_buffer_csv(&[ClientBuffer {
+            time: 3.25,
+            stream_id: 1,
+            expt_id: 0,
+            event: BufferEvent::Startup,
+            buffer: 2.002,
+            cum_rebuf: 0.0,
+        }]);
+        assert!(csv.contains("startup"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Bootstrap confidence intervals (Efron & Tibshirani \[12\]).
+//!
+//! The statistic of interest is the *aggregate* rebuffering ratio
+//! Σ stall / Σ watch, a ratio of sums — so the resampling unit must be the
+//! stream, not the second.  §3.4 notes the consequence of heavy-tailed watch
+//! times: "with 1.75 years of data for each scheme, the width of the 95%
+//! confidence interval on a scheme's stall ratio is between ±10% and ±17% of
+//! the mean value."
+
+use rand::Rng;
+
+/// A two-sided percentile confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    pub lo: f64,
+    pub point: f64,
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width as a fraction of the point estimate (the "±10–17%" the
+    /// paper quotes).
+    pub fn relative_half_width(&self) -> f64 {
+        if self.point == 0.0 {
+            return f64::INFINITY;
+        }
+        ((self.hi - self.lo) / 2.0) / self.point
+    }
+
+    /// Whether two intervals are disjoint (the separation criterion used in
+    /// the detectability analysis).
+    pub fn disjoint_from(&self, other: &ConfidenceInterval) -> bool {
+        self.hi < other.lo || other.hi < self.lo
+    }
+}
+
+/// Percentile-bootstrap CI on the ratio of sums Σ numerator / Σ denominator.
+///
+/// `pairs` holds one `(numerator, denominator)` per stream — e.g.
+/// `(stall_time, watch_time)`.  `confidence` is e.g. 0.95.
+pub fn bootstrap_ratio_ci<R: Rng + ?Sized>(
+    pairs: &[(f64, f64)],
+    n_boot: usize,
+    confidence: f64,
+    rng: &mut R,
+) -> ConfidenceInterval {
+    assert!(!pairs.is_empty(), "need at least one stream");
+    assert!(n_boot >= 10, "need a meaningful number of resamples");
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.5);
+    let denom_total: f64 = pairs.iter().map(|p| p.1).sum();
+    assert!(denom_total > 0.0, "total denominator must be positive");
+    let point = pairs.iter().map(|p| p.0).sum::<f64>() / denom_total;
+
+    let n = pairs.len();
+    let mut stats = Vec::with_capacity(n_boot);
+    for _ in 0..n_boot {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for _ in 0..n {
+            let &(a, b) = &pairs[rng.random_range(0..n)];
+            num += a;
+            den += b;
+        }
+        stats.push(if den > 0.0 { num / den } else { 0.0 });
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((n_boot as f64 * alpha).floor() as usize).min(n_boot - 1);
+    let hi_idx = ((n_boot as f64 * (1.0 - alpha)).ceil() as usize).min(n_boot - 1);
+    ConfidenceInterval { lo: stats[lo_idx], point, hi: stats[hi_idx] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn point_estimate_is_ratio_of_sums() {
+        let pairs = vec![(1.0, 100.0), (3.0, 100.0)];
+        let ci = bootstrap_ratio_ci(&pairs, 200, 0.95, &mut rng(1));
+        assert!((ci.point - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_brackets_point() {
+        let mut r = rng(2);
+        let pairs: Vec<(f64, f64)> = (0..500)
+            .map(|_| {
+                let watch = 10.0 + 1000.0 * r.random::<f64>();
+                let stall = if r.random::<f64>() < 0.05 { watch * 0.05 } else { 0.0 };
+                (stall, watch)
+            })
+            .collect();
+        let ci = bootstrap_ratio_ci(&pairs, 500, 0.95, &mut rng(3));
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi, "{ci:?}");
+        assert!(ci.lo >= 0.0);
+    }
+
+    #[test]
+    fn more_data_narrows_the_interval() {
+        let mut r = rng(4);
+        let gen = |n: usize, r: &mut rand::rngs::StdRng| -> Vec<(f64, f64)> {
+            (0..n)
+                .map(|_| {
+                    let watch = 60.0 * (1.0 + 20.0 * r.random::<f64>());
+                    let stall = if r.random::<f64>() < 0.03 { 2.0 } else { 0.0 };
+                    (stall, watch)
+                })
+                .collect()
+        };
+        let small = gen(100, &mut r);
+        let big = gen(10_000, &mut r);
+        let ci_small = bootstrap_ratio_ci(&small, 400, 0.95, &mut rng(5));
+        let ci_big = bootstrap_ratio_ci(&big, 400, 0.95, &mut rng(6));
+        assert!(
+            ci_big.relative_half_width() < ci_small.relative_half_width(),
+            "small {:?} big {:?}",
+            ci_small.relative_half_width(),
+            ci_big.relative_half_width()
+        );
+    }
+
+    #[test]
+    fn heavy_tails_widen_the_interval() {
+        // Same number of streams, same mean stall ratio, but stalls
+        // concentrated in a few huge streams → wider CI.  This is the §3.4
+        // effect that frustrates A/B measurement.
+        let n = 2000;
+        let even: Vec<(f64, f64)> = (0..n).map(|_| (0.6, 60.0)).collect();
+        let tail: Vec<(f64, f64)> = (0..n)
+            .map(|i| if i % 100 == 0 { (60.0, 60.0) } else { (0.0, 60.0) })
+            .collect();
+        let ci_even = bootstrap_ratio_ci(&even, 400, 0.95, &mut rng(7));
+        let ci_tail = bootstrap_ratio_ci(&tail, 400, 0.95, &mut rng(8));
+        assert!((ci_even.point - ci_tail.point).abs() < 1e-9, "same mean by construction");
+        assert!(ci_tail.relative_half_width() > 3.0 * ci_even.relative_half_width());
+    }
+
+    #[test]
+    fn disjoint_detection() {
+        let a = ConfidenceInterval { lo: 0.1, point: 0.15, hi: 0.2 };
+        let b = ConfidenceInterval { lo: 0.25, point: 0.3, hi: 0.35 };
+        let c = ConfidenceInterval { lo: 0.18, point: 0.22, hi: 0.3 };
+        assert!(a.disjoint_from(&b));
+        assert!(b.disjoint_from(&a));
+        assert!(!a.disjoint_from(&c));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pairs = vec![(1.0, 50.0), (0.0, 70.0), (2.0, 30.0)];
+        let a = bootstrap_ratio_ci(&pairs, 300, 0.95, &mut rng(9));
+        let b = bootstrap_ratio_ci(&pairs, 300, 0.95, &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn empty_input_panics() {
+        bootstrap_ratio_ci(&[], 100, 0.95, &mut rng(10));
+    }
+}

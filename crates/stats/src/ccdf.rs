@@ -1,0 +1,69 @@
+//! Complementary CDFs (Fig. 10's log–log viewership-duration plot).
+
+/// Compute CCDF points `(x, P[X > x])` from samples.
+///
+/// Returns one point per distinct sample value, ascending in `x`.  Plotted on
+/// log–log axes this is the standard heavy-tail diagnostic; Fig. 10's session
+/// durations are straight-ish in the tail (power law).
+pub fn ccdf_points(samples: &[f64]) -> Vec<(f64, f64)> {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let x = sorted[i];
+        // Advance past duplicates.
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == x {
+            j += 1;
+        }
+        // P[X > x] = fraction strictly greater.
+        out.push((x, (sorted.len() - j) as f64 / n));
+        i = j;
+    }
+    out
+}
+
+/// Evaluate an empirical CCDF at a query point.
+pub fn ccdf_at(samples: &[f64], x: f64) -> f64 {
+    assert!(!samples.is_empty());
+    samples.iter().filter(|&&s| s > x).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ccdf() {
+        let pts = ccdf_points(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(pts, vec![(1.0, 0.75), (2.0, 0.5), (3.0, 0.25), (4.0, 0.0)]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = ccdf_points(&[1.0, 1.0, 2.0]);
+        assert_eq!(pts, vec![(1.0, 1.0 / 3.0), (2.0, 0.0)]);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing() {
+        let samples: Vec<f64> = (0..1000).map(|i| ((i * 37) % 97) as f64).collect();
+        let pts = ccdf_points(&samples);
+        for w in pts.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn ccdf_at_matches_points() {
+        let samples = [5.0, 10.0, 10.0, 20.0];
+        assert!((ccdf_at(&samples, 4.9) - 1.0).abs() < 1e-12);
+        assert!((ccdf_at(&samples, 5.0) - 0.75).abs() < 1e-12);
+        assert!((ccdf_at(&samples, 10.0) - 0.25).abs() < 1e-12);
+        assert_eq!(ccdf_at(&samples, 100.0), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Detectability analysis (§3.4, §5.3).
+//!
+//! "By our calculations, the variability of inputs is such that it takes
+//! about 2 stream-years of data to reliably distinguish two ABR schemes whose
+//! innate 'true' performance differs by 15%."
+//!
+//! We reproduce that calculation by Monte-Carlo power analysis on the
+//! empirical stream distribution: draw two synthetic experiment arms from the
+//! same observed `(stall, watch)` stream population, scale one arm's stalls
+//! by `(1 − improvement)`, compute each arm's bootstrap CI, and ask whether
+//! the intervals separate.  The detectable data volume is the smallest number
+//! of streams at which separation happens in ≥ `power` of simulated
+//! experiments.
+
+use crate::bootstrap::bootstrap_ratio_ci;
+use crate::SECONDS_PER_YEAR;
+use rand::Rng;
+
+/// Configuration of the power analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectConfig {
+    /// Relative stall-ratio improvement of the better arm (e.g. 0.15).
+    pub improvement: f64,
+    /// CI confidence (e.g. 0.95).
+    pub confidence: f64,
+    /// Required fraction of simulated experiments with separated CIs.
+    pub power: f64,
+    /// Simulated experiments per candidate size.
+    pub n_experiments: usize,
+    /// Bootstrap resamples per CI.
+    pub n_boot: usize,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        DetectConfig {
+            improvement: 0.15,
+            confidence: 0.95,
+            power: 0.8,
+            n_experiments: 20,
+            n_boot: 200,
+        }
+    }
+}
+
+/// Fraction of simulated A/B experiments of `n_streams` per arm whose CIs
+/// separate.
+pub fn detection_rate<R: Rng + ?Sized>(
+    population: &[(f64, f64)],
+    n_streams: usize,
+    cfg: &DetectConfig,
+    rng: &mut R,
+) -> f64 {
+    assert!(!population.is_empty());
+    assert!(n_streams > 0);
+    let mut detected = 0usize;
+    for _ in 0..cfg.n_experiments {
+        let draw = |rng: &mut R, scale: f64| -> Vec<(f64, f64)> {
+            (0..n_streams)
+                .map(|_| {
+                    let &(stall, watch) = &population[rng.random_range(0..population.len())];
+                    (stall * scale, watch)
+                })
+                .collect()
+        };
+        let a = draw(rng, 1.0);
+        let b = draw(rng, 1.0 - cfg.improvement);
+        let ci_a = bootstrap_ratio_ci(&a, cfg.n_boot, cfg.confidence, rng);
+        let ci_b = bootstrap_ratio_ci(&b, cfg.n_boot, cfg.confidence, rng);
+        if ci_a.disjoint_from(&ci_b) {
+            detected += 1;
+        }
+    }
+    detected as f64 / cfg.n_experiments as f64
+}
+
+/// Smallest per-arm data volume, in stream-years of watch time, at which the
+/// improvement in `cfg` is detected with the required power.  Searches over a
+/// doubling schedule of stream counts (bounded by `max_streams`) and returns
+/// `None` if even the largest size fails.
+pub fn stream_years_to_distinguish<R: Rng + ?Sized>(
+    population: &[(f64, f64)],
+    cfg: &DetectConfig,
+    max_streams: usize,
+    rng: &mut R,
+) -> Option<f64> {
+    assert!(!population.is_empty());
+    let mean_watch =
+        population.iter().map(|p| p.1).sum::<f64>() / population.len() as f64;
+    let mut n = 250usize;
+    while n <= max_streams {
+        if detection_rate(population, n, cfg, rng) >= cfg.power {
+            return Some(n as f64 * mean_watch / SECONDS_PER_YEAR);
+        }
+        n *= 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// A Puffer-like stream population: heavy-tailed watch times, rare
+    /// stalls concentrated on a few streams.
+    fn population(n: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut r = rng(seed);
+        (0..n)
+            .map(|_| {
+                // Log-normal-ish watch times, mean of a few hundred seconds.
+                let u: f64 = r.random();
+                let watch = 30.0 * (1.0 / (1.0 - u * 0.999)).powf(0.7);
+                let stall = if r.random::<f64>() < 0.04 {
+                    watch * 0.05 * r.random::<f64>()
+                } else {
+                    0.0
+                };
+                (stall, watch)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detection_rate_increases_with_data() {
+        let pop = population(8_000, 1);
+        let cfg = DetectConfig { n_experiments: 8, n_boot: 80, ..DetectConfig::default() };
+        let small = detection_rate(&pop, 300, &cfg, &mut rng(2));
+        let large = detection_rate(&pop, 8_000, &cfg, &mut rng(3));
+        assert!(
+            large >= small,
+            "more streams must not hurt detection: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn tiny_experiments_cannot_detect_15_percent() {
+        // The paper's point: a 15% difference is invisible at small scale.
+        let pop = population(8_000, 4);
+        let cfg = DetectConfig { n_experiments: 8, n_boot: 80, ..DetectConfig::default() };
+        let rate = detection_rate(&pop, 200, &cfg, &mut rng(5));
+        assert!(rate < 0.5, "200 streams should rarely separate CIs, got {rate}");
+    }
+
+    #[test]
+    fn big_improvements_are_detected_sooner() {
+        let pop = population(6_000, 6);
+        let mk = |imp: f64| DetectConfig {
+            improvement: imp,
+            n_experiments: 8,
+            n_boot: 100,
+            ..DetectConfig::default()
+        };
+        let mut r1 = rng(7);
+        let mut r2 = rng(7);
+        let big = stream_years_to_distinguish(&pop, &mk(0.8), 16_000, &mut r1);
+        let small = stream_years_to_distinguish(&pop, &mk(0.10), 16_000, &mut r2);
+        // An 80% improvement must be detectable, and with no more data than
+        // a 10% improvement would need (which may not be detectable at all).
+        let big = big.expect("an 80% improvement must be detectable");
+        if let Some(small) = small {
+            assert!(big <= small, "big {big} vs small {small}");
+        }
+    }
+
+    #[test]
+    fn returns_none_when_undetectable() {
+        // With a cap too small to ever separate a 1% difference.
+        let pop = population(5_000, 8);
+        let cfg = DetectConfig {
+            improvement: 0.01,
+            n_experiments: 6,
+            n_boot: 80,
+            ..DetectConfig::default()
+        };
+        assert!(stream_years_to_distinguish(&pop, &cfg, 1000, &mut rng(9)).is_none());
+    }
+}

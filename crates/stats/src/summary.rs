@@ -1,0 +1,179 @@
+//! Per-stream and per-scheme summary figures (§3.4, Fig. 1).
+//!
+//! "We record throughput traces and client telemetry and calculate a set of
+//! figures to summarize each stream: the total time between the first and
+//! last recorded events of the stream, the startup time, the total watch time
+//! ..., the total time the video is stalled for rebuffering, the average
+//! SSIM, and the chunk-by-chunk variation in SSIM."
+
+/// Summary figures for one stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSummary {
+    /// Seconds from stream start to first frame played.
+    pub startup_delay: f64,
+    /// Total watch time (first to last successfully played portion), seconds.
+    pub watch_time: f64,
+    /// Total rebuffering time within the watch, seconds.
+    pub stall_time: f64,
+    /// Mean SSIM of played chunks, dB (chunks are equal-duration, so the
+    /// per-chunk mean *is* the duration-weighted mean).
+    pub mean_ssim_db: f64,
+    /// Mean |ΔSSIM| between consecutive played chunks, dB.
+    pub ssim_variation_db: f64,
+    /// SSIM (dB) of the first chunk played (cold-start quality, Fig. 9).
+    pub first_chunk_ssim_db: f64,
+    /// Mean sender-side `delivery_rate` over the stream, bytes/s — used for
+    /// the "slow network paths" cut of Fig. 8 (< 6 Mbit/s).
+    pub mean_delivery_rate: f64,
+    /// Total compressed bytes sent.
+    pub total_bytes: f64,
+    /// Chunks played.
+    pub chunks: usize,
+}
+
+impl StreamSummary {
+    /// Rebuffering ratio (stall / watch), the headline metric of Fig. 1.
+    pub fn stall_ratio(&self) -> f64 {
+        if self.watch_time <= 0.0 {
+            0.0
+        } else {
+            self.stall_time / self.watch_time
+        }
+    }
+
+    /// Average video bitrate over the stream, bits/s (Fig. 4's x-axis).
+    pub fn mean_bitrate(&self) -> f64 {
+        if self.watch_time <= 0.0 {
+            0.0
+        } else {
+            self.total_bytes * 8.0 / self.watch_time
+        }
+    }
+
+    /// The paper's "slow network path" cut: mean TCP delivery_rate under
+    /// 6 Mbit/s (Fig. 8).
+    pub fn is_slow_path(&self) -> bool {
+        self.mean_delivery_rate * 8.0 < 6.0e6
+    }
+}
+
+/// Aggregate figures for one scheme, computed the way Fig. 1 reports them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeSummary {
+    /// Streams aggregated.
+    pub n_streams: usize,
+    /// Total watch time, seconds.
+    pub total_watch_time: f64,
+    /// Total stall time, seconds.
+    pub total_stall_time: f64,
+    /// Aggregate stall ratio: Σ stall / Σ watch ("Time stalled", Fig. 1).
+    pub stall_ratio: f64,
+    /// Watch-time-weighted mean SSIM, dB.
+    pub mean_ssim_db: f64,
+    /// Watch-time-weighted mean SSIM variation, dB.
+    pub ssim_variation_db: f64,
+    /// Watch-time-weighted mean bitrate, bits/s.
+    pub mean_bitrate: f64,
+    /// Mean startup delay, seconds.
+    pub mean_startup_delay: f64,
+    /// Mean first-chunk SSIM, dB.
+    pub mean_first_chunk_ssim_db: f64,
+}
+
+impl SchemeSummary {
+    /// Aggregate a scheme's streams.
+    ///
+    /// # Panics
+    /// Panics if `streams` is empty (a scheme with no data has no summary).
+    pub fn from_streams(streams: &[StreamSummary]) -> Self {
+        assert!(!streams.is_empty(), "cannot summarize zero streams");
+        let total_watch: f64 = streams.iter().map(|s| s.watch_time).sum();
+        let total_stall: f64 = streams.iter().map(|s| s.stall_time).sum();
+        let total_bytes: f64 = streams.iter().map(|s| s.total_bytes).sum();
+        let wmean = |f: &dyn Fn(&StreamSummary) -> f64| -> f64 {
+            if total_watch <= 0.0 {
+                return f64::NAN;
+            }
+            streams.iter().map(|s| f(s) * s.watch_time).sum::<f64>() / total_watch
+        };
+        SchemeSummary {
+            n_streams: streams.len(),
+            total_watch_time: total_watch,
+            total_stall_time: total_stall,
+            stall_ratio: if total_watch > 0.0 { total_stall / total_watch } else { 0.0 },
+            mean_ssim_db: wmean(&|s| s.mean_ssim_db),
+            ssim_variation_db: wmean(&|s| s.ssim_variation_db),
+            mean_bitrate: if total_watch > 0.0 { total_bytes * 8.0 / total_watch } else { 0.0 },
+            mean_startup_delay: streams.iter().map(|s| s.startup_delay).sum::<f64>()
+                / streams.len() as f64,
+            mean_first_chunk_ssim_db: streams.iter().map(|s| s.first_chunk_ssim_db).sum::<f64>()
+                / streams.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(watch: f64, stall: f64, ssim: f64) -> StreamSummary {
+        StreamSummary {
+            startup_delay: 0.5,
+            watch_time: watch,
+            stall_time: stall,
+            mean_ssim_db: ssim,
+            ssim_variation_db: 0.8,
+            first_chunk_ssim_db: 10.0,
+            mean_delivery_rate: 1e6,
+            total_bytes: watch * 300_000.0,
+            chunks: (watch / 2.002) as usize,
+        }
+    }
+
+    #[test]
+    fn stall_ratio() {
+        let s = stream(100.0, 2.0, 16.0);
+        assert!((s.stall_ratio() - 0.02).abs() < 1e-12);
+        let zero = stream(0.0, 0.0, 16.0);
+        assert_eq!(zero.stall_ratio(), 0.0);
+    }
+
+    #[test]
+    fn slow_path_cut_at_6mbps() {
+        let mut s = stream(10.0, 0.0, 16.0);
+        s.mean_delivery_rate = 5.9e6 / 8.0;
+        assert!(s.is_slow_path());
+        s.mean_delivery_rate = 6.1e6 / 8.0;
+        assert!(!s.is_slow_path());
+    }
+
+    #[test]
+    fn scheme_summary_aggregates_stall_ratio_not_mean_of_ratios() {
+        // One long clean stream and one short stalled one: the aggregate
+        // ratio is Σstall/Σwatch, not the mean of per-stream ratios.
+        let streams = [stream(1000.0, 0.0, 16.0), stream(10.0, 5.0, 16.0)];
+        let agg = SchemeSummary::from_streams(&streams);
+        assert!((agg.stall_ratio - 5.0 / 1010.0).abs() < 1e-12);
+        assert_eq!(agg.n_streams, 2);
+    }
+
+    #[test]
+    fn mean_ssim_is_watch_weighted() {
+        let streams = [stream(90.0, 0.0, 10.0), stream(10.0, 0.0, 20.0)];
+        let agg = SchemeSummary::from_streams(&streams);
+        assert!((agg.mean_ssim_db - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_bitrate_from_totals() {
+        let streams = [stream(100.0, 0.0, 16.0)];
+        let agg = SchemeSummary::from_streams(&streams);
+        assert!((agg.mean_bitrate - 2_400_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero streams")]
+    fn empty_summary_panics() {
+        let _ = SchemeSummary::from_streams(&[]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Duration-weighted means and standard errors.
+//!
+//! "We calculate confidence intervals on average SSIM using the formula for
+//! weighted standard error, weighting each stream by its duration" (§3.4).
+
+/// Weighted mean of `values` with non-negative `weights`.
+pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(values.len(), weights.len());
+    assert!(!values.is_empty(), "need at least one value");
+    let wsum: f64 = weights.iter().sum();
+    assert!(wsum > 0.0, "weights must sum to a positive value");
+    values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / wsum
+}
+
+/// Weighted standard error of the weighted mean (Cochran's approximation for
+/// ratio estimators, reduced to the common "weighted SE" formula):
+///
+/// ```text
+/// SE² = Σ wᵢ²(xᵢ − x̄_w)² / (Σ wᵢ)²
+/// ```
+pub fn weighted_standard_error(values: &[f64], weights: &[f64]) -> f64 {
+    let mean = weighted_mean(values, weights);
+    let wsum: f64 = weights.iter().sum();
+    let var: f64 = values
+        .iter()
+        .zip(weights)
+        .map(|(v, w)| (w * (v - mean)).powi(2))
+        .sum::<f64>()
+        / (wsum * wsum);
+    var.sqrt()
+}
+
+/// Weighted mean with a normal-approximation confidence interval
+/// (`z = 1.96` at 95%).
+pub fn weighted_mean_ci(values: &[f64], weights: &[f64], z: f64) -> (f64, f64, f64) {
+    let mean = weighted_mean(values, weights);
+    let se = weighted_standard_error(values, weights);
+    (mean - z * se, mean, mean + z * se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_reduce_to_plain_mean() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        let w = [1.0; 4];
+        assert!((weighted_mean(&v, &w) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_shift_the_mean() {
+        let v = [10.0, 20.0];
+        let w = [3.0, 1.0];
+        assert!((weighted_mean(&v, &w) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_zero_se() {
+        let v = [5.0; 10];
+        let w: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        assert!(weighted_standard_error(&v, &w) < 1e-12);
+    }
+
+    #[test]
+    fn se_shrinks_with_sample_size() {
+        // n equal-weight samples of variance σ²: SE = σ/√n.
+        let mk = |n: usize| -> (Vec<f64>, Vec<f64>) {
+            let v: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+            (v, vec![1.0; n])
+        };
+        let (v1, w1) = mk(100);
+        let (v2, w2) = mk(10_000);
+        let se1 = weighted_standard_error(&v1, &w1);
+        let se2 = weighted_standard_error(&v2, &w2);
+        assert!((se1 / se2 - 10.0).abs() < 0.1, "se ratio {}", se1 / se2);
+    }
+
+    #[test]
+    fn heavy_weight_on_one_stream_dominates_se() {
+        // One stream carrying most weight → its deviation dominates; CI
+        // doesn't shrink with extra tiny streams.  (Why a few marathon
+        // sessions control the SSIM confidence interval.)
+        let mut v = vec![16.0; 1000];
+        let mut w = vec![1.0; 1000];
+        v.push(10.0);
+        w.push(2000.0);
+        let se = weighted_standard_error(&v, &w);
+        assert!(se > 1.0, "dominating stream should inflate SE, got {se}");
+    }
+
+    #[test]
+    fn ci_brackets_mean() {
+        let v = [15.0, 16.0, 17.0, 18.0];
+        let w = [10.0, 200.0, 30.0, 4.0];
+        let (lo, mean, hi) = weighted_mean_ci(&v, &w, 1.96);
+        assert!(lo < mean && mean < hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weights_panic() {
+        weighted_mean(&[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Path-class mixtures and per-session path sampling.
+//!
+//! Puffer's users arrive over "network paths seen across our entire country
+//! over the wide-area Internet" (§6.1).  Their key aggregate properties, which
+//! the analysis depends on, are reported in Fig. 8: paths with mean
+//! `delivery_rate` below 6 Mbit/s accounted for **16% of viewing time and 82%
+//! of stalls**.  [`TraceBank`] samples per-session [`PathProfile`]s from a
+//! mixture of access-technology classes tuned so those aggregates come out in
+//! that neighbourhood.
+
+use crate::dist;
+use crate::process::{FccLikeProcess, PufferLikeProcess, RateProcess};
+use crate::trace::RateTrace;
+use crate::MBPS;
+use rand::Rng;
+
+/// Access-technology class of a client path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathClass {
+    /// FTTH-grade: tens of Mbit/s, low RTT, very stable.
+    Fibre,
+    /// Cable/DOCSIS: high rate, moderate RTT, occasional congestion.
+    Cable,
+    /// DSL: single-digit Mbit/s, higher RTT.
+    Dsl,
+    /// Cellular: low and highly variable rate, high RTT.
+    Cellular,
+    /// Congested shared WiFi backhauled over anything.
+    Wifi,
+}
+
+impl PathClass {
+    pub const ALL: [PathClass; 5] =
+        [PathClass::Fibre, PathClass::Cable, PathClass::Dsl, PathClass::Cellular, PathClass::Wifi];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PathClass::Fibre => "fibre",
+            PathClass::Cable => "cable",
+            PathClass::Dsl => "dsl",
+            PathClass::Cellular => "cellular",
+            PathClass::Wifi => "wifi",
+        }
+    }
+
+    /// (median base rate bytes/s, log-sigma, volatility, min-RTT range ms).
+    fn parameters(self) -> (f64, f64, f64, (f64, f64)) {
+        match self {
+            PathClass::Fibre => (28.0 * MBPS, 0.45, 0.10, (8.0, 30.0)),
+            PathClass::Cable => (13.0 * MBPS, 0.55, 0.22, (12.0, 50.0)),
+            PathClass::Dsl => (7.5 * MBPS, 0.50, 0.30, (25.0, 80.0)),
+            PathClass::Cellular => (2.8 * MBPS, 0.75, 0.75, (40.0, 150.0)),
+            PathClass::Wifi => (4.0 * MBPS, 0.70, 0.60, (20.0, 100.0)),
+        }
+    }
+
+    /// Mixture weight in the Puffer-like population.
+    fn weight(self) -> f64 {
+        match self {
+            PathClass::Fibre => 0.26,
+            PathClass::Cable => 0.34,
+            PathClass::Dsl => 0.18,
+            PathClass::Cellular => 0.13,
+            PathClass::Wifi => 0.09,
+        }
+    }
+}
+
+/// Everything the network simulator needs to know about one session's path.
+#[derive(Debug, Clone)]
+pub struct PathProfile {
+    pub class: PathClass,
+    /// Nominal capacity in bytes/s (before regime effects).
+    pub base_rate: f64,
+    /// Propagation round-trip time in seconds.
+    pub min_rtt: f64,
+    /// Bottleneck buffer, expressed in seconds of queuing at base rate
+    /// (bufferbloat knob).
+    pub buffer_seconds: f64,
+    /// Volatility knob handed to the throughput process.
+    pub volatility: f64,
+}
+
+/// Which world a sampled trace belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum World {
+    /// The deployment environment (heavy-tailed hidden-regime paths).
+    Puffer,
+    /// The emulation environment (stationary FCC-like traces).
+    Emulation,
+}
+
+/// Samples per-session paths and their throughput traces.
+#[derive(Debug, Clone)]
+pub struct TraceBank {
+    world: World,
+}
+
+impl TraceBank {
+    pub fn puffer() -> Self {
+        TraceBank { world: World::Puffer }
+    }
+
+    pub fn emulation() -> Self {
+        TraceBank { world: World::Emulation }
+    }
+
+    pub fn world(&self) -> World {
+        self.world
+    }
+
+    /// Draw a path profile for a new session.
+    pub fn sample_path<R: Rng + ?Sized>(&self, rng: &mut R) -> PathProfile {
+        match self.world {
+            World::Puffer => {
+                let weights: Vec<f64> = PathClass::ALL.iter().map(|c| c.weight()).collect();
+                let class = PathClass::ALL[dist::categorical(rng, &weights)];
+                let (median, sigma, vol, (rtt_lo, rtt_hi)) = class.parameters();
+                PathProfile {
+                    class,
+                    base_rate: dist::log_normal_median(rng, median, sigma),
+                    min_rtt: dist::uniform(rng, rtt_lo, rtt_hi) / 1000.0,
+                    buffer_seconds: dist::uniform(rng, 0.15, 1.2),
+                    volatility: (vol * dist::uniform(rng, 0.7, 1.3)).clamp(0.0, 1.0),
+                }
+            }
+            World::Emulation => {
+                // FCC-trace-like: rates concentrated low, mahimahi shells used
+                // a fixed 40 ms end-to-end delay (§5.2).
+                let mean = dist::log_normal_median(rng, 2.2 * MBPS, 0.7).min(11.0 * MBPS);
+                PathProfile {
+                    class: PathClass::Dsl,
+                    base_rate: mean,
+                    min_rtt: 0.080, // 40 ms one-way imposed each direction
+                    buffer_seconds: 0.5,
+                    volatility: 0.1,
+                }
+            }
+        }
+    }
+
+    /// Sample the throughput trace for a path over `duration` seconds.
+    pub fn sample_trace<R: Rng + ?Sized>(
+        &self,
+        path: &PathProfile,
+        duration: f64,
+        rng: &mut R,
+    ) -> RateTrace {
+        match self.world {
+            World::Puffer => {
+                PufferLikeProcess::new(path.base_rate, path.volatility).sample_trace(duration, rng)
+            }
+            World::Emulation => FccLikeProcess::new(path.base_rate).sample_trace(duration, rng),
+        }
+    }
+
+    /// Convenience: sample a path and its trace together.
+    pub fn sample_session<R: Rng + ?Sized>(
+        &self,
+        duration: f64,
+        rng: &mut R,
+    ) -> (PathProfile, RateTrace) {
+        let path = self.sample_path(rng);
+        let trace = self.sample_trace(&path, duration, rng);
+        (path, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn puffer_slow_path_fraction_plausible() {
+        // Fig. 8: "slow" (mean delivery_rate < 6 Mbit/s) paths are 16% of
+        // viewing time.  Trace-level mean rates should give a slow fraction
+        // in a generous band around that.
+        let bank = TraceBank::puffer();
+        let mut r = rng(10);
+        let n = 600;
+        let mut slow = 0;
+        for _ in 0..n {
+            let (path, trace) = bank.sample_session(600.0, &mut r);
+            let _ = path;
+            if trace.mean_rate() < 6.0 * MBPS {
+                slow += 1;
+            }
+        }
+        let frac = slow as f64 / n as f64;
+        assert!((0.08..=0.45).contains(&frac), "slow fraction {frac}");
+    }
+
+    #[test]
+    fn emulation_paths_are_capped() {
+        let bank = TraceBank::emulation();
+        let mut r = rng(11);
+        for _ in 0..100 {
+            let (path, trace) = bank.sample_session(120.0, &mut r);
+            assert!(path.base_rate <= 11.0 * MBPS);
+            assert!(trace.epochs().all(|(_, rate)| rate <= 12.0 * MBPS + 1.0));
+            assert!((path.min_rtt - 0.080).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn class_mixture_hits_all_classes() {
+        let bank = TraceBank::puffer();
+        let mut r = rng(12);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            seen.insert(bank.sample_path(&mut r).class);
+        }
+        assert_eq!(seen.len(), 5, "all path classes should appear");
+    }
+
+    #[test]
+    fn rtt_ranges_respected() {
+        let bank = TraceBank::puffer();
+        let mut r = rng(13);
+        for _ in 0..300 {
+            let p = bank.sample_path(&mut r);
+            assert!(p.min_rtt >= 0.008 && p.min_rtt <= 0.150, "rtt {}", p.min_rtt);
+            assert!(p.base_rate > 0.0);
+            assert!((0.0..=1.0).contains(&p.volatility));
+        }
+    }
+
+    #[test]
+    fn fibre_faster_than_cellular_in_aggregate() {
+        let bank = TraceBank::puffer();
+        let mut r = rng(14);
+        let mut fibre = Vec::new();
+        let mut cell = Vec::new();
+        for _ in 0..2000 {
+            let p = bank.sample_path(&mut r);
+            match p.class {
+                PathClass::Fibre => fibre.push(p.base_rate),
+                PathClass::Cellular => cell.push(p.base_rate),
+                _ => {}
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&fibre) > 5.0 * mean(&cell));
+    }
+
+    #[test]
+    fn path_class_names_unique() {
+        let names: std::collections::HashSet<&str> =
+            PathClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

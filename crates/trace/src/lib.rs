@@ -1,0 +1,57 @@
+//! # puffer-trace — throughput processes and trace handling
+//!
+//! The paper's central argument is that the *distribution* of real-world
+//! network paths — heavy tails, regime shifts, outages — differs from what
+//! trace-based emulators capture, and that this gap decides whether learned
+//! ABR algorithms generalize (§1, §5.2, Fig. 11).  This crate is the
+//! substitute for both worlds:
+//!
+//! * [`process::PufferLikeProcess`] — a hidden-state stochastic throughput
+//!   process standing in for the wild-Internet paths observed by Puffer:
+//!   per-path base rates drawn from a mixture of path classes
+//!   ([`bank::PathClass`]), Markov regime switching (steady / degraded /
+//!   outage / surge) with heavy-tailed dwell times, and multiplicative noise.
+//! * [`process::FccLikeProcess`] — a stationary, mean-reverting process
+//!   standing in for the FCC broadband traces used by the Pensieve-style
+//!   emulation environment (§5.2): narrower distribution, no regime shifts,
+//!   12 Mbit/s cap, exactly the "too tame" world the paper warns about.
+//! * [`process::Cs2pLikeProcess`] — a small-discrete-state Markov process
+//!   reproducing the CS2P sessions of Fig. 2a, which Puffer did *not* observe
+//!   in the wild (Fig. 2b).
+//!
+//! Processes are sampled into concrete [`trace::RateTrace`]s — piecewise-
+//! constant rate functions with O(log n) integral and inverse-integral
+//! queries — which the network simulator consumes.  [`mahimahi`] converts
+//! traces to and from the mahimahi packet-delivery-opportunity file format
+//! used by the paper's emulation experiments (§5.2).
+//!
+//! All sampling is deterministic given a seed.
+
+pub mod bank;
+pub mod dist;
+pub mod mahimahi;
+pub mod process;
+pub mod trace;
+
+pub use bank::{PathClass, PathProfile, TraceBank};
+pub use process::{Cs2pLikeProcess, FccLikeProcess, PufferLikeProcess, RateProcess};
+pub use trace::RateTrace;
+
+/// Megabits per second → bytes per second.
+pub const MBPS: f64 = 1_000_000.0 / 8.0;
+
+/// Convert bytes/second to Mbit/s (presentation helper used across crates).
+pub fn bytes_per_sec_to_mbps(bps: f64) -> f64 {
+    bps * 8.0 / 1_000_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert!((MBPS - 125_000.0).abs() < 1e-9);
+        assert!((bytes_per_sec_to_mbps(125_000.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Mahimahi trace format conversion.
+//!
+//! The paper's emulation experiments (§5.2) run clients inside mahimahi \[27\]
+//! shells replaying FCC broadband traces.  A mahimahi trace file is a list of
+//! integer millisecond timestamps, one per line; each line is an opportunity
+//! to deliver one MTU-sized (1500-byte) packet at that time.  Repeated
+//! timestamps mean multiple packets in the same millisecond, and the file
+//! loops when exhausted.
+//!
+//! We convert between that format and [`RateTrace`]s so that (a) synthetic
+//! FCC-like traces can be exported for inspection, and (b) mahimahi files
+//! can drive our simulator directly.
+
+use crate::trace::{Epoch, RateTrace};
+
+/// MTU used by mahimahi delivery opportunities.
+pub const MTU_BYTES: f64 = 1500.0;
+
+/// Parse mahimahi trace text into delivery-opportunity timestamps (ms).
+///
+/// Returns an error string on malformed input (non-integer lines, decreasing
+/// timestamps, or an empty file).
+pub fn parse(text: &str) -> Result<Vec<u64>, String> {
+    let mut out = Vec::new();
+    let mut last = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ts: u64 = line
+            .parse()
+            .map_err(|e| format!("line {}: bad timestamp '{line}': {e}", lineno + 1))?;
+        if ts < last {
+            return Err(format!("line {}: timestamps must be non-decreasing", lineno + 1));
+        }
+        last = ts;
+        out.push(ts);
+    }
+    if out.is_empty() {
+        return Err("trace file contains no delivery opportunities".into());
+    }
+    Ok(out)
+}
+
+/// Render delivery opportunities as mahimahi trace text.
+pub fn format(timestamps: &[u64]) -> String {
+    let mut s = String::with_capacity(timestamps.len() * 7);
+    for t in timestamps {
+        s.push_str(&t.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Convert delivery opportunities into a [`RateTrace`] by bucketing packets
+/// into fixed windows of `bucket_ms` milliseconds.
+///
+/// The final partial bucket is extended to a full bucket width so the loop
+/// duration matches the trace length that mahimahi would replay.
+pub fn to_rate_trace(timestamps: &[u64], bucket_ms: u64) -> Result<RateTrace, String> {
+    if timestamps.is_empty() {
+        return Err("no delivery opportunities".into());
+    }
+    if bucket_ms == 0 {
+        return Err("bucket width must be positive".into());
+    }
+    let end = *timestamps.last().unwrap() + 1;
+    let n_buckets = end.div_ceil(bucket_ms).max(1);
+    let mut counts = vec![0u64; n_buckets as usize];
+    for &t in timestamps {
+        counts[(t / bucket_ms) as usize] += 1;
+    }
+    let dur = bucket_ms as f64 / 1000.0;
+    let epochs: Vec<Epoch> = counts
+        .iter()
+        .map(|&c| Epoch { duration: dur, rate: c as f64 * MTU_BYTES / dur })
+        .collect();
+    if epochs.iter().all(|e| e.rate == 0.0) {
+        return Err("trace carries no bytes".into());
+    }
+    Ok(RateTrace::new(&epochs))
+}
+
+/// Convert a [`RateTrace`] into delivery opportunities (one loop iteration).
+///
+/// Packets are emitted whenever the running byte integral crosses a multiple
+/// of the MTU, which preserves cumulative bytes to within one packet.
+pub fn from_rate_trace(trace: &RateTrace) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut carried = 0.0; // bytes delivered so far
+    let mut emitted = 0u64; // packets emitted so far
+    let step_ms = 1u64;
+    let total_ms = (trace.loop_duration() * 1000.0).round() as u64;
+    for ms in (0..total_ms).step_by(step_ms as usize) {
+        let t0 = ms as f64 / 1000.0;
+        let t1 = (ms + step_ms) as f64 / 1000.0;
+        carried += trace.bytes_between(t0, t1.min(trace.loop_duration()));
+        while (emitted as f64 + 1.0) * MTU_BYTES <= carried {
+            out.push(ms);
+            emitted += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MBPS;
+
+    #[test]
+    fn parse_simple() {
+        let ts = parse("0\n0\n5\n12\n").unwrap();
+        assert_eq!(ts, vec![0, 0, 5, 12]);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let ts = parse("# header\n\n3\n7\n").unwrap();
+        assert_eq!(ts, vec![3, 7]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("abc\n").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("5\n3\n").is_err(), "decreasing timestamps rejected");
+    }
+
+    #[test]
+    fn format_roundtrip() {
+        let ts = vec![0u64, 1, 1, 9, 200];
+        assert_eq!(parse(&format(&ts)).unwrap(), ts);
+    }
+
+    #[test]
+    fn to_rate_trace_computes_rates() {
+        // 8 packets in the first 100 ms bucket = 8*1500 B / 0.1 s = 120 kB/s.
+        let ts: Vec<u64> = (0..8).map(|i| i * 10).collect();
+        let trace = to_rate_trace(&ts, 100).unwrap();
+        assert!((trace.rate_at(0.05) - 120_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_trace_roundtrip_preserves_mean_rate() {
+        let trace = RateTrace::constant(2.0 * MBPS, 10.0);
+        let ts = from_rate_trace(&trace);
+        let back = to_rate_trace(&ts, 100).unwrap();
+        let rel = (back.mean_rate() - trace.mean_rate()).abs() / trace.mean_rate();
+        assert!(rel < 0.02, "relative error {rel}");
+    }
+
+    #[test]
+    fn from_rate_trace_monotone_timestamps() {
+        let trace = RateTrace::new(&[
+            crate::trace::Epoch { duration: 1.0, rate: 1.0 * MBPS },
+            crate::trace::Epoch { duration: 1.0, rate: 0.25 * MBPS },
+        ]);
+        let ts = from_rate_trace(&trace);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        // ~2s at avg 0.625 Mbps = 156 kB ≈ 104 packets.
+        assert!((ts.len() as i64 - 104).abs() <= 2, "{} packets", ts.len());
+    }
+
+    #[test]
+    fn zero_bucket_rejected() {
+        assert!(to_rate_trace(&[0, 1], 0).is_err());
+    }
+}

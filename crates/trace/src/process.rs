@@ -1,0 +1,381 @@
+//! Stochastic throughput processes.
+//!
+//! Three generators reproduce the three network "worlds" the paper contrasts:
+//!
+//! * [`PufferLikeProcess`] — the wild Internet as Puffer sees it: a hidden
+//!   regime chain (steady / degraded / outage / surge) with heavy-tailed
+//!   dwell times and multiplicative log-normal noise.  Fig. 2b shows a Puffer
+//!   session as noisy and regime-shifting with no clean discrete levels; the
+//!   heavy tails of throughput evolution are what §3.4 blames for the wide
+//!   confidence intervals.
+//! * [`FccLikeProcess`] — the FCC broadband traces used to train/evaluate
+//!   Pensieve and "Emulation-trained Fugu" (§3.3, §5.2): stationary,
+//!   mean-reverting, capped at 12 Mbit/s, with a narrower rate distribution
+//!   than the real deployment (Fig. 11 right panel).
+//! * [`Cs2pLikeProcess`] — CS2P's observation of a few discrete throughput
+//!   states (Fig. 2a), which Puffer did not observe; included so Fig. 2 can
+//!   be regenerated and so predictor experiments can test against that world.
+
+use crate::dist;
+use crate::trace::{Epoch, RateTrace};
+use crate::MBPS;
+use rand::Rng;
+
+/// A stateful generator of constant-rate epochs.
+///
+/// Implementations are `Iterator`-like but take the RNG per call so the same
+/// process object can be reused with different RNG streams.
+pub trait RateProcess {
+    /// Produce the next epoch (duration seconds, rate bytes/s).
+    fn next_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Epoch;
+
+    /// Sample the process into a concrete trace of at least `duration` seconds.
+    fn sample_trace<R: Rng + ?Sized>(&mut self, duration: f64, rng: &mut R) -> RateTrace {
+        assert!(duration > 0.0);
+        let mut epochs = Vec::new();
+        let mut t = 0.0;
+        while t < duration {
+            let e = self.next_epoch(rng);
+            t += e.duration;
+            epochs.push(e);
+        }
+        RateTrace::new(&epochs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Puffer-like hidden-regime process
+// ---------------------------------------------------------------------------
+
+/// Hidden regimes of a wild-Internet path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Regime {
+    /// Nominal capacity with moderate noise; heavy-tailed dwell time.
+    Steady,
+    /// Congested: a persistent fraction of nominal capacity.
+    Degraded,
+    /// Near-total loss of connectivity (wifi roam, cell handoff, bufferbloat
+    /// collapse) — short but catastrophic for a 15-second buffer.
+    Outage,
+    /// Temporarily above nominal (cross traffic departed, burst credit).
+    Surge,
+}
+
+/// Wild-Internet throughput: hidden regime chain + log-normal noise.
+///
+/// Parameterized by a per-path `base_rate` (bytes/s) drawn by the trace bank
+/// from a path-class mixture, and a `volatility` knob in `[0, 1]` that scales
+/// both noise and regime-change frequency (cellular paths are more volatile
+/// than fibre).
+#[derive(Debug, Clone)]
+pub struct PufferLikeProcess {
+    base_rate: f64,
+    volatility: f64,
+    regime: Regime,
+    /// Remaining seconds in the current regime.
+    dwell_left: f64,
+    /// Current degradation/surge multiplier, resampled per regime entry.
+    regime_mult: f64,
+    /// AR(1) state for short-term log-rate noise.
+    noise_state: f64,
+}
+
+impl PufferLikeProcess {
+    /// `base_rate` in bytes/s; `volatility` in `[0, 1]`.
+    pub fn new(base_rate: f64, volatility: f64) -> Self {
+        assert!(base_rate > 0.0, "base rate must be positive");
+        assert!((0.0..=1.0).contains(&volatility), "volatility must be in [0, 1]");
+        PufferLikeProcess {
+            base_rate,
+            volatility,
+            regime: Regime::Steady,
+            dwell_left: 0.0,
+            regime_mult: 1.0,
+            noise_state: 0.0,
+        }
+    }
+
+    pub fn base_rate(&self) -> f64 {
+        self.base_rate
+    }
+
+    fn enter_regime<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let v = self.volatility;
+        // Transition weights out of the current regime.  Steady dominates;
+        // volatility shifts mass toward trouble.
+        let weights = match self.regime {
+            Regime::Steady => [0.0, 0.55 + 0.3 * v, 0.1 + 0.25 * v, 0.35],
+            Regime::Degraded => [0.75, 0.0, 0.1 + 0.15 * v, 0.15],
+            Regime::Outage => [0.6, 0.35, 0.0, 0.05],
+            Regime::Surge => [0.85, 0.1 + 0.05 * v, 0.05, 0.0],
+        };
+        let order = [Regime::Steady, Regime::Degraded, Regime::Outage, Regime::Surge];
+        self.regime = order[dist::categorical(rng, &weights)];
+        // Dwell time and severity per regime.  Steady dwell is Pareto — the
+        // heavy tail means most sessions see long calm stretches while a few
+        // see constant churn, which is exactly the variability §3.4 measures.
+        match self.regime {
+            Regime::Steady => {
+                self.dwell_left = dist::pareto(rng, 8.0, 1.3 - 0.25 * v).min(1800.0);
+                self.regime_mult = 1.0;
+            }
+            Regime::Degraded => {
+                self.dwell_left = dist::log_normal_median(rng, 12.0, 0.8).min(600.0);
+                self.regime_mult = dist::uniform(rng, 0.15, 0.55);
+            }
+            Regime::Outage => {
+                self.dwell_left = dist::log_normal_median(rng, 3.0, 0.7).min(60.0);
+                self.regime_mult = dist::uniform(rng, 0.005, 0.08);
+            }
+            Regime::Surge => {
+                self.dwell_left = dist::log_normal_median(rng, 6.0, 0.6).min(120.0);
+                self.regime_mult = dist::uniform(rng, 1.2, 1.8);
+            }
+        }
+    }
+}
+
+impl RateProcess for PufferLikeProcess {
+    fn next_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Epoch {
+        if self.dwell_left <= 0.0 {
+            self.enter_regime(rng);
+        }
+        // Sub-epoch granularity ~1 s so chunk downloads (2 s of video)
+        // straddle rate changes.
+        let duration = dist::uniform(rng, 0.6, 1.4).min(self.dwell_left.max(0.2));
+        self.dwell_left -= duration;
+
+        // AR(1) log-noise: short-term correlated jitter on top of the regime.
+        let sigma = 0.08 + 0.3 * self.volatility;
+        let rho = 0.85;
+        self.noise_state = rho * self.noise_state + dist::normal(rng, 0.0, sigma);
+        let noise = self.noise_state.exp();
+
+        let rate = (self.base_rate * self.regime_mult * noise).max(200.0);
+        Epoch { duration, rate }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FCC-like stationary process
+// ---------------------------------------------------------------------------
+
+/// Stationary broadband-trace lookalike: AR(1) mean reversion in log-rate
+/// around a fixed per-trace mean, hard-capped at 12 Mbit/s (the Pensieve
+/// evaluation capped mahimahi links at 12 Mbit/s, §5.2).
+#[derive(Debug, Clone)]
+pub struct FccLikeProcess {
+    mean_rate: f64,
+    sigma: f64,
+    rho: f64,
+    log_state: f64,
+    cap: f64,
+}
+
+impl FccLikeProcess {
+    /// `mean_rate` in bytes/s.
+    pub fn new(mean_rate: f64) -> Self {
+        assert!(mean_rate > 0.0);
+        FccLikeProcess {
+            mean_rate,
+            sigma: 0.15,
+            rho: 0.9,
+            log_state: 0.0,
+            cap: 12.0 * MBPS,
+        }
+    }
+
+    pub fn mean_rate(&self) -> f64 {
+        self.mean_rate
+    }
+}
+
+impl RateProcess for FccLikeProcess {
+    fn next_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Epoch {
+        self.log_state = self.rho * self.log_state + dist::normal(rng, 0.0, self.sigma);
+        let rate = (self.mean_rate * self.log_state.exp()).clamp(100.0, self.cap);
+        Epoch { duration: 1.0, rate }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CS2P-like discrete-state process
+// ---------------------------------------------------------------------------
+
+/// A handful of discrete throughput levels with sticky Markov switching and
+/// tiny within-state noise — the world CS2P/Oboe model (Fig. 2a).
+#[derive(Debug, Clone)]
+pub struct Cs2pLikeProcess {
+    /// Discrete state levels in bytes/s.
+    levels: Vec<f64>,
+    /// Probability of leaving the current state per epoch.
+    switch_prob: f64,
+    /// Within-state relative noise (std of a multiplicative factor).
+    noise: f64,
+    /// Epoch length in seconds (Fig. 2 uses 6-second epochs).
+    epoch_len: f64,
+    state: usize,
+}
+
+impl Cs2pLikeProcess {
+    pub fn new(levels: Vec<f64>, switch_prob: f64, epoch_len: f64) -> Self {
+        assert!(!levels.is_empty());
+        assert!(levels.iter().all(|&l| l > 0.0));
+        assert!((0.0..=1.0).contains(&switch_prob));
+        assert!(epoch_len > 0.0);
+        Cs2pLikeProcess { levels, switch_prob, noise: 0.015, epoch_len, state: 0 }
+    }
+
+    /// The configuration used for Fig. 2a: four levels between 2.4 and
+    /// 3.0 Mbit/s, 6-second epochs, sticky states.
+    pub fn fig2_default() -> Self {
+        Cs2pLikeProcess::new(
+            vec![2.45 * MBPS, 2.6 * MBPS, 2.75 * MBPS, 2.95 * MBPS],
+            0.04,
+            6.0,
+        )
+    }
+
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+}
+
+impl RateProcess for Cs2pLikeProcess {
+    fn next_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Epoch {
+        if rng.random::<f64>() < self.switch_prob {
+            // Jump to a uniformly-chosen *different* state.
+            let mut next = rng.random_range(0..self.levels.len() - 1);
+            if next >= self.state {
+                next += 1;
+            }
+            self.state = next;
+        }
+        let noise = 1.0 + dist::normal(rng, 0.0, self.noise);
+        Epoch { duration: self.epoch_len, rate: (self.levels[self.state] * noise).max(1.0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn puffer_like_mean_tracks_base_rate() {
+        let mut r = rng(1);
+        let mut p = PufferLikeProcess::new(4.0 * MBPS, 0.3);
+        let t = p.sample_trace(3600.0, &mut r);
+        let m = t.mean_rate();
+        // Regimes pull the mean below base; it must stay the right magnitude.
+        assert!(m > 0.8 * MBPS && m < 8.0 * MBPS, "mean {m}");
+    }
+
+    #[test]
+    fn puffer_like_has_outages_and_heavy_variation() {
+        let mut r = rng(2);
+        let mut p = PufferLikeProcess::new(6.0 * MBPS, 0.6);
+        let t = p.sample_trace(7200.0, &mut r);
+        let rates: Vec<f64> = t.epochs().map(|(_, rate)| rate).collect();
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 20.0, "dynamic range {}", max / min);
+        // Some epochs should be outage-grade (< 10% of base).
+        let outage_frac =
+            rates.iter().filter(|&&x| x < 0.1 * 6.0 * MBPS).count() as f64 / rates.len() as f64;
+        assert!(outage_frac > 0.001, "outage fraction {outage_frac}");
+    }
+
+    #[test]
+    fn puffer_like_rate_never_below_floor() {
+        let mut r = rng(3);
+        let mut p = PufferLikeProcess::new(1.0 * MBPS, 1.0);
+        let t = p.sample_trace(1800.0, &mut r);
+        assert!(t.epochs().all(|(_, rate)| rate >= 200.0));
+    }
+
+    #[test]
+    fn fcc_like_is_capped_and_stationary() {
+        let mut r = rng(4);
+        let mut p = FccLikeProcess::new(10.0 * MBPS);
+        let t = p.sample_trace(3600.0, &mut r);
+        assert!(t.epochs().all(|(_, rate)| rate <= 12.0 * MBPS + 1e-6));
+        // Stationary: first-half and second-half means agree within 20%.
+        let h1 = t.mean_rate_between(0.0, 1800.0);
+        let h2 = t.mean_rate_between(1800.0, 3600.0);
+        assert!((h1 / h2 - 1.0).abs() < 0.2, "h1 {h1} h2 {h2}");
+    }
+
+    #[test]
+    fn fcc_like_narrower_than_puffer_like() {
+        // Coefficient of variation of epoch rates: emulation world must be
+        // tamer than the deployment world (the premise of Fig. 11).
+        let cv = |rates: &[f64]| {
+            let m = rates.iter().sum::<f64>() / rates.len() as f64;
+            let v = rates.iter().map(|x| (x - m).powi(2)).sum::<f64>() / rates.len() as f64;
+            v.sqrt() / m
+        };
+        let mut r = rng(5);
+        let fcc: Vec<f64> =
+            FccLikeProcess::new(4.0 * MBPS).sample_trace(3600.0, &mut r).epochs().map(|e| e.1).collect();
+        let puf: Vec<f64> = PufferLikeProcess::new(4.0 * MBPS, 0.5)
+            .sample_trace(3600.0, &mut r)
+            .epochs()
+            .map(|e| e.1)
+            .collect();
+        assert!(cv(&fcc) < cv(&puf), "fcc cv {} vs puffer cv {}", cv(&fcc), cv(&puf));
+    }
+
+    #[test]
+    fn cs2p_like_sits_on_discrete_levels() {
+        let mut r = rng(6);
+        let mut p = Cs2pLikeProcess::fig2_default();
+        let levels = p.levels().to_vec();
+        let t = p.sample_trace(1200.0, &mut r);
+        for (_, rate) in t.epochs() {
+            let near = levels.iter().any(|&l| (rate / l - 1.0).abs() < 0.06);
+            assert!(near, "rate {rate} not near any level");
+        }
+    }
+
+    #[test]
+    fn cs2p_like_switches_states() {
+        let mut r = rng(7);
+        let mut p = Cs2pLikeProcess::fig2_default();
+        let t = p.sample_trace(6.0 * 400.0, &mut r);
+        let rates: Vec<f64> = t.epochs().map(|e| e.1).collect();
+        // Identify nearest level per epoch and count distinct levels visited.
+        let levels = Cs2pLikeProcess::fig2_default().levels().to_vec();
+        let mut visited = std::collections::HashSet::new();
+        for rate in rates {
+            let (i, _) = levels
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    (a.1 - rate).abs().partial_cmp(&(b.1 - rate).abs()).unwrap()
+                })
+                .unwrap();
+            visited.insert(i);
+        }
+        assert!(visited.len() >= 3, "visited only {} levels", visited.len());
+    }
+
+    #[test]
+    fn sample_trace_covers_duration() {
+        let mut r = rng(8);
+        let t = FccLikeProcess::new(2.0 * MBPS).sample_trace(100.0, &mut r);
+        assert!(t.loop_duration() >= 100.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let t1 = PufferLikeProcess::new(3.0 * MBPS, 0.4).sample_trace(600.0, &mut rng(42));
+        let t2 = PufferLikeProcess::new(3.0 * MBPS, 0.4).sample_trace(600.0, &mut rng(42));
+        assert_eq!(t1.len(), t2.len());
+        assert!((t1.mean_rate() - t2.mean_rate()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,334 @@
+//! Piecewise-constant rate traces with fast integral queries.
+//!
+//! A [`RateTrace`] is the concrete object the network simulator consumes: a
+//! function from time to available bottleneck rate (bytes/second), stored as
+//! epochs.  The two operations that dominate the simulation are
+//!
+//! * "how many bytes can the link carry between t₀ and t₁?"
+//!   ([`RateTrace::bytes_between`]) and
+//! * "starting at t₀, when have `n` bytes been carried?"
+//!   ([`RateTrace::advance`]),
+//!
+//! both answered in O(log n) via prefix sums.  Like mahimahi, traces loop:
+//! queries past the end wrap around to the beginning, so a 15-minute trace
+//! can carry an hours-long session (§5.2 runs a 10-minute clip repeatedly
+//! over looping FCC traces).
+
+/// One constant-rate segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Epoch {
+    /// Segment length in seconds (> 0).
+    pub duration: f64,
+    /// Deliverable rate in bytes per second (>= 0).
+    pub rate: f64,
+}
+
+/// A looping piecewise-constant rate function.
+#[derive(Debug, Clone)]
+pub struct RateTrace {
+    /// Epoch start times, `starts[0] == 0`.
+    starts: Vec<f64>,
+    /// Rate (bytes/s) of each epoch.
+    rates: Vec<f64>,
+    /// Cumulative bytes delivered by the start of each epoch.
+    cum_bytes: Vec<f64>,
+    /// Total duration of one loop iteration.
+    total_duration: f64,
+    /// Total bytes carried in one loop iteration.
+    total_bytes: f64,
+}
+
+impl RateTrace {
+    /// Build from epochs.
+    ///
+    /// # Panics
+    /// Panics on an empty epoch list, non-positive durations, negative rates,
+    /// or a trace that carries zero bytes per loop (it could never complete a
+    /// download, so `advance` would not terminate).
+    pub fn new(epochs: &[Epoch]) -> Self {
+        assert!(!epochs.is_empty(), "trace needs at least one epoch");
+        let mut starts = Vec::with_capacity(epochs.len());
+        let mut rates = Vec::with_capacity(epochs.len());
+        let mut cum_bytes = Vec::with_capacity(epochs.len());
+        let mut t = 0.0;
+        let mut b = 0.0;
+        for e in epochs {
+            assert!(e.duration > 0.0, "epoch duration must be positive");
+            assert!(e.rate >= 0.0 && e.rate.is_finite(), "epoch rate must be finite and >= 0");
+            starts.push(t);
+            rates.push(e.rate);
+            cum_bytes.push(b);
+            t += e.duration;
+            b += e.rate * e.duration;
+        }
+        assert!(b > 0.0, "trace must carry at least some bytes per loop");
+        RateTrace { starts, rates, cum_bytes, total_duration: t, total_bytes: b }
+    }
+
+    /// A trivial constant-rate trace.
+    pub fn constant(rate_bytes_per_sec: f64, duration: f64) -> Self {
+        RateTrace::new(&[Epoch { duration, rate: rate_bytes_per_sec }])
+    }
+
+    /// Duration of one loop iteration in seconds.
+    pub fn loop_duration(&self) -> f64 {
+        self.total_duration
+    }
+
+    /// Mean rate over one loop, bytes/second.
+    pub fn mean_rate(&self) -> f64 {
+        self.total_bytes / self.total_duration
+    }
+
+    /// Number of epochs.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// True if the trace has exactly zero epochs — impossible by
+    /// construction, kept for clippy's `len_without_is_empty`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate `(start_time, rate)` pairs of one loop.
+    pub fn epochs(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.starts.iter().copied().zip(self.rates.iter().copied())
+    }
+
+    /// Index of the epoch containing wrapped time `t` (`0 <= t < total`).
+    fn epoch_index(&self, t: f64) -> usize {
+        debug_assert!((0.0..self.total_duration).contains(&t) || t == 0.0);
+        match self.starts.binary_search_by(|s| s.partial_cmp(&t).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Instantaneous rate at absolute time `t` (bytes/s); `t` may exceed the
+    /// loop duration and wraps around.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        assert!(t >= 0.0 && t.is_finite());
+        let t = t % self.total_duration;
+        self.rates[self.epoch_index(t)]
+    }
+
+    /// Bytes carried within one loop between wrapped times `a <= b`.
+    fn bytes_within_loop(&self, a: f64, b: f64) -> f64 {
+        debug_assert!(a <= b && b <= self.total_duration + 1e-9);
+        let ia = self.epoch_index(a.min(self.total_duration - f64::EPSILON).max(0.0));
+        // cumulative bytes at absolute in-loop time t
+        let cum_at = |t: f64| -> f64 {
+            if t >= self.total_duration {
+                return self.total_bytes;
+            }
+            let i = self.epoch_index(t);
+            self.cum_bytes[i] + self.rates[i] * (t - self.starts[i])
+        };
+        let _ = ia;
+        cum_at(b) - cum_at(a)
+    }
+
+    /// Total bytes the link can carry on `[t0, t1]` (absolute times, may span
+    /// multiple loop iterations).
+    pub fn bytes_between(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 >= t0 && t0 >= 0.0, "invalid interval [{t0}, {t1}]");
+        let loops0 = (t0 / self.total_duration).floor();
+        let loops1 = (t1 / self.total_duration).floor();
+        let a = t0 - loops0 * self.total_duration;
+        let b = t1 - loops1 * self.total_duration;
+        let full_loops = loops1 - loops0;
+        if full_loops == 0.0 {
+            self.bytes_within_loop(a, b)
+        } else {
+            self.bytes_within_loop(a, self.total_duration)
+                + (full_loops - 1.0) * self.total_bytes
+                + self.bytes_within_loop(0.0, b)
+        }
+    }
+
+    /// Starting at absolute time `t0`, return the earliest time by which the
+    /// link has carried `bytes` additional bytes.
+    pub fn advance(&self, t0: f64, bytes: f64) -> f64 {
+        assert!(t0 >= 0.0 && bytes >= 0.0 && bytes.is_finite());
+        if bytes == 0.0 {
+            return t0;
+        }
+        let mut remaining = bytes;
+        // Skip whole loops first.
+        let loops0 = (t0 / self.total_duration).floor();
+        let mut t = t0 - loops0 * self.total_duration; // wrapped position
+        let mut base = loops0 * self.total_duration; // absolute time of loop start
+
+        // Bytes remaining in the current partial loop.
+        let rest_of_loop = self.bytes_within_loop(t, self.total_duration);
+        if remaining > rest_of_loop {
+            remaining -= rest_of_loop;
+            base += self.total_duration;
+            t = 0.0;
+            let full = (remaining / self.total_bytes).floor();
+            if full > 0.0 {
+                base += full * self.total_duration;
+                remaining -= full * self.total_bytes;
+            }
+        }
+        // Walk epochs within a single loop (at most once around).
+        let mut i = self.epoch_index(t.min(self.total_duration - f64::EPSILON));
+        loop {
+            let epoch_end = if i + 1 < self.starts.len() {
+                self.starts[i + 1]
+            } else {
+                self.total_duration
+            };
+            let capacity = self.rates[i] * (epoch_end - t);
+            if capacity >= remaining {
+                let dt = if self.rates[i] > 0.0 { remaining / self.rates[i] } else { 0.0 };
+                return base + t + dt;
+            }
+            remaining -= capacity;
+            t = epoch_end;
+            i += 1;
+            if i == self.starts.len() {
+                // Wrapped: guaranteed to terminate since total_bytes > 0.
+                base += self.total_duration;
+                t = 0.0;
+                i = 0;
+                let full = (remaining / self.total_bytes).floor();
+                if full > 0.0 {
+                    base += full * self.total_duration;
+                    remaining -= full * self.total_bytes;
+                }
+            }
+        }
+    }
+
+    /// Average rate over `[t0, t1]` in bytes/s.
+    pub fn mean_rate_between(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 > t0);
+        self.bytes_between(t0, t1) / (t1 - t0)
+    }
+
+    /// Resample the trace into fixed-width epochs (e.g. the 6-second epochs
+    /// of Fig. 2), averaging the rate within each bucket.
+    pub fn resample(&self, epoch_len: f64, n_epochs: usize) -> Vec<f64> {
+        assert!(epoch_len > 0.0);
+        (0..n_epochs)
+            .map(|i| self.mean_rate_between(i as f64 * epoch_len, (i + 1) as f64 * epoch_len))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_epoch() -> RateTrace {
+        // 2 s at 100 B/s, then 3 s at 1000 B/s; loop = 5 s, 3200 B per loop.
+        RateTrace::new(&[
+            Epoch { duration: 2.0, rate: 100.0 },
+            Epoch { duration: 3.0, rate: 1000.0 },
+        ])
+    }
+
+    #[test]
+    fn rate_at_and_wrapping() {
+        let t = two_epoch();
+        assert_eq!(t.rate_at(0.0), 100.0);
+        assert_eq!(t.rate_at(1.99), 100.0);
+        assert_eq!(t.rate_at(2.0), 1000.0);
+        assert_eq!(t.rate_at(4.999), 1000.0);
+        assert_eq!(t.rate_at(5.0), 100.0); // wrapped
+        assert_eq!(t.rate_at(12.5), 1000.0); // 12.5 % 5 = 2.5
+    }
+
+    #[test]
+    fn bytes_between_within_epoch() {
+        let t = two_epoch();
+        assert!((t.bytes_between(0.0, 1.0) - 100.0).abs() < 1e-9);
+        assert!((t.bytes_between(2.0, 3.0) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_between_across_epochs_and_loops() {
+        let t = two_epoch();
+        assert!((t.bytes_between(1.0, 3.0) - 1100.0).abs() < 1e-9);
+        // One full loop carries 3200 B.
+        assert!((t.bytes_between(0.0, 5.0) - 3200.0).abs() < 1e-9);
+        // 2.5 loops starting mid-trace.
+        let b = t.bytes_between(1.0, 13.5);
+        // [1,5): 100 + 3000 = 3100; [5,10): 3200; [10,13.5): 200 + 1500 = 1700.
+        assert!((b - 8000.0).abs() < 1e-6, "got {b}");
+    }
+
+    #[test]
+    fn advance_inverts_bytes_between() {
+        let t = two_epoch();
+        for &(t0, bytes) in
+            &[(0.0, 50.0), (0.0, 200.0), (1.5, 3000.0), (4.9, 10_000.0), (7.3, 123.4)]
+        {
+            let t1 = t.advance(t0, bytes);
+            let back = t.bytes_between(t0, t1);
+            assert!((back - bytes).abs() < 1e-6, "t0={t0} bytes={bytes}: got {back}");
+        }
+    }
+
+    #[test]
+    fn advance_zero_bytes_is_identity() {
+        let t = two_epoch();
+        assert_eq!(t.advance(3.7, 0.0), 3.7);
+    }
+
+    #[test]
+    fn advance_spans_many_loops() {
+        let t = two_epoch();
+        // 10 loops' worth of bytes starting at 0 → exactly 50 s.
+        let t1 = t.advance(0.0, 32_000.0);
+        assert!((t1 - 50.0).abs() < 1e-6, "got {t1}");
+    }
+
+    #[test]
+    fn zero_rate_epochs_are_skipped() {
+        let t = RateTrace::new(&[
+            Epoch { duration: 1.0, rate: 0.0 },
+            Epoch { duration: 1.0, rate: 500.0 },
+        ]);
+        // Starting inside the dead epoch, 250 B needs until t = 1.5.
+        let t1 = t.advance(0.5, 250.0);
+        assert!((t1 - 1.5).abs() < 1e-9, "got {t1}");
+    }
+
+    #[test]
+    fn mean_rate() {
+        let t = two_epoch();
+        assert!((t.mean_rate() - 640.0).abs() < 1e-9);
+        assert!((t.mean_rate_between(0.0, 2.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_averages() {
+        let t = two_epoch();
+        let r = t.resample(2.5, 2);
+        // [0,2.5): 200+500=700 over 2.5s = 280; [2.5,5): 2500/2.5 = 1000.
+        assert!((r[0] - 280.0).abs() < 1e-9);
+        assert!((r[1] - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn empty_trace_panics() {
+        let _ = RateTrace::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "some bytes")]
+    fn all_zero_trace_panics() {
+        let _ = RateTrace::new(&[Epoch { duration: 1.0, rate: 0.0 }]);
+    }
+
+    #[test]
+    fn constant_trace() {
+        let t = RateTrace::constant(1000.0, 10.0);
+        assert_eq!(t.rate_at(3.0), 1000.0);
+        assert!((t.advance(0.0, 5000.0) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for trace arithmetic: the integral/inverse-integral
+//! pair must be mutually consistent for *any* piecewise-constant trace.
+
+use proptest::prelude::*;
+use puffer_trace::trace::{Epoch, RateTrace};
+use puffer_trace::{mahimahi, Cs2pLikeProcess, FccLikeProcess, PufferLikeProcess, RateProcess};
+use rand::SeedableRng;
+
+fn arb_trace() -> impl Strategy<Value = RateTrace> {
+    // 1..12 epochs, durations 0.05..5 s, rates 0..2e6 B/s, at least one
+    // epoch carrying bytes.
+    prop::collection::vec((0.05f64..5.0, 0.0f64..2e6), 1..12)
+        .prop_filter("must carry bytes", |v| v.iter().any(|&(d, r)| d * r > 0.0))
+        .prop_map(|v| {
+            RateTrace::new(
+                &v.into_iter().map(|(duration, rate)| Epoch { duration, rate }).collect::<Vec<_>>(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 200, ..ProptestConfig::default() })]
+
+    #[test]
+    fn advance_is_inverse_of_bytes_between(
+        trace in arb_trace(),
+        t0 in 0.0f64..50.0,
+        bytes in 0.0f64..5e7,
+    ) {
+        let t1 = trace.advance(t0, bytes);
+        prop_assert!(t1 >= t0);
+        let carried = trace.bytes_between(t0, t1);
+        prop_assert!((carried - bytes).abs() < 1e-6 * bytes.max(1.0),
+            "carried {carried} vs requested {bytes}");
+    }
+
+    #[test]
+    fn bytes_between_is_additive(
+        trace in arb_trace(),
+        t0 in 0.0f64..30.0,
+        d1 in 0.0f64..20.0,
+        d2 in 0.0f64..20.0,
+    ) {
+        let whole = trace.bytes_between(t0, t0 + d1 + d2);
+        let parts = trace.bytes_between(t0, t0 + d1) + trace.bytes_between(t0 + d1, t0 + d1 + d2);
+        prop_assert!((whole - parts).abs() < 1e-6 * whole.max(1.0));
+    }
+
+    #[test]
+    fn bytes_between_is_monotone_and_bounded(
+        trace in arb_trace(),
+        t0 in 0.0f64..30.0,
+        d in 0.0f64..40.0,
+    ) {
+        let b = trace.bytes_between(t0, t0 + d);
+        prop_assert!(b >= 0.0);
+        // Bounded by max rate × duration.
+        let max_rate = trace.epochs().map(|(_, r)| r).fold(0.0, f64::max);
+        prop_assert!(b <= max_rate * d + 1e-6);
+    }
+
+    #[test]
+    fn advance_is_monotone_in_bytes(
+        trace in arb_trace(),
+        t0 in 0.0f64..20.0,
+        b1 in 0.0f64..1e6,
+        b2 in 0.0f64..1e6,
+    ) {
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(trace.advance(t0, lo) <= trace.advance(t0, hi) + 1e-12);
+    }
+
+    #[test]
+    fn processes_produce_valid_traces(seed in 0u64..5_000, base in 5e4f64..2e6) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for trace in [
+            PufferLikeProcess::new(base, 0.5).sample_trace(120.0, &mut rng),
+            FccLikeProcess::new(base).sample_trace(120.0, &mut rng),
+            Cs2pLikeProcess::fig2_default().sample_trace(120.0, &mut rng),
+        ] {
+            prop_assert!(trace.loop_duration() >= 120.0);
+            prop_assert!(trace.mean_rate() > 0.0);
+            prop_assert!(trace.epochs().all(|(_, r)| r.is_finite() && r >= 0.0));
+        }
+    }
+
+    #[test]
+    fn mahimahi_roundtrip_preserves_bytes(
+        trace in arb_trace(),
+    ) {
+        let opportunities = mahimahi::from_rate_trace(&trace);
+        // Only meaningful when the trace carries at least a few packets.
+        prop_assume!(opportunities.len() >= 10);
+        let back = mahimahi::to_rate_trace(&opportunities, 50).unwrap();
+        // Cumulative bytes agree within one MTU per bucket boundary effect.
+        let orig = trace.bytes_between(0.0, trace.loop_duration());
+        let got = back.bytes_between(0.0, back.loop_duration());
+        let tolerance = 2.0 * mahimahi::MTU_BYTES + 0.02 * orig;
+        prop_assert!((orig - got).abs() <= tolerance, "orig {orig} got {got}");
+    }
+}

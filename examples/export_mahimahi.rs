@@ -1,0 +1,47 @@
+//! Export synthetic throughput traces in the mahimahi format (§5.2).
+//!
+//! Generates one wild-Internet trace and one FCC-like emulation trace,
+//! writes them as mahimahi packet-delivery-opportunity files, re-imports
+//! them, and verifies the round trip — the same files drive the paper's
+//! emulation experiments via `mm-link`.
+//!
+//! ```sh
+//! cargo run --release --example export_mahimahi
+//! ```
+
+use puffer_repro::trace::{
+    bytes_per_sec_to_mbps, mahimahi, FccLikeProcess, PufferLikeProcess, RateProcess, MBPS,
+};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let dir = std::env::temp_dir();
+
+    for (name, trace) in [
+        (
+            "puffer_like.trace",
+            PufferLikeProcess::new(4.0 * MBPS, 0.5).sample_trace(120.0, &mut rng),
+        ),
+        ("fcc_like.trace", FccLikeProcess::new(3.0 * MBPS).sample_trace(120.0, &mut rng)),
+    ] {
+        let opportunities = mahimahi::from_rate_trace(&trace);
+        let text = mahimahi::format(&opportunities);
+        let path = dir.join(name);
+        std::fs::write(&path, &text).unwrap();
+
+        // Round trip: parse the file back and compare mean rates.
+        let parsed = mahimahi::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let back = mahimahi::to_rate_trace(&parsed, 100).unwrap();
+        println!(
+            "{:<20} {:>7} packets, {:>6.0} s loop, mean {:.2} Mbit/s (reimported {:.2}) -> {}",
+            name,
+            opportunities.len(),
+            trace.loop_duration(),
+            bytes_per_sec_to_mbps(trace.mean_rate()),
+            bytes_per_sec_to_mbps(back.mean_rate()),
+            path.display()
+        );
+    }
+    println!("\nreplay with: mm-link <trace> <trace> -- your_client");
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper, teeing output to results/.
+# Usage: scripts/run_all_experiments.sh [seed] [scale]
+set -euo pipefail
+SEED="${1:-1}"
+SCALE="${2:-1}"
+OUT="results/seed${SEED}_scale${SCALE}"
+mkdir -p "$OUT/figures"
+export PUFFER_FIGURE_DIR="$OUT/figures"
+
+# Ordered so the primary results land first; later entries are heavier
+# secondary experiments.
+BINS=(
+  fig1_primary
+  fig4_ssim_bitrate
+  fig8_main
+  fig9_coldstart
+  fig10_duration
+  figA1_consort
+  fig2_throughput_states
+  fig3_vbr
+  uncertainty_analysis
+  pensieve_report
+  fig7_ablation
+  fig11_emulation
+  predictor_comparison
+  cc_experiment
+  stale_ttp
+  replication
+)
+
+cargo build --release -p puffer-bench
+
+for bin in "${BINS[@]}"; do
+  echo "=== $bin ==="
+  cargo run --release -p puffer-bench --bin "$bin" -- --seed "$SEED" --scale "$SCALE" \
+    2>&1 | tee "$OUT/$bin.txt"
+done
+
+echo "All outputs in $OUT/; SVG figures in $OUT/figures/"

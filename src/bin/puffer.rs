@@ -1,0 +1,339 @@
+//! `puffer` — command-line interface to the reproduction.
+//!
+//! Subcommands:
+//!
+//! * `simulate`  — stream one video over a sampled path with a chosen scheme
+//! * `collect`   — run sessions and write a TTP training dataset to a file
+//! * `train-ttp` — train a TTP variant on a collected dataset
+//! * `run-rct`   — run a randomized controlled trial and print the table
+//! * `archive`   — run sessions and write the Appendix-B style daily CSVs
+//!
+//! Every subcommand takes `--seed N`; runs are bit-reproducible.
+
+use puffer_repro::fugu::{checkpoint, Dataset, TrainConfig, TtpVariant};
+use puffer_repro::media::VideoSource;
+use puffer_repro::net::{CongestionControl, Connection};
+use puffer_repro::platform::experiment::{collect_training_data, run_rct, train_ttp_on};
+use puffer_repro::platform::user::StreamIntent;
+use puffer_repro::platform::{
+    run_stream, DailyArchive, ExperimentConfig, SchemeSpec, StreamConfig, UserModel,
+};
+use puffer_repro::stats::{bootstrap_ratio_ci, SchemeSummary};
+use puffer_repro::trace::TraceBank;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: puffer <command> [options]\n\
+         \n\
+         commands:\n\
+           simulate   --scheme <bba|bola|mpc|robustmpc> [--seconds N] [--seed N]\n\
+           collect    --out <file> [--sessions N] [--days N] [--emulation] [--seed N]\n\
+           train-ttp  --data <file> --out <file> [--variant full|linear|no-tcp-info|throughput] [--seed N]\n\
+           run-rct    [--schemes bba,bola,mpc,robustmpc] [--sessions N] [--days N]\n\
+                      [--paired] [--emulation] [--fugu <ttp-checkpoint>] [--seed N]\n\
+           archive    --out <dir> [--sessions N] [--seed N]\n"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+fn parse_flags(args: &[String], booleans: &[&str]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument '{a}'");
+            usage();
+        };
+        if booleans.contains(&key) {
+            out.insert(key.to_string(), "true".to_string());
+            i += 1;
+        } else if let Some(v) = args.get(i + 1) {
+            out.insert(key.to_string(), v.clone());
+            i += 2;
+        } else {
+            eprintln!("flag --{key} needs a value");
+            usage();
+        }
+    }
+    out
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn scheme_by_name(name: &str) -> Option<SchemeSpec> {
+    match name {
+        "bba" => Some(SchemeSpec::Bba),
+        "bola" => Some(SchemeSpec::Bola),
+        "mpc" => Some(SchemeSpec::MpcHm),
+        "robustmpc" => Some(SchemeSpec::RobustMpcHm),
+        _ => None,
+    }
+}
+
+fn cmd_simulate(flags: HashMap<String, String>) -> ExitCode {
+    let seed: u64 = get(&flags, "seed", 1);
+    let seconds: f64 = get(&flags, "seconds", 180.0);
+    let scheme = flags.get("scheme").map(String::as_str).unwrap_or("bba");
+    let Some(spec) = scheme_by_name(scheme) else {
+        eprintln!("unknown scheme '{scheme}'");
+        return ExitCode::from(2);
+    };
+    let mut abr = spec.instantiate();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let bank = TraceBank::puffer();
+    let (path, trace) = bank.sample_session(seconds * 1.3 + 60.0, &mut rng);
+    let mut conn = Connection::new(
+        trace,
+        path.min_rtt,
+        (path.buffer_seconds * path.base_rate).max(16_000.0),
+        CongestionControl::Bbr,
+        0.0,
+    );
+    let mut source = VideoSource::puffer_default();
+    let user = UserModel { zap_prob: 0.0, ..UserModel::default() };
+    let out = run_stream(
+        &mut conn,
+        &mut source,
+        abr.as_mut(),
+        &user,
+        StreamIntent::Watch(seconds),
+        0.0,
+        &StreamConfig::default(),
+        0.0,
+        &mut rng,
+    );
+    println!(
+        "path: {} ({:.1} Mbit/s nominal, {:.0} ms RTT)",
+        path.class.name(),
+        path.base_rate * 8.0 / 1e6,
+        path.min_rtt * 1000.0
+    );
+    match out.summary {
+        Some(s) => {
+            println!("scheme: {}", abr.name());
+            println!("chunks: {}   startup: {:.2} s", s.chunks, s.startup_delay);
+            println!(
+                "stalled: {:.2} s / {:.1} s watched ({:.3}%)",
+                s.stall_time,
+                s.watch_time,
+                100.0 * s.stall_ratio()
+            );
+            println!(
+                "mean SSIM: {:.2} dB   variation: {:.2} dB   bitrate: {:.2} Mbit/s",
+                s.mean_ssim_db,
+                s.ssim_variation_db,
+                s.mean_bitrate() / 1e6
+            );
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("stream never began playing");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_collect(flags: HashMap<String, String>) -> ExitCode {
+    let Some(out_path) = flags.get("out") else {
+        eprintln!("collect needs --out <file>");
+        return ExitCode::from(2);
+    };
+    let cfg = ExperimentConfig {
+        seed: get(&flags, "seed", 1),
+        sessions_per_day: get(&flags, "sessions", 100),
+        days: get(&flags, "days", 2),
+        emulation_world: flags.contains_key("emulation"),
+        retrain: None,
+        ..ExperimentConfig::default()
+    };
+    eprintln!(
+        "collecting {} sessions/day x {} days under BBA ...",
+        cfg.sessions_per_day, cfg.days
+    );
+    let data = collect_training_data(&SchemeSpec::Bba, &cfg);
+    if let Err(e) = std::fs::write(out_path, data.save_to_string()) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} streams / {} observations to {out_path}",
+        data.n_streams(),
+        data.n_observations()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_train_ttp(flags: HashMap<String, String>) -> ExitCode {
+    let (Some(data_path), Some(out_path)) = (flags.get("data"), flags.get("out")) else {
+        eprintln!("train-ttp needs --data <file> and --out <file>");
+        return ExitCode::from(2);
+    };
+    let variant = match flags.get("variant").map(String::as_str).unwrap_or("full") {
+        "full" => TtpVariant::Full,
+        "linear" => TtpVariant::Linear,
+        "no-tcp-info" => TtpVariant::NoTcpInfo,
+        "throughput" => TtpVariant::ThroughputPredictor,
+        other => {
+            eprintln!("unknown variant '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(data_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {data_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let data = match Dataset::load_from_str(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bad dataset: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "training {variant:?} on {} observations ...",
+        data.n_observations()
+    );
+    let ttp = train_ttp_on(variant, &data, &TrainConfig::default(), get(&flags, "seed", 1));
+    if let Err(e) = checkpoint::save_to_file(&ttp, std::path::Path::new(out_path)) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote TTP checkpoint to {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_run_rct(flags: HashMap<String, String>) -> ExitCode {
+    let mut schemes: Vec<SchemeSpec> = Vec::new();
+    for name in flags
+        .get("schemes")
+        .map(String::as_str)
+        .unwrap_or("bba,mpc,robustmpc")
+        .split(',')
+    {
+        match scheme_by_name(name.trim()) {
+            Some(s) => schemes.push(s),
+            None => {
+                eprintln!("unknown scheme '{name}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(ckpt) = flags.get("fugu") {
+        match std::fs::read_to_string(ckpt).map_err(|e| e.to_string()).and_then(|t| {
+            checkpoint::load_from_str(&t).map_err(|e| e.to_string())
+        }) {
+            Ok(ttp) => schemes.push(SchemeSpec::fugu(ttp)),
+            Err(e) => {
+                eprintln!("cannot load TTP checkpoint {ckpt}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cfg = ExperimentConfig {
+        seed: get(&flags, "seed", 1),
+        sessions_per_day: get(&flags, "sessions", 100),
+        days: get(&flags, "days", 2),
+        emulation_world: flags.contains_key("emulation"),
+        paired: flags.contains_key("paired"),
+        ..ExperimentConfig::default()
+    };
+    eprintln!(
+        "running RCT: {} arms, {} sessions/day x {} days{} ...",
+        schemes.len(),
+        cfg.sessions_per_day,
+        cfg.days,
+        if cfg.paired { " (paired)" } else { "" }
+    );
+    let result = run_rct(schemes, &cfg);
+    println!(
+        "{:<14} {:>9} {:>22} {:>10} {:>12}",
+        "scheme", "streams", "stall % [95% CI]", "SSIM dB", "bitrate Mb/s"
+    );
+    for arm in &result.arms {
+        if arm.streams.is_empty() {
+            continue;
+        }
+        let agg = SchemeSummary::from_streams(&arm.streams);
+        let pairs: Vec<(f64, f64)> =
+            arm.streams.iter().map(|s| (s.stall_time, s.watch_time)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xc1);
+        let ci = bootstrap_ratio_ci(&pairs, 500, 0.95, &mut rng);
+        println!(
+            "{:<14} {:>9} {:>7.3}% [{:.3},{:.3}] {:>10.2} {:>12.2}",
+            arm.name,
+            arm.streams.len(),
+            100.0 * ci.point,
+            100.0 * ci.lo,
+            100.0 * ci.hi,
+            agg.mean_ssim_db,
+            agg.mean_bitrate / 1e6
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_archive(flags: HashMap<String, String>) -> ExitCode {
+    let Some(out_dir) = flags.get("out") else {
+        eprintln!("archive needs --out <dir>");
+        return ExitCode::from(2);
+    };
+    let seed: u64 = get(&flags, "seed", 1);
+    let sessions: usize = get(&flags, "sessions", 20);
+    let bank = TraceBank::puffer();
+    let user = UserModel::default();
+    let mut archive = DailyArchive::new();
+    for i in 0..sessions {
+        let mut abr = SchemeSpec::Bba.instantiate();
+        let out = puffer_repro::platform::run_session(
+            &bank,
+            abr.as_mut(),
+            &user,
+            CongestionControl::Bbr,
+            StreamConfig::default(),
+            i as u64,
+            seed.wrapping_add(i as u64),
+        );
+        for s in &out.streams {
+            archive.add_stream(&s.telemetry);
+        }
+    }
+    match archive.write(std::path::Path::new(out_dir), 0) {
+        Ok(paths) => {
+            let (vs, va, cb) = archive.counts();
+            println!("wrote {vs} video_sent, {va} video_acked, {cb} client_buffer data points:");
+            for p in paths {
+                println!("  {}", p.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("archive write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..], &["paired", "emulation"]);
+    match command.as_str() {
+        "simulate" => cmd_simulate(flags),
+        "collect" => cmd_collect(flags),
+        "train-ttp" => cmd_train_ttp(flags),
+        "run-rct" => cmd_run_rct(flags),
+        "archive" => cmd_archive(flags),
+        _ => usage(),
+    }
+}

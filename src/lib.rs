@@ -1,0 +1,33 @@
+//! # puffer-repro — reproduction of "Learning in situ: a randomized
+//! # experiment in video streaming" (NSDI 2020)
+//!
+//! This meta-crate re-exports the whole workspace under one roof, so
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`trace`] — synthetic throughput processes (wild-Internet, FCC-like,
+//!   CS2P-like) and mahimahi trace I/O;
+//! * [`net`] — the trace-driven TCP model with `tcp_info` synthesis;
+//! * [`media`] — the ten-rung encoder ladder, VBR chunk/SSIM source, and the
+//!   QoE objective of Eq. 1;
+//! * [`nn`] — the dense neural-network substrate (MLP, softmax CE, SGD/Adam);
+//! * [`abr`] — the `Abr` trait and baselines: BBA, MPC-HM, RobustMPC-HM,
+//!   Pensieve;
+//! * [`fugu`] — the paper's contribution: the probabilistic Transmission
+//!   Time Predictor, stochastic MPC controller, in-situ training pipeline,
+//!   and ablations;
+//! * [`platform`] — the Puffer RCT: sessions, streams, telemetry, CONSORT
+//!   accounting, daily retraining;
+//! * [`stats`] — bootstrap CIs, weighted standard errors, CCDFs, and the
+//!   detectability analysis.
+//!
+//! See `examples/` for runnable entry points and `crates/bench/src/bin/`
+//! for the binaries that regenerate every table and figure of the paper.
+
+pub use fugu;
+pub use puffer_abr as abr;
+pub use puffer_media as media;
+pub use puffer_net as net;
+pub use puffer_nn as nn;
+pub use puffer_platform as platform;
+pub use puffer_stats as stats;
+pub use puffer_trace as trace;

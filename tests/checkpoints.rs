@@ -1,0 +1,119 @@
+//! Integration: trained models survive the checkpoint round trip with
+//! *behaviorally identical* deployment decisions — the property the paper's
+//! PyTorch→C++ hand-off depends on (§4.5).
+
+use puffer_repro::abr::{Abr, AbrContext, ChunkRecord, PensievePolicy};
+use puffer_repro::fugu::{checkpoint, train, Dataset, Fugu, TrainConfig, Ttp, TtpConfig};
+use puffer_repro::media::VideoSource;
+use puffer_repro::net::TcpInfo;
+use puffer_repro::platform::experiment::collect_training_data;
+use puffer_repro::platform::{ExperimentConfig, SchemeSpec};
+use rand::SeedableRng;
+
+fn trained_ttp() -> Ttp {
+    let cfg = ExperimentConfig {
+        seed: 500,
+        sessions_per_day: 15,
+        days: 1,
+        threads: 1,
+        retrain: None,
+        ..ExperimentConfig::default()
+    };
+    let data: Dataset = collect_training_data(&SchemeSpec::Bba, &cfg);
+    let mut ttp = Ttp::new(TtpConfig::default(), 9);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    train(
+        &mut ttp,
+        &data,
+        0,
+        &TrainConfig { epochs: 1, max_samples_per_step: 2000, ..TrainConfig::default() },
+        &mut rng,
+    )
+    .expect("telemetry available");
+    ttp
+}
+
+fn decision_contexts() -> (Vec<puffer_repro::media::ChunkMenu>, Vec<ChunkRecord>, TcpInfo) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut src = VideoSource::puffer_default();
+    let menus: Vec<_> = (0..5).map(|_| src.next_chunk(&mut rng)).collect();
+    let history: Vec<ChunkRecord> = (0..8)
+        .map(|i| ChunkRecord { size: 3e5 + 5e4 * i as f64, transmission_time: 0.4 + 0.05 * i as f64 })
+        .collect();
+    let info = TcpInfo { cwnd: 22.0, in_flight: 3.0, min_rtt: 0.05, rtt: 0.06, delivery_rate: 7e5 };
+    (menus, history, info)
+}
+
+#[test]
+fn trained_ttp_checkpoint_preserves_fugu_decisions() {
+    let ttp = trained_ttp();
+    let restored = checkpoint::load_from_str(&checkpoint::save_to_string(&ttp)).unwrap();
+
+    let (menus, history, info) = decision_contexts();
+    let mut original = Fugu::new(ttp);
+    let mut loaded = Fugu::new(restored);
+    for buffer in [0.5, 3.0, 7.0, 12.0, 14.5] {
+        let ctx = AbrContext {
+            buffer,
+            prev_ssim_db: Some(14.0),
+            prev_rung: Some(5),
+            lookahead: &menus,
+            history: &history,
+            tcp_info: info,
+        };
+        assert_eq!(
+            original.choose(&ctx),
+            loaded.choose(&ctx),
+            "decision must survive serialization at buffer {buffer}"
+        );
+    }
+}
+
+#[test]
+fn pensieve_checkpoint_preserves_greedy_decisions() {
+    let policy = PensievePolicy::new(21);
+    let restored = PensievePolicy::load_from_str(&policy.save_to_string(), 999).unwrap();
+    let (menus, history, info) = decision_contexts();
+    let mut a = policy.clone();
+    let mut b = restored;
+    a.set_stochastic(false);
+    b.set_stochastic(false);
+    for buffer in [1.0, 6.0, 13.0] {
+        let ctx = AbrContext {
+            buffer,
+            prev_ssim_db: None,
+            prev_rung: None,
+            lookahead: &menus,
+            history: &history,
+            tcp_info: info,
+        };
+        assert_eq!(a.choose(&ctx), b.choose(&ctx));
+    }
+}
+
+#[test]
+fn dataset_roundtrip_preserves_training_outcome() {
+    let cfg = ExperimentConfig {
+        seed: 501,
+        sessions_per_day: 10,
+        days: 1,
+        threads: 1,
+        retrain: None,
+        ..ExperimentConfig::default()
+    };
+    let data = collect_training_data(&SchemeSpec::Bba, &cfg);
+    let restored = Dataset::load_from_str(&data.save_to_string()).unwrap();
+
+    // Training on the original and the round-tripped dataset with the same
+    // seed must produce identical models.
+    let train_cfg = TrainConfig { epochs: 1, max_samples_per_step: 1500, ..TrainConfig::default() };
+    let mut a = Ttp::new(TtpConfig::default(), 3);
+    let mut b = Ttp::new(TtpConfig::default(), 3);
+    train(&mut a, &data, 0, &train_cfg, &mut rand::rngs::StdRng::seed_from_u64(4)).unwrap();
+    train(&mut b, &restored, 0, &train_cfg, &mut rand::rngs::StdRng::seed_from_u64(4)).unwrap();
+    assert_eq!(
+        checkpoint::save_to_string(&a),
+        checkpoint::save_to_string(&b),
+        "identical data + seed must give identical weights"
+    );
+}

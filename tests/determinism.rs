@@ -1,0 +1,57 @@
+//! Reproducibility: the entire experiment is a pure function of its seed.
+
+use puffer_repro::platform::experiment::run_rct;
+use puffer_repro::platform::{ExperimentConfig, SchemeSpec};
+
+fn cfg(seed: u64, threads: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        sessions_per_day: 20,
+        days: 2,
+        threads,
+        retrain: None,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn fingerprint(result: &puffer_repro::platform::RctResult) -> Vec<(usize, f64, f64)> {
+    result
+        .arms
+        .iter()
+        .map(|a| {
+            (
+                a.consort.streams,
+                a.streams.iter().map(|s| s.watch_time).sum::<f64>(),
+                a.streams.iter().map(|s| s.mean_ssim_db).sum::<f64>(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn identical_seeds_identical_results() {
+    let schemes = || vec![SchemeSpec::Bba, SchemeSpec::MpcHm];
+    let a = run_rct(schemes(), &cfg(5, 1));
+    let b = run_rct(schemes(), &cfg(5, 1));
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let schemes = || vec![SchemeSpec::Bba, SchemeSpec::RobustMpcHm];
+    let seq = run_rct(schemes(), &cfg(6, 1));
+    let par8 = run_rct(schemes(), &cfg(6, 8));
+    assert_eq!(fingerprint(&seq), fingerprint(&par8));
+}
+
+#[test]
+fn different_seeds_differ() {
+    let schemes = || vec![SchemeSpec::Bba];
+    let a = run_rct(schemes(), &cfg(7, 2));
+    let b = run_rct(schemes(), &cfg(8, 2));
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "different seeds should explore different sessions"
+    );
+}

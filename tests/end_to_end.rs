@@ -1,0 +1,115 @@
+//! Cross-crate integration: the full pipeline from telemetry collection
+//! through TTP training to a multi-arm randomized trial.
+
+use puffer_repro::fugu::{train, TrainConfig, Ttp, TtpConfig, TtpVariant};
+use puffer_repro::platform::experiment::{collect_training_data, run_rct, train_ttp_on};
+use puffer_repro::platform::{ExperimentConfig, SchemeSpec};
+use puffer_repro::stats::SchemeSummary;
+use rand::SeedableRng;
+
+fn tiny_cfg(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        sessions_per_day: 25,
+        days: 2,
+        threads: 2,
+        retrain: None,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_bootstrap_train_deploy() {
+    // 1. Bootstrap telemetry.
+    let data = collect_training_data(&SchemeSpec::Bba, &tiny_cfg(100));
+    assert!(data.n_observations() > 500, "{} observations", data.n_observations());
+
+    // 2. Train the TTP in situ.
+    let ttp = train_ttp_on(
+        TtpVariant::Full,
+        &data,
+        &TrainConfig { epochs: 1, max_samples_per_step: 3000, ..TrainConfig::default() },
+        7,
+    );
+
+    // 3. Deploy Fugu against two baselines in an RCT.
+    let result = run_rct(
+        vec![SchemeSpec::fugu_frozen(ttp, TtpVariant::Full, "Fugu"), SchemeSpec::Bba, SchemeSpec::MpcHm],
+        &tiny_cfg(101),
+    );
+    assert_eq!(result.arms.len(), 3);
+    for arm in &result.arms {
+        assert!(
+            arm.consort.considered > 0,
+            "arm {} produced no considered streams",
+            arm.name
+        );
+        let agg = SchemeSummary::from_streams(&arm.streams);
+        // Sanity on every summary statistic.
+        assert!(agg.stall_ratio >= 0.0 && agg.stall_ratio < 0.5);
+        assert!((5.0..20.0).contains(&agg.mean_ssim_db), "{}: {}", arm.name, agg.mean_ssim_db);
+        assert!(agg.mean_bitrate > 100_000.0);
+        assert!(agg.mean_startup_delay > 0.3);
+    }
+}
+
+#[test]
+fn trained_fugu_beats_untrained_on_prediction() {
+    let data = collect_training_data(&SchemeSpec::Bba, &tiny_cfg(200));
+    let untrained = Ttp::new(TtpConfig::default(), 1);
+    let mut trained = Ttp::new(TtpConfig::default(), 1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    train(
+        &mut trained,
+        &data,
+        1,
+        &TrainConfig { epochs: 2, max_samples_per_step: 5000, ..TrainConfig::default() },
+        &mut rng,
+    )
+    .expect("data available");
+    let e_untrained = puffer_repro::fugu::training::evaluate(&untrained, &data, 1, 14);
+    let e_trained = puffer_repro::fugu::training::evaluate(&trained, &data, 1, 14);
+    assert!(
+        e_trained.cross_entropy < e_untrained.cross_entropy,
+        "training must help: {} vs {}",
+        e_trained.cross_entropy,
+        e_untrained.cross_entropy
+    );
+}
+
+#[test]
+fn paired_mode_runs_every_session_in_every_arm() {
+    let mut cfg = tiny_cfg(300);
+    cfg.paired = true;
+    cfg.sessions_per_day = 10;
+    cfg.days = 1;
+    let result = run_rct(vec![SchemeSpec::Bba, SchemeSpec::RobustMpcHm], &cfg);
+    assert_eq!(result.total_sessions, 20, "10 sessions x 2 arms");
+    for arm in &result.arms {
+        assert_eq!(arm.consort.sessions, 10);
+    }
+    // Paired arms see identical user intents and paths; stream counts still
+    // diverge somewhat because scheme decisions shift the shared RNG stream
+    // (stalls, abandonments), so only require rough agreement.
+    let s0 = result.arms[0].consort.streams as f64;
+    let s1 = result.arms[1].consort.streams as f64;
+    assert!((s0 / s1 - 1.0).abs() < 0.5, "paired arms wildly differ: {s0} vs {s1}");
+}
+
+#[test]
+fn emulation_and_deployment_worlds_differ() {
+    let mut emu_cfg = tiny_cfg(400);
+    emu_cfg.emulation_world = true;
+    let emu = run_rct(vec![SchemeSpec::Bba], &emu_cfg);
+    let real = run_rct(vec![SchemeSpec::Bba], &tiny_cfg(400));
+    let emu_agg = SchemeSummary::from_streams(&emu.arms[0].streams);
+    let real_agg = SchemeSummary::from_streams(&real.arms[0].streams);
+    // The emulation world is capped at 12 Mbit/s; the deployment world has
+    // fibre-class paths, so BBA reaches much higher bitrates there.
+    assert!(
+        real_agg.mean_bitrate > emu_agg.mean_bitrate,
+        "real {} vs emu {}",
+        real_agg.mean_bitrate,
+        emu_agg.mean_bitrate
+    );
+}

