@@ -164,8 +164,7 @@ impl Cs2pModel {
                 .collect();
             let member_sessions: &[&Vec<f64>] = if mine.is_empty() { &usable } else { &mine };
 
-            let all: Vec<f64> =
-                member_sessions.iter().flat_map(|s| s.iter().copied()).collect();
+            let all: Vec<f64> = member_sessions.iter().flat_map(|s| s.iter().copied()).collect();
             let states = kmeans_1d(&all, n_states);
 
             // Count transitions with add-one smoothing.

@@ -127,9 +127,7 @@ impl Mpc {
         let n_rungs = menus[0].n_rungs();
         let bins = self.config.buffer_bins;
         let bin_w = MAX_BUFFER_SECONDS / (bins - 1) as f64;
-        let to_bin = |buffer: f64| -> usize {
-            ((buffer / bin_w).round() as usize).min(bins - 1)
-        };
+        let to_bin = |buffer: f64| -> usize { ((buffer / bin_w).round() as usize).min(bins - 1) };
 
         // value[bin][prev_rung] = best QoE-to-go from `step`, where prev_rung
         // indexes the previous step's menu.
@@ -149,11 +147,8 @@ impl Mpc {
                         let q = self.config.qoe.chunk_qoe(opt.ssim_db, Some(prev_ssim), stall);
                         let next_buf =
                             ((buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
-                        let to_go = if step + 1 < horizon {
-                            value[to_bin(next_buf)][a]
-                        } else {
-                            0.0
-                        };
+                        let to_go =
+                            if step + 1 < horizon { value[to_bin(next_buf)][a] } else { 0.0 };
                         best = best.max(q + to_go);
                     }
                     next_value[bin][prev] = best;

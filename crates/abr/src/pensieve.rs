@@ -323,7 +323,11 @@ impl PensieveTrainer {
     // Reverse-index loop mirrors the standard discounted-return recurrence.
     #[allow(clippy::needless_range_loop)]
     /// One synchronous update from a batch of completed episodes.
-    pub fn update(&mut self, agent: &mut PensievePolicy, trajectories: &[Trajectory]) -> TrainStats {
+    pub fn update(
+        &mut self,
+        agent: &mut PensievePolicy,
+        trajectories: &[Trajectory],
+    ) -> TrainStats {
         let n: usize = trajectories.iter().map(Trajectory::len).sum();
         assert!(n > 0, "cannot update from empty trajectories");
 
@@ -361,11 +365,9 @@ impl PensieveTrainer {
         // units across a 300-chunk episode) makes the policy step size
         // depend on the reward units and training diverges.
         let baselines: Vec<f32> = (0..n).map(|i| vcache.logits().get(i, 0)).collect();
-        let mut advantages: Vec<f32> =
-            returns.iter().zip(&baselines).map(|(r, b)| r - b).collect();
+        let mut advantages: Vec<f32> = returns.iter().zip(&baselines).map(|(r, b)| r - b).collect();
         let mean_adv = advantages.iter().sum::<f32>() / n as f32;
-        let std_adv = (advantages.iter().map(|a| (a - mean_adv).powi(2)).sum::<f32>()
-            / n as f32)
+        let std_adv = (advantages.iter().map(|a| (a - mean_adv).powi(2)).sum::<f32>() / n as f32)
             .sqrt()
             .max(1e-6);
         for a in &mut advantages {
@@ -413,10 +415,7 @@ mod tests {
         ChunkMenu {
             index: 0,
             options: (0..10)
-                .map(|r| ChunkOption {
-                    size: 50_000.0 * (r + 1) as f64,
-                    ssim_db: 8.0 + r as f64,
-                })
+                .map(|r| ChunkOption { size: 50_000.0 * (r + 1) as f64, ssim_db: 8.0 + r as f64 })
                 .collect(),
         }
     }
@@ -442,8 +441,7 @@ mod tests {
     fn feature_vector_shape_and_padding() {
         let p = PensievePolicy::new(1);
         let m = [menu10()];
-        let hist =
-            vec![ChunkRecord { size: 300_000.0, transmission_time: 1.0 }; 3];
+        let hist = vec![ChunkRecord { size: 300_000.0, transmission_time: 1.0 }; 3];
         let f = p.features(&ctx(&m, &hist));
         assert_eq!(f.len(), N_FEATURES);
         // Buffer feature is 7.5/15 = 0.5.
@@ -510,10 +508,7 @@ mod tests {
             trainer.update(&mut agent, &[traj]);
         }
         let probs = agent.action_probs(&state);
-        assert!(
-            probs[7] > 0.5,
-            "policy should concentrate on the rewarded action: {probs:?}"
-        );
+        assert!(probs[7] > 0.5, "policy should concentrate on the rewarded action: {probs:?}");
     }
 
     #[test]

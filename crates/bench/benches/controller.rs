@@ -2,7 +2,7 @@
 //! deterministic MPC it extends, per chunk decision.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fugu::{ControllerConfig, StochasticMpc, Ttp, TtpConfig};
+use fugu::{ControllerConfig, PlanScratch, StochasticMpc, Ttp, TtpConfig};
 use puffer_abr::{Abr, AbrContext, ChunkRecord, Mpc};
 use puffer_media::{ChunkMenu, VideoSource};
 use puffer_net::TcpInfo;
@@ -16,8 +16,7 @@ fn context_parts() -> (Vec<ChunkMenu>, Vec<ChunkRecord>, TcpInfo) {
     let history: Vec<ChunkRecord> = (0..8)
         .map(|i| ChunkRecord { size: 5e5 + 2e4 * i as f64, transmission_time: 0.7 })
         .collect();
-    let info =
-        TcpInfo { cwnd: 30.0, in_flight: 8.0, min_rtt: 0.04, rtt: 0.05, delivery_rate: 9e5 };
+    let info = TcpInfo { cwnd: 30.0, in_flight: 8.0, min_rtt: 0.04, rtt: 0.05, delivery_rate: 9e5 };
     (menus, history, info)
 }
 
@@ -32,18 +31,22 @@ fn bench(c: &mut Criterion) {
         tcp_info: info,
     };
 
+    // Steady state: the scratch is reused across decisions exactly as
+    // `Fugu::choose` reuses it, so the measured cost is allocation-free.
     let ttp = Ttp::new(TtpConfig::default(), 1);
     let stochastic = StochasticMpc::default();
+    let mut scratch = PlanScratch::new();
     c.bench_function("fugu_stochastic_plan", |b| {
-        b.iter(|| black_box(stochastic.plan(black_box(&ctx), &ttp)))
+        b.iter(|| black_box(stochastic.plan_with(black_box(&ctx), &ttp, &mut scratch)))
     });
 
     let point = StochasticMpc::new(ControllerConfig {
         point_estimate: true,
         ..ControllerConfig::default()
     });
+    let mut scratch = PlanScratch::new();
     c.bench_function("fugu_point_estimate_plan", |b| {
-        b.iter(|| black_box(point.plan(black_box(&ctx), &ttp)))
+        b.iter(|| black_box(point.plan_with(black_box(&ctx), &ttp, &mut scratch)))
     });
 
     c.bench_function("mpc_hm_choose", |b| {

@@ -27,8 +27,7 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("tcp_chunk_transfer", |b| {
         let trace = RateTrace::constant(4.0 * MBPS, 600.0);
-        let mut conn =
-            Connection::new(trace, 0.04, 250_000.0, CongestionControl::Bbr, 0.0);
+        let mut conn = Connection::new(trace, 0.04, 250_000.0, CongestionControl::Bbr, 0.0);
         b.iter(|| {
             let t = conn.last_completion() + 0.5;
             black_box(conn.send(t, 700_000.0))
@@ -39,8 +38,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = rand::rngs::StdRng::seed_from_u64(3);
             let trace = PufferLikeProcess::new(3.0 * MBPS, 0.5).sample_trace(400.0, &mut rng);
-            let mut conn =
-                Connection::new(trace, 0.04, 200_000.0, CongestionControl::Bbr, 0.0);
+            let mut conn = Connection::new(trace, 0.04, 200_000.0, CongestionControl::Bbr, 0.0);
             let mut total = 0.0;
             for _ in 0..100 {
                 let t = conn.last_completion() + 1.0;

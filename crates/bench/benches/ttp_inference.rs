@@ -7,7 +7,7 @@
 //! should land comfortably under that budget.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fugu::{Ttp, TtpConfig};
+use fugu::{Ttp, TtpConfig, TtpScratch, N_BINS};
 use puffer_abr::ChunkRecord;
 use puffer_net::TcpInfo;
 use std::hint::black_box;
@@ -17,9 +17,7 @@ fn tcp() -> TcpInfo {
 }
 
 fn history() -> Vec<ChunkRecord> {
-    (0..8)
-        .map(|i| ChunkRecord { size: 4e5 + 1e4 * i as f64, transmission_time: 0.6 })
-        .collect()
+    (0..8).map(|i| ChunkRecord { size: 4e5 + 1e4 * i as f64, transmission_time: 0.6 }).collect()
 }
 
 fn bench(c: &mut Criterion) {
@@ -28,24 +26,44 @@ fn bench(c: &mut Criterion) {
     let info = tcp();
 
     c.bench_function("ttp_single_forward", |b| {
-        b.iter(|| {
-            black_box(ttp.predict_time_distribution(0, black_box(&hist), &info, 9e5))
-        })
+        b.iter(|| black_box(ttp.predict_time_distribution(0, black_box(&hist), &info, 9e5)))
     });
 
+    // Steady state for the batched paths: scratch and output buffers are
+    // reused across queries, as the planner reuses them across decisions.
     c.bench_function("ttp_batched_step_all_rungs", |b| {
         let sizes: Vec<f64> = (1..=10).map(|r| 5e4 * r as f64 * 2.5).collect();
+        let mut scratch = TtpScratch::new();
+        let mut out = vec![0.0; sizes.len() * N_BINS];
         b.iter(|| {
-            black_box(ttp.predict_time_distributions(0, black_box(&hist), &info, &sizes))
+            ttp.predict_time_distributions_into(
+                0,
+                black_box(&hist),
+                &info,
+                &sizes,
+                &mut scratch,
+                &mut out,
+            );
+            black_box(&mut out);
         })
     });
 
     c.bench_function("ttp_full_decision_queries", |b| {
         // Everything a chunk decision needs: 5 steps × 10 rungs.
         let sizes: Vec<f64> = (1..=10).map(|r| 5e4 * r as f64 * 2.5).collect();
+        let mut scratch = TtpScratch::new();
+        let mut out = vec![0.0; sizes.len() * N_BINS];
         b.iter(|| {
             for step in 0..5 {
-                black_box(ttp.predict_time_distributions(step, &hist, &info, &sizes));
+                ttp.predict_time_distributions_into(
+                    step,
+                    &hist,
+                    &info,
+                    &sizes,
+                    &mut scratch,
+                    &mut out,
+                );
+                black_box(&mut out);
             }
         })
     });

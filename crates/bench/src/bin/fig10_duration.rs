@@ -19,7 +19,10 @@ fn main() {
 
     // Mean duration ± 95% CI per scheme (the figure's legend).
     println!("# Fig 10: session durations (time on video player)");
-    println!("{:<22} {:>20} {:>12} {:>16}", "scheme", "mean min [95% CI]", "sessions", "P[> 2.5 h]");
+    println!(
+        "{:<22} {:>20} {:>12} {:>16}",
+        "scheme", "mean min [95% CI]", "sessions", "P[> 2.5 h]"
+    );
     let mut fugu_mean = None;
     let mut others = Vec::new();
     for arm in &arms {

@@ -22,7 +22,10 @@ use rand::SeedableRng;
 
 fn panel(title: &str, arms: &[(String, Vec<StreamSummary>)], seed: u64) {
     println!("\n## {title}");
-    println!("{:<24} {:>22} {:>22} {:>9}", "scheme", "stalled % [95% CI]", "SSIM dB [95% CI]", "streams");
+    println!(
+        "{:<24} {:>22} {:>22} {:>9}",
+        "scheme", "stalled % [95% CI]", "SSIM dB [95% CI]", "streams"
+    );
     for (name, streams) in arms {
         if streams.is_empty() {
             continue;
@@ -35,7 +38,13 @@ fn panel(title: &str, arms: &[(String, Vec<StreamSummary>)], seed: u64) {
         let (lo, mid, hi) = weighted_mean_ci(&ssims, &weights, 1.96);
         println!(
             "{:<24} {:>6.3}% [{:.3},{:.3}] {:>9.2} [{:.2},{:.2}] {:>9}",
-            name, 100.0 * stall.point, 100.0 * stall.lo, 100.0 * stall.hi, mid, lo, hi,
+            name,
+            100.0 * stall.point,
+            100.0 * stall.lo,
+            100.0 * stall.hi,
+            mid,
+            lo,
+            hi,
             streams.len()
         );
     }

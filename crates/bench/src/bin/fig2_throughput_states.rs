@@ -26,11 +26,8 @@ fn main() {
     let cs2p = Cs2pLikeProcess::fig2_default()
         .sample_trace(EPOCHS as f64 * EPOCH_SECONDS, &mut rng)
         .resample(EPOCH_SECONDS, EPOCHS);
-    let pts_a: Vec<(f64, f64)> = cs2p
-        .iter()
-        .enumerate()
-        .map(|(i, &r)| (i as f64, bytes_per_sec_to_mbps(r)))
-        .collect();
+    let pts_a: Vec<(f64, f64)> =
+        cs2p.iter().enumerate().map(|(i, &r)| (i as f64, bytes_per_sec_to_mbps(r))).collect();
     println!(
         "{}",
         render_series("Fig 2a: CS2P-like session (discrete states)", "epoch", "Mbit/s", &pts_a)
@@ -40,14 +37,16 @@ fn main() {
     let puffer = PufferLikeProcess::new(2.7 * MBPS, 0.45)
         .sample_trace(EPOCHS as f64 * EPOCH_SECONDS, &mut rng)
         .resample(EPOCH_SECONDS, EPOCHS);
-    let pts_b: Vec<(f64, f64)> = puffer
-        .iter()
-        .enumerate()
-        .map(|(i, &r)| (i as f64, bytes_per_sec_to_mbps(r)))
-        .collect();
+    let pts_b: Vec<(f64, f64)> =
+        puffer.iter().enumerate().map(|(i, &r)| (i as f64, bytes_per_sec_to_mbps(r))).collect();
     println!(
         "{}",
-        render_series("Fig 2b: typical Puffer session (no discrete states)", "epoch", "Mbit/s", &pts_b)
+        render_series(
+            "Fig 2b: typical Puffer session (no discrete states)",
+            "epoch",
+            "Mbit/s",
+            &pts_b
+        )
     );
 
     // Quantify the qualitative claim: fraction of epochs lying within 3% of

@@ -16,7 +16,10 @@ fn main() {
     let arms = Pipeline::new(seed, scale).run_primary_cached();
 
     println!("# Fig 4: average SSIM (dB) vs average bitrate (Mbit/s)");
-    println!("{:<22} {:>16} {:>14} {:>22}", "scheme", "bitrate Mbit/s", "SSIM dB", "quality per Mbit/s");
+    println!(
+        "{:<22} {:>16} {:>14} {:>22}",
+        "scheme", "bitrate Mbit/s", "SSIM dB", "quality per Mbit/s"
+    );
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
     for arm in &arms {
         let agg = SchemeSummary::from_streams(&arm.streams);
@@ -39,10 +42,8 @@ fn main() {
     let (_, pensieve_bits, pensieve_ssim) = get("Pensieve");
     let others: Vec<&(String, f64, f64)> =
         rows.iter().filter(|(n, _, _)| n != "Pensieve").collect();
-    let min_other_ssim =
-        others.iter().map(|(_, _, s)| *s).fold(f64::INFINITY, f64::min);
-    let mean_other_bits =
-        others.iter().map(|(_, b, _)| *b).sum::<f64>() / others.len() as f64;
+    let min_other_ssim = others.iter().map(|(_, _, s)| *s).fold(f64::INFINITY, f64::min);
+    let mean_other_bits = others.iter().map(|(_, b, _)| *b).sum::<f64>() / others.len() as f64;
     println!("\n# shape checks (Fig. 4's claim: bitrate != quality):");
     println!(
         "#   Pensieve SSIM {:.2} dB is the lowest (others >= {:.2}): {}",

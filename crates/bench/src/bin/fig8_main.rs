@@ -13,7 +13,8 @@ use puffer_stats::{bootstrap_ratio_ci, weighted_mean_ci, StreamSummary};
 use rand::SeedableRng;
 
 fn panel_svg(title: &str, filename: &str, arms: &[(String, Vec<StreamSummary>)], seed: u64) {
-    let mut chart = Chart::new(title, "time spent stalled (%) — lower is better", "average SSIM (dB)");
+    let mut chart =
+        Chart::new(title, "time spent stalled (%) — lower is better", "average SSIM (dB)");
     chart.flip_x = true;
     for (name, streams) in arms {
         if streams.is_empty() {
@@ -26,10 +27,8 @@ fn panel_svg(title: &str, filename: &str, arms: &[(String, Vec<StreamSummary>)],
         let weights: Vec<f64> = streams.iter().map(|s| s.watch_time).collect();
         let (lo, mid, hi) = weighted_mean_ci(&ssims, &weights, 1.96);
         chart.push(
-            Series::scatter(name, vec![(100.0 * stall.point, mid)]).with_errors(vec![(
-                100.0 * (stall.hi - stall.lo) / 2.0,
-                (hi - lo) / 2.0,
-            )]),
+            Series::scatter(name, vec![(100.0 * stall.point, mid)])
+                .with_errors(vec![(100.0 * (stall.hi - stall.lo) / 2.0, (hi - lo) / 2.0)]),
         );
     }
     match chart.save(filename) {
@@ -77,9 +76,7 @@ fn main() {
         arms.iter().map(|a| (a.name.clone(), a.streams.clone())).collect();
     let slow: Vec<(String, Vec<StreamSummary>)> = arms
         .iter()
-        .map(|a| {
-            (a.name.clone(), a.streams.iter().filter(|s| s.is_slow_path()).copied().collect())
-        })
+        .map(|a| (a.name.clone(), a.streams.iter().filter(|s| s.is_slow_path()).copied().collect()))
         .collect();
 
     panel("Primary experiment (all streams)", &all, seed ^ 0x81);

@@ -15,7 +15,10 @@ fn main() {
     let arms = Pipeline::new(seed, scale).run_primary_cached();
 
     println!("# Fig 9: startup delay (s) vs first-chunk SSIM (dB)");
-    println!("{:<22} {:>18} {:>22} {:>9}", "scheme", "startup delay s", "first-chunk SSIM dB", "streams");
+    println!(
+        "{:<22} {:>18} {:>22} {:>9}",
+        "scheme", "startup delay s", "first-chunk SSIM dB", "streams"
+    );
     let mut fugu_first = None;
     let mut best_other = f64::NEG_INFINITY;
     for arm in &arms {

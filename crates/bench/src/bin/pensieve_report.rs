@@ -32,10 +32,7 @@ fn main() {
         print!("{:>12.2}", tput);
         for buffer in [1.0, 3.0, 6.0, 9.0, 12.0, 14.0] {
             let history: Vec<ChunkRecord> = (0..8)
-                .map(|_| ChunkRecord {
-                    size: tput * 1e6 * 0.8,
-                    transmission_time: 0.8,
-                })
+                .map(|_| ChunkRecord { size: tput * 1e6 * 0.8, transmission_time: 0.8 })
                 .collect();
             let ctx = AbrContext {
                 buffer,

@@ -42,11 +42,7 @@ fn cs2p_world_dataset(n_streams: usize, seed: u64) -> Dataset {
                 let size = 200_000.0 + 600_000.0 * rng.random::<f64>();
                 let info = conn.tcp_info(now);
                 let t = conn.send(now, size);
-                ChunkObservation {
-                    size,
-                    transmission_time: t.transmission_time(),
-                    tcp_info: info,
-                }
+                ChunkObservation { size, transmission_time: t.transmission_time(), tcp_info: info }
             })
             .collect();
         data.add_stream(0, stream);
@@ -76,16 +72,11 @@ fn relative_errors(
                 if let Some(p) = ThroughputPredictor::predict(cs2p, &history) {
                     e_cs2p += (p / truth - 1.0).abs();
                 }
-                let t_hat = ttp
-                    .expected_time(0, &history, &obs.tcp_info, obs.size)
-                    .max(1e-3);
+                let t_hat = ttp.expected_time(0, &history, &obs.tcp_info, obs.size).max(1e-3);
                 e_ttp += ((obs.size / t_hat) / truth - 1.0).abs();
                 n += 1;
             }
-            history.push(ChunkRecord {
-                size: obs.size,
-                transmission_time: obs.transmission_time,
-            });
+            history.push(ChunkRecord { size: obs.size, transmission_time: obs.transmission_time });
         }
     }
     let n = n.max(1) as f64;

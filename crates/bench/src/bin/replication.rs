@@ -55,9 +55,7 @@ fn main() {
         let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         (min, v.iter().sum::<f64>() / v.len() as f64, max)
     };
-    println!(
-        "\n# spread over {REPLICATIONS} independent replications (min / mean / max)"
-    );
+    println!("\n# spread over {REPLICATIONS} independent replications (min / mean / max)");
     println!("{:<14} {:>30} {:>30}", "scheme", "stall % (min/mean/max)", "SSIM dB (min/mean/max)");
     for (name, s) in &stalls {
         let (s0, s1, s2) = spread(s);

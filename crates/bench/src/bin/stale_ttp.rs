@@ -66,8 +66,8 @@ fn main() {
     let live_row = rows.last().unwrap();
     println!("# shape check (paper found no significant difference):");
     for row in &rows[..rows.len() - 1] {
-        let overlap = !(row.stall_ci.hi < live_row.stall_ci.lo
-            || live_row.stall_ci.hi < row.stall_ci.lo);
+        let overlap =
+            !(row.stall_ci.hi < live_row.stall_ci.lo || live_row.stall_ci.hi < row.stall_ci.lo);
         println!(
             "#   {} stall CI [{:.3}%,{:.3}%] vs live [{:.3}%,{:.3}%]: {}",
             row.name,

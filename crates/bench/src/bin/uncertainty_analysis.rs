@@ -25,10 +25,8 @@ fn main() {
     let arms = Pipeline::new(seed, scale).run_primary_cached();
 
     // Pool all arms' considered streams into one empirical population.
-    let population: Vec<(f64, f64)> = arms
-        .iter()
-        .flat_map(|a| a.streams.iter().map(|s| (s.stall_time, s.watch_time)))
-        .collect();
+    let population: Vec<(f64, f64)> =
+        arms.iter().flat_map(|a| a.streams.iter().map(|s| (s.stall_time, s.watch_time))).collect();
     let mean_watch = population.iter().map(|p| p.1).sum::<f64>() / population.len() as f64;
     println!(
         "# population: {} streams, mean watch {:.1} s, stall ratio {:.4}%",
@@ -47,12 +45,7 @@ fn main() {
         let sample: Vec<(f64, f64)> =
             (0..n).map(|_| *population.choose(&mut rng).unwrap()).collect();
         let ci = bootstrap_ratio_ci(&sample, 400, 0.95, &mut rng);
-        println!(
-            "{:>14.2} {:>10} {:>22.1}%",
-            years,
-            n,
-            100.0 * ci.relative_half_width()
-        );
+        println!("{:>14.2} {:>10} {:>22.1}%", years, n, 100.0 * ci.relative_half_width());
     }
     println!("# paper: ±10-17% at 1.75 stream-years per scheme");
 

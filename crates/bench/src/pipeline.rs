@@ -64,11 +64,7 @@ impl Pipeline {
     /// The TTP training configuration used everywhere (§4.3 values with a
     /// sample cap so large scales stay tractable).
     pub fn train_config(&self) -> TrainConfig {
-        TrainConfig {
-            epochs: 3,
-            max_samples_per_step: 120_000,
-            ..TrainConfig::default()
-        }
+        TrainConfig { epochs: 3, max_samples_per_step: 120_000, ..TrainConfig::default() }
     }
 
     /// Pensieve, trained in emulation (cached).
@@ -88,12 +84,11 @@ impl Pipeline {
         // describes (they trained six; three keeps the laptop budget sane).
         let schedules: [(f32, f32, f32); 3] =
             [(0.5, 0.95, 0.01), (0.35, 0.99, 0.01), (0.15, 0.985, 0.015)];
-        let (policy, scores) =
-            puffer_platform::pensieve_env::train_pensieve_with_selection(
-                &schedules,
-                &cfg,
-                self.seed ^ 0xbeef,
-            );
+        let (policy, scores) = puffer_platform::pensieve_env::train_pensieve_with_selection(
+            &schedules,
+            &cfg,
+            self.seed ^ 0xbeef,
+        );
         eprintln!("[pipeline] candidate rewards/chunk: {scores:?}");
         std::fs::write(&path, policy.save_to_string()).expect("write pensieve cache");
         policy

@@ -95,7 +95,10 @@ impl Chart {
     }
 
     pub fn push(&mut self, series: Series) {
-        assert!(self.series.len() < PALETTE.len(), "palette slots exhausted: fold into fewer series");
+        assert!(
+            self.series.len() < PALETTE.len(),
+            "palette slots exhausted: fold into fewer series"
+        );
         self.series.push(series);
     }
 
@@ -354,9 +357,7 @@ mod tests {
     fn chart() -> Chart {
         let mut c = Chart::new("Test", "x", "y");
         c.push(Series::line("a", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]));
-        c.push(
-            Series::scatter("b", vec![(0.5, 1.8)]).with_errors(vec![(0.1, 0.2)]),
-        );
+        c.push(Series::scatter("b", vec![(0.5, 1.8)]).with_errors(vec![(0.1, 0.2)]));
         c
     }
 

@@ -24,8 +24,7 @@ pub struct PrimaryRow {
 pub fn primary_row(arm: &CachedArm, boot_seed: u64) -> PrimaryRow {
     assert!(!arm.streams.is_empty(), "arm {} has no considered streams", arm.name);
     let agg = SchemeSummary::from_streams(&arm.streams);
-    let pairs: Vec<(f64, f64)> =
-        arm.streams.iter().map(|s| (s.stall_time, s.watch_time)).collect();
+    let pairs: Vec<(f64, f64)> = arm.streams.iter().map(|s| (s.stall_time, s.watch_time)).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(boot_seed);
     let stall_ci = bootstrap_ratio_ci(&pairs, 1000, 0.95, &mut rng);
 

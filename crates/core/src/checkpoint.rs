@@ -58,12 +58,10 @@ pub fn load_from_str(s: &str) -> Result<Ttp, LoadError> {
             .map(|v| v.trim().to_string())
             .ok_or_else(|| LoadError::Format(format!("expected field '{name}', got '{line}'")))
     };
-    let horizon: usize = field("horizon")?
-        .parse()
-        .map_err(|_| LoadError::Format("bad horizon".into()))?;
-    let history_len: usize = field("history_len")?
-        .parse()
-        .map_err(|_| LoadError::Format("bad history_len".into()))?;
+    let horizon: usize =
+        field("horizon")?.parse().map_err(|_| LoadError::Format("bad horizon".into()))?;
+    let history_len: usize =
+        field("history_len")?.parse().map_err(|_| LoadError::Format("bad history_len".into()))?;
     let hidden: Vec<usize> = field("hidden")?
         .split_whitespace()
         .map(|t| t.parse().map_err(|_| LoadError::Format("bad hidden width".into())))
@@ -145,8 +143,7 @@ mod tests {
         let ttp = Ttp::new(TtpConfig::default(), 77);
         let s = save_to_string(&ttp);
         let loaded = load_from_str(&s).unwrap();
-        let hist =
-            vec![ChunkRecord { size: 4e5, transmission_time: 0.7 }; 8];
+        let hist = vec![ChunkRecord { size: 4e5, transmission_time: 0.7 }; 8];
         for step in 0..5 {
             let a = ttp.predict_time_distribution(step, &hist, &tcp(), 9e5);
             let b = loaded.predict_time_distribution(step, &hist, &tcp(), 9e5);

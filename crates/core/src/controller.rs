@@ -15,8 +15,8 @@
 //! "Point Estimate" ablation deployed in August 2019 (§4.6) whose rebuffering
 //! was 3–9× worse.
 
-use crate::bins::bin_midpoint;
-use crate::ttp::Ttp;
+use crate::bins::{bin_midpoint, N_BINS};
+use crate::ttp::{Ttp, TtpScratch};
 use puffer_abr::AbrContext;
 use puffer_media::{QoeParams, CHUNK_SECONDS, MAX_BUFFER_SECONDS};
 use puffer_nn::loss::argmax;
@@ -35,6 +35,69 @@ pub struct ControllerConfig {
 impl Default for ControllerConfig {
     fn default() -> Self {
         ControllerConfig { qoe: QoeParams::default(), buffer_bins: 61, point_estimate: false }
+    }
+}
+
+/// Reusable flat tables for [`StochasticMpc::plan_with`].
+///
+/// Every per-decision quantity of the value iteration lives here as a flat
+/// `Vec` indexed arithmetically — `dists[(step·R + a)·T + b]`,
+/// `value[bin·R + prev]`, `w[a·B + bin]`, `m[a·R + prev]` — so steady-state
+/// planning (one call per chunk, ~every 2 s per stream, thousands of streams)
+/// allocates nothing and reuses cache-friendly contiguous storage.  The
+/// `stall`/`next_bin` tables depend only on the buffer discretization and are
+/// computed once per configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PlanScratch {
+    /// Time distributions, `(step * n_rungs + a) * N_BINS + b`.
+    dists: Vec<f64>,
+    /// Value table for the step below, `bin * n_rungs + prev`.
+    value: Vec<f64>,
+    /// Value table being built for this step.
+    next_value: Vec<f64>,
+    /// Stall-plus-value-to-go term, `a * bins + bin`.
+    w: Vec<f64>,
+    /// Quality-minus-variation term, `a * n_rungs + prev`.
+    m: Vec<f64>,
+    /// `(t − buffer).max(0)` per `(time bin b) * bins + (buffer bin)`.
+    stall: Vec<f64>,
+    /// Post-transfer buffer bin per `(time bin b) * bins + (buffer bin)`.
+    next_bin: Vec<usize>,
+    /// Buffer-bin count the `stall`/`next_bin` tables were built for.
+    table_bins: usize,
+    /// Candidate sizes for the batched TTP query.
+    sizes: Vec<f64>,
+    /// TTP inference buffers.
+    ttp: TtpScratch,
+}
+
+impl PlanScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)build the discretization-dependent tables if `bins` changed.
+    /// `bin_w` is a function of `bins`, so keying on `bins` alone suffices.
+    /// The entries use the exact expressions the planner previously evaluated
+    /// inline, keeping decisions bit-identical.
+    fn ensure_tables(&mut self, bins: usize, bin_w: f64) {
+        if self.table_bins == bins {
+            return;
+        }
+        self.stall.clear();
+        self.next_bin.clear();
+        self.stall.reserve(N_BINS * bins);
+        self.next_bin.reserve(N_BINS * bins);
+        for b in 0..N_BINS {
+            let t = bin_midpoint(b);
+            for bin in 0..bins {
+                let buffer = bin as f64 * bin_w;
+                self.stall.push((t - buffer).max(0.0));
+                let next_buf = ((buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
+                self.next_bin.push(((next_buf / bin_w).round() as usize).min(bins - 1));
+            }
+        }
+        self.table_bins = bins;
     }
 }
 
@@ -61,6 +124,14 @@ impl StochasticMpc {
     /// O(bins·rungs²·time bins).  Probability mass below `PROB_EPSILON` is
     /// skipped; the TTP's distributions concentrate in a handful of bins.
     pub fn plan(&self, ctx: &AbrContext, ttp: &Ttp) -> usize {
+        let mut scratch = PlanScratch::new();
+        self.plan_with(ctx, ttp, &mut scratch)
+    }
+
+    /// [`StochasticMpc::plan`] through caller-owned [`PlanScratch`] tables:
+    /// identical decisions, zero heap allocations once the scratch has warmed
+    /// up to the (horizon, rungs, bins) shape.
+    pub fn plan_with(&self, ctx: &AbrContext, ttp: &Ttp, scratch: &mut PlanScratch) -> usize {
         const PROB_EPSILON: f64 = 1e-4;
         let horizon = ttp.horizon().min(ctx.lookahead.len());
         let n_rungs = ctx.n_rungs();
@@ -70,72 +141,90 @@ impl StochasticMpc {
         let mu = self.config.qoe.mu;
         let lambda = self.config.qoe.lambda;
 
+        scratch.ensure_tables(bins, bin_w);
+
         // Time distribution per (step, rung): one batched forward per step.
-        let mut dists: Vec<Vec<Vec<f64>>> = Vec::with_capacity(horizon);
+        let stride = n_rungs * N_BINS;
+        scratch.dists.resize(horizon * stride, 0.0);
         for step in 0..horizon {
-            let sizes: Vec<f64> =
-                ctx.lookahead[step].options.iter().map(|o| o.size).collect();
-            let mut per_rung =
-                ttp.predict_time_distributions(step, ctx.history, &ctx.tcp_info, &sizes);
+            scratch.sizes.clear();
+            scratch.sizes.extend(ctx.lookahead[step].options.iter().map(|o| o.size));
+            let out = &mut scratch.dists[step * stride..(step + 1) * stride];
+            ttp.predict_time_distributions_into(
+                step,
+                ctx.history,
+                &ctx.tcp_info,
+                &scratch.sizes,
+                &mut scratch.ttp,
+                out,
+            );
             if self.config.point_estimate {
-                for d in &mut per_rung {
-                    let mle = argmax(&d.iter().map(|&p| p as f32).collect::<Vec<_>>());
-                    d.iter_mut().for_each(|p| *p = 0.0);
+                for a in 0..n_rungs {
+                    let d = &mut out[a * N_BINS..(a + 1) * N_BINS];
+                    // Argmax the f64 table directly: round-tripping through
+                    // an intermediate Vec<f32> (as this used to) can flip
+                    // near-ties and costs an allocation per rung.
+                    let mle = argmax(d);
+                    d.fill(0.0);
                     d[mle] = 1.0;
                 }
             }
-            dists.push(per_rung);
         }
 
         // Backward value iteration over (buffer bin, previous rung).
-        let mut value = vec![vec![0.0f64; n_rungs]; bins];
+        scratch.value.clear();
+        scratch.value.resize(bins * n_rungs, 0.0);
+        scratch.next_value.resize(bins * n_rungs, 0.0);
+        scratch.w.resize(n_rungs * bins, 0.0);
+        scratch.m.resize(n_rungs * n_rungs, 0.0);
         for step in (1..horizon).rev() {
             let menu = &ctx.lookahead[step];
             let prev_menu = &ctx.lookahead[step - 1];
+            let dists_step = &scratch.dists[step * stride..(step + 1) * stride];
 
             // W[a][bin]: expected (−µ·stall + value-to-go).
-            let mut w = vec![vec![0.0f64; bins]; n_rungs];
-            for (a, wa) in w.iter_mut().enumerate() {
-                for (b, &p) in dists[step][a].iter().enumerate() {
+            scratch.w.fill(0.0);
+            for a in 0..n_rungs {
+                let wa = &mut scratch.w[a * bins..(a + 1) * bins];
+                let da = &dists_step[a * N_BINS..(a + 1) * N_BINS];
+                for (b, &p) in da.iter().enumerate() {
                     if p < PROB_EPSILON {
                         continue;
                     }
-                    let t = bin_midpoint(b);
-                    for (bin, wab) in wa.iter_mut().enumerate() {
-                        let buffer = bin as f64 * bin_w;
-                        let stall = (t - buffer).max(0.0);
-                        let next_buf =
-                            ((buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
-                        let to_go = if step + 1 < horizon {
-                            value[to_bin(next_buf)][a]
-                        } else {
-                            0.0
-                        };
-                        *wab += p * (to_go - mu * stall);
+                    let stall_row = &scratch.stall[b * bins..(b + 1) * bins];
+                    if step + 1 < horizon {
+                        let nb_row = &scratch.next_bin[b * bins..(b + 1) * bins];
+                        for (bin, wab) in wa.iter_mut().enumerate() {
+                            let to_go = scratch.value[nb_row[bin] * n_rungs + a];
+                            *wab += p * (to_go - mu * stall_row[bin]);
+                        }
+                    } else {
+                        for (bin, wab) in wa.iter_mut().enumerate() {
+                            *wab += p * (0.0 - mu * stall_row[bin]);
+                        }
                     }
                 }
             }
             // M[a][prev]: quality minus variation penalty.
-            let mut m = vec![vec![0.0f64; n_rungs]; n_rungs];
             for (a, opt) in menu.options.iter().enumerate() {
+                let ma = &mut scratch.m[a * n_rungs..(a + 1) * n_rungs];
                 for (prev, popt) in prev_menu.options.iter().enumerate() {
-                    m[a][prev] = opt.ssim_db - lambda * (opt.ssim_db - popt.ssim_db).abs();
+                    ma[prev] = opt.ssim_db - lambda * (opt.ssim_db - popt.ssim_db).abs();
                 }
             }
-            let mut next_value = vec![vec![f64::NEG_INFINITY; n_rungs]; bins];
-            for (bin, nv) in next_value.iter_mut().enumerate() {
-                for (prev, slot) in nv.iter_mut().enumerate() {
+            for bin in 0..bins {
+                for prev in 0..n_rungs {
                     let mut best = f64::NEG_INFINITY;
                     for a in 0..n_rungs {
-                        let score = m[a][prev] + w[a][bin];
+                        let score = scratch.m[a * n_rungs + prev] + scratch.w[a * bins + bin];
                         if score > best {
                             best = score;
                         }
                     }
-                    *slot = best;
+                    scratch.next_value[bin * n_rungs + prev] = best;
                 }
             }
-            value = next_value;
+            std::mem::swap(&mut scratch.value, &mut scratch.next_value);
         }
 
         // Step 0 with the true buffer and previous-chunk quality.
@@ -145,14 +234,15 @@ impl StochasticMpc {
         for (a, opt) in menu.options.iter().enumerate() {
             let quality = self.config.qoe.chunk_qoe(opt.ssim_db, ctx.prev_ssim_db, 0.0);
             let mut expect = 0.0;
-            for (b, &p) in dists[0][a].iter().enumerate() {
+            for (b, &p) in scratch.dists[a * N_BINS..(a + 1) * N_BINS].iter().enumerate() {
                 if p < PROB_EPSILON {
                     continue;
                 }
                 let t = bin_midpoint(b);
                 let stall = (t - ctx.buffer).max(0.0);
                 let next_buf = ((ctx.buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
-                let to_go = if horizon > 1 { value[to_bin(next_buf)][a] } else { 0.0 };
+                let to_go =
+                    if horizon > 1 { scratch.value[to_bin(next_buf) * n_rungs + a] } else { 0.0 };
                 expect += p * (quality - mu * stall + to_go);
             }
             if expect > best_score {
@@ -196,9 +286,7 @@ mod tests {
     }
 
     fn history(rate: f64) -> Vec<ChunkRecord> {
-        (0..8)
-            .map(|_| ChunkRecord { size: rate, transmission_time: 1.0 })
-            .collect()
+        (0..8).map(|_| ChunkRecord { size: rate, transmission_time: 1.0 }).collect()
     }
 
     /// Train a TTP on a world where time ≈ size/delivery_rate + 50 ms with
@@ -365,9 +453,9 @@ mod tests {
             let menu = &ctx.lookahead[step];
             let prev_menu = &ctx.lookahead[step - 1];
             let mut next = vec![vec![f64::NEG_INFINITY; n_rungs]; bins];
-            for bin in 0..bins {
+            for (bin, next_row) in next.iter_mut().enumerate() {
                 let buffer = bin as f64 * bin_w;
-                for prev in 0..n_rungs {
+                for (prev, best) in next_row.iter_mut().enumerate() {
                     for (a, opt) in menu.options.iter().enumerate() {
                         let mut e = 0.0;
                         for (b, &p) in dists[step][a].iter().enumerate() {
@@ -378,14 +466,13 @@ mod tests {
                                 Some(prev_menu.options[prev].ssim_db),
                                 stall,
                             );
-                            let nb = ((buffer - t).max(0.0) + CHUNK_SECONDS)
-                                .min(MAX_BUFFER_SECONDS);
-                            let to_go =
-                                if step + 1 < horizon { value[to_bin(nb)][a] } else { 0.0 };
+                            let nb =
+                                ((buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
+                            let to_go = if step + 1 < horizon { value[to_bin(nb)][a] } else { 0.0 };
                             e += p * (q + to_go);
                         }
-                        if e > next[bin][prev] {
-                            next[bin][prev] = e;
+                        if e > *best {
+                            *best = e;
                         }
                     }
                 }
@@ -416,6 +503,9 @@ mod tests {
         let ttp = trained_ttp();
         let m = menus(5);
         let planner = StochasticMpc::default();
+        // One scratch reused across every context: stale tables from earlier
+        // decisions must never influence later ones.
+        let mut scratch = PlanScratch::new();
         let mut checked = 0;
         for bi in 0..5 {
             for ri in 0..6 {
@@ -433,10 +523,41 @@ mod tests {
                 let fast = planner.plan(&ctx, ttp);
                 let slow = naive_plan(&planner.config, &ctx, ttp);
                 assert_eq!(fast, slow, "buffer={buffer} rate={rate}");
+                let scratched = planner.plan_with(&ctx, ttp, &mut scratch);
+                assert_eq!(scratched, fast, "scratch reuse, buffer={buffer} rate={rate}");
                 checked += 1;
             }
         }
         assert_eq!(checked, 30);
+    }
+
+    #[test]
+    fn scratch_survives_changing_shapes() {
+        // Alternate between lookahead lengths and buffer discretizations with
+        // one scratch; every answer must match a fresh allocation's.
+        let ttp = trained_ttp();
+        let mut scratch = PlanScratch::new();
+        let h = history(500_000.0);
+        for (len, bins) in [(5usize, 61usize), (2, 61), (5, 31), (3, 121), (5, 61)] {
+            let m = menus(len);
+            let ctx = AbrContext {
+                buffer: 4.0,
+                prev_ssim_db: Some(11.0),
+                prev_rung: Some(1),
+                lookahead: &m,
+                history: &h,
+                tcp_info: tcp(500_000.0),
+            };
+            let planner = StochasticMpc::new(ControllerConfig {
+                buffer_bins: bins,
+                ..ControllerConfig::default()
+            });
+            assert_eq!(
+                planner.plan_with(&ctx, ttp, &mut scratch),
+                planner.plan(&ctx, ttp),
+                "lookahead={len} bins={bins}"
+            );
+        }
     }
 
     #[test]

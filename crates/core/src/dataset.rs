@@ -135,8 +135,7 @@ impl Dataset {
         for line in lines {
             if let Some(day_str) = line.strip_prefix("stream ") {
                 flush(current_day, &mut current);
-                current_day =
-                    Some(day_str.parse().map_err(|_| format!("bad day '{day_str}'"))?);
+                current_day = Some(day_str.parse().map_err(|_| format!("bad day '{day_str}'"))?);
             } else if let Some(rest) = line.strip_prefix("c ") {
                 if current_day.is_none() {
                     return Err("chunk record before any stream header".into());
@@ -199,8 +198,7 @@ impl Dataset {
                             transmission_time: o.transmission_time,
                         })
                         .collect();
-                    let features =
-                        ttp.raw_features(&history, &stream[n].tcp_info, labelled.size);
+                    let features = ttp.raw_features(&history, &stream[n].tcp_info, labelled.size);
                     let target = ttp.target_bin(labelled.size, labelled.transmission_time);
                     out.push(Sample { features, target, weight });
                 }

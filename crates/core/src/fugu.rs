@@ -1,6 +1,6 @@
 //! Fugu: the TTP plus the stochastic MPC controller behind the [`Abr`] trait.
 
-use crate::controller::{ControllerConfig, StochasticMpc};
+use crate::controller::{ControllerConfig, PlanScratch, StochasticMpc};
 use crate::ttp::Ttp;
 use puffer_abr::{Abr, AbrContext};
 
@@ -16,19 +16,27 @@ use puffer_abr::{Abr, AbrContext};
 pub struct Fugu {
     ttp: Ttp,
     controller: StochasticMpc,
+    /// Planner tables reused across decisions (planning is allocation-free
+    /// after the first chunk).
+    scratch: PlanScratch,
     name: &'static str,
 }
 
 impl Fugu {
     /// Standard Fugu with the given (typically trained) TTP.
     pub fn new(ttp: Ttp) -> Self {
-        Fugu { ttp, controller: StochasticMpc::default(), name: "Fugu" }
+        Fugu {
+            ttp,
+            controller: StochasticMpc::default(),
+            scratch: PlanScratch::new(),
+            name: "Fugu",
+        }
     }
 
     /// Fugu with a custom controller configuration (used by ablations — e.g.
     /// the point-estimate controller) and display name.
     pub fn with_controller(ttp: Ttp, config: ControllerConfig, name: &'static str) -> Self {
-        Fugu { ttp, controller: StochasticMpc::new(config), name }
+        Fugu { ttp, controller: StochasticMpc::new(config), scratch: PlanScratch::new(), name }
     }
 
     pub fn ttp(&self) -> &Ttp {
@@ -57,7 +65,7 @@ impl Abr for Fugu {
     }
 
     fn choose(&mut self, ctx: &AbrContext) -> usize {
-        self.controller.plan(ctx, &self.ttp)
+        self.controller.plan_with(ctx, &self.ttp, &mut self.scratch)
     }
 
     // History and tcp_info arrive through the context; Fugu keeps no
@@ -121,7 +129,7 @@ mod tests {
     #[should_panic(expected = "same architecture")]
     fn replace_ttp_rejects_architecture_mismatch() {
         let mut fugu = Fugu::new(Ttp::new(TtpConfig::default(), 4));
-        let other = Ttp::new(TtpConfig { hidden: vec![32] , ..TtpConfig::default() }, 5);
+        let other = Ttp::new(TtpConfig { hidden: vec![32], ..TtpConfig::default() }, 5);
         fugu.replace_ttp(other);
     }
 }

@@ -37,8 +37,8 @@ pub mod ttp;
 
 pub use ablation::TtpVariant;
 pub use bins::{bin_index, bin_midpoint, N_BINS};
-pub use controller::{ControllerConfig, StochasticMpc};
+pub use controller::{ControllerConfig, PlanScratch, StochasticMpc};
 pub use dataset::{ChunkObservation, Dataset};
 pub use fugu::Fugu;
 pub use training::{train, TrainConfig, TrainReport};
-pub use ttp::{Ttp, TtpConfig};
+pub use ttp::{Ttp, TtpConfig, TtpScratch};

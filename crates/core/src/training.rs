@@ -87,13 +87,8 @@ pub fn train<R: Rng + ?Sized>(
     // Materialize per-step samples.
     let mut per_step: Vec<Vec<Sample>> = (0..ttp.horizon())
         .map(|step| {
-            let mut s = data.build_samples(
-                ttp,
-                step,
-                current_day,
-                cfg.window_days,
-                cfg.recency_half_life,
-            );
+            let mut s =
+                data.build_samples(ttp, step, current_day, cfg.window_days, cfg.recency_half_life);
             if s.len() > cfg.max_samples_per_step {
                 s.shuffle(rng);
                 s.truncate(cfg.max_samples_per_step);
@@ -253,7 +248,11 @@ mod tests {
         let report = train(&mut ttp, &data, 3, &quick_cfg(), &mut rng(1)).unwrap();
         let after = evaluate(&ttp, &data, 3, 14);
         let uniform_ce = (crate::bins::N_BINS as f32).ln();
-        assert!(report.mean_ce() < uniform_ce, "train CE {} vs uniform {uniform_ce}", report.mean_ce());
+        assert!(
+            report.mean_ce() < uniform_ce,
+            "train CE {} vs uniform {uniform_ce}",
+            report.mean_ce()
+        );
         assert!(after.cross_entropy < before.cross_entropy, "{after:?} vs {before:?}");
         assert!(after.cross_entropy < 0.8 * uniform_ce);
         assert!(after.expected_accuracy > before.expected_accuracy);

@@ -23,7 +23,7 @@
 use crate::bins::{self, N_BINS};
 use puffer_abr::ChunkRecord;
 use puffer_net::TcpInfo;
-use puffer_nn::{loss, Activation, Matrix, Mlp, Scaler};
+use puffer_nn::{loss, Activation, Matrix, Mlp, MlpScratch, Scaler};
 
 /// What the network's output distribution ranges over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,8 +45,19 @@ pub fn throughput_bin_center(bin: usize) -> f64 {
 
 /// Bin index for an observed throughput (bytes/s): nearest geometric center
 /// in log space.
+///
+/// Total over all of `f64`: telemetry joins can produce degenerate
+/// throughputs — a zero-duration transfer divides to `+inf`, a zero-size or
+/// clock-skewed one to `0`, negative, or NaN — and a panic here would take
+/// down retraining for the whole day's data.  Non-positive and NaN inputs
+/// clamp to the lowest bin, `+inf` to the highest.
 pub fn throughput_bin_index(throughput: f64) -> usize {
-    assert!(throughput > 0.0 && throughput.is_finite());
+    if throughput.is_nan() || throughput <= 0.0 {
+        return 0;
+    }
+    if throughput == f64::INFINITY {
+        return N_BINS - 1;
+    }
     let ratio = 1.45f64.ln();
     let idx = ((throughput / 25_000.0).ln() / ratio).round();
     (idx.max(0.0) as usize).min(N_BINS - 1)
@@ -90,6 +101,42 @@ impl TtpConfig {
             n += 1; // proposed chunk size
         }
         n
+    }
+}
+
+/// Reusable buffers for [`Ttp::predict_time_distributions_into`], so the
+/// controller's inner loop (5 steps × all ladder rungs per chunk decision)
+/// performs no heap allocations in steady state.
+#[derive(Debug, Clone)]
+pub struct TtpScratch {
+    /// Raw feature row (shared across rungs except the proposed-size column).
+    raw: Vec<f32>,
+    /// Standardized feature row.
+    scaled: Vec<f32>,
+    /// Standardized proposed-size column, one entry per rung.
+    lasts: Vec<f32>,
+    /// Batched input matrix (throughput ablation only; the transmission-time
+    /// path never materializes the batch).
+    features: Matrix,
+    /// Ping/pong activation buffers for the forward pass.
+    mlp: MlpScratch,
+}
+
+impl Default for TtpScratch {
+    fn default() -> Self {
+        TtpScratch {
+            raw: Vec::new(),
+            scaled: Vec::new(),
+            lasts: Vec::new(),
+            features: Matrix::zeros(0, 0),
+            mlp: MlpScratch::new(),
+        }
+    }
+}
+
+impl TtpScratch {
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -163,8 +210,21 @@ impl Ttp {
         tcp_info: &TcpInfo,
         proposed_size: f64,
     ) -> Vec<f32> {
-        let h = self.config.history_len;
         let mut f = Vec::with_capacity(self.config.n_features());
+        self.raw_features_into(history, tcp_info, proposed_size, &mut f);
+        f
+    }
+
+    /// [`Ttp::raw_features`] into a reusable buffer (cleared first).
+    pub fn raw_features_into(
+        &self,
+        history: &[ChunkRecord],
+        tcp_info: &TcpInfo,
+        proposed_size: f64,
+        f: &mut Vec<f32>,
+    ) {
+        let h = self.config.history_len;
+        f.clear();
         let pad = h.saturating_sub(history.len());
         let recent = &history[history.len().saturating_sub(h)..];
         // Left-pad each block with zeros when the history is short.
@@ -187,7 +247,6 @@ impl Ttp {
             f.push(proposed_size as f32);
         }
         debug_assert_eq!(f.len(), self.config.n_features());
-        f
     }
 
     /// Network output distribution for a *raw* feature vector at lookahead
@@ -225,33 +284,81 @@ impl Ttp {
         tcp_info: &TcpInfo,
         proposed_sizes: &[f64],
     ) -> Vec<Vec<f64>> {
+        let mut scratch = TtpScratch::new();
+        let mut flat = vec![0.0f64; proposed_sizes.len() * N_BINS];
+        self.predict_time_distributions_into(
+            step,
+            history,
+            tcp_info,
+            proposed_sizes,
+            &mut scratch,
+            &mut flat,
+        );
+        flat.chunks(N_BINS).map(|c| c.to_vec()).collect()
+    }
+
+    /// Allocation-free core of [`Ttp::predict_time_distributions`]: writes
+    /// the distribution for `proposed_sizes[r]` into
+    /// `out[r * N_BINS..(r + 1) * N_BINS]`, reusing `scratch` buffers across
+    /// calls.  Bit-identical to the allocating wrapper: only the proposed
+    /// size (the last feature column) varies across rungs, so one row is
+    /// standardized and that column patched per rung; the per-element math is
+    /// unchanged.
+    pub fn predict_time_distributions_into(
+        &self,
+        step: usize,
+        history: &[ChunkRecord],
+        tcp_info: &TcpInfo,
+        proposed_sizes: &[f64],
+        scratch: &mut TtpScratch,
+        out: &mut [f64],
+    ) {
         assert!(step < self.config.horizon, "step {step} beyond horizon");
         assert!(!proposed_sizes.is_empty());
-        let rows: Vec<Vec<f32>> = proposed_sizes
-            .iter()
-            .map(|&s| self.scaler.transform(&self.raw_features(history, tcp_info, s)))
-            .collect();
-        let logits = self.nets[step].forward(&Matrix::from_rows(&rows));
-        let probs = loss::softmax_rows(&logits);
-        proposed_sizes
-            .iter()
-            .enumerate()
-            .map(|(r, &size)| match self.config.target {
-                PredictionTarget::TransmissionTime => {
-                    probs.row(r).iter().map(|&p| f64::from(p)).collect()
+        assert_eq!(out.len(), proposed_sizes.len() * N_BINS, "output buffer shape mismatch");
+        let f = self.config.n_features();
+        self.raw_features_into(history, tcp_info, proposed_sizes[0], &mut scratch.raw);
+        scratch.scaled.resize(f, 0.0);
+        self.scaler.transform_into(&scratch.raw, &mut scratch.scaled);
+        match self.config.target {
+            PredictionTarget::TransmissionTime => {
+                // Rows differ only in the standardized proposed size, so the
+                // batch is never materialized: the first layer's response to
+                // the shared prefix is computed once, and each rung adds its
+                // own last-feature term (bit-identical to the full matmul —
+                // the last feature is its final accumulation step).
+                let (mean, std) = (self.scaler.mean()[f - 1], self.scaler.std()[f - 1]);
+                scratch.lasts.clear();
+                scratch.lasts.extend(proposed_sizes.iter().map(|&s| (s as f32 - mean) / std));
+                let logits = self.nets[step].forward_shared_last_into(
+                    &scratch.scaled[..f - 1],
+                    &scratch.lasts,
+                    &mut scratch.mlp,
+                );
+                loss::softmax_rows_inplace(logits);
+                for (o, &p) in out.iter_mut().zip(logits.data()) {
+                    *o = f64::from(p);
                 }
-                PredictionTarget::Throughput => {
-                    // Re-bin: each throughput bin implies a transmission
-                    // time for this size.
-                    let mut time_probs = vec![0.0f64; N_BINS];
-                    for (b, &p) in probs.row(r).iter().enumerate() {
+            }
+            PredictionTarget::Throughput => {
+                // The throughput net ignores the proposed size, so all batch
+                // rows would be identical: forward one row and re-bin it per
+                // size (each throughput bin implies a transmission time).
+                scratch.features.resize(1, f);
+                scratch.features.row_mut(0).copy_from_slice(&scratch.scaled);
+                let logits = self.nets[step].forward_into(&scratch.features, &mut scratch.mlp);
+                loss::softmax_rows_inplace(logits);
+                let probs = logits.row(0);
+                out.fill(0.0);
+                for (r, &size) in proposed_sizes.iter().enumerate() {
+                    let time_row = &mut out[r * N_BINS..(r + 1) * N_BINS];
+                    for (b, &p) in probs.iter().enumerate() {
                         let t = size / throughput_bin_center(b);
-                        time_probs[bins::bin_index(t)] += f64::from(p);
+                        time_row[bins::bin_index(t)] += f64::from(p);
                     }
-                    time_probs
                 }
-            })
-            .collect()
+            }
+        }
     }
 
     /// Expected transmission time under the predicted distribution.
@@ -289,10 +396,7 @@ mod tests {
 
     fn history(n: usize) -> Vec<ChunkRecord> {
         (0..n)
-            .map(|i| ChunkRecord {
-                size: 400_000.0 + 10_000.0 * i as f64,
-                transmission_time: 0.8,
-            })
+            .map(|i| ChunkRecord { size: 400_000.0 + 10_000.0 * i as f64, transmission_time: 0.8 })
             .collect()
     }
 
@@ -382,15 +486,90 @@ mod tests {
     }
 
     #[test]
+    fn throughput_bin_index_is_total_on_degenerate_input() {
+        // Degenerate observed transfers (zero duration, zero size, clock
+        // skew) must clamp instead of panicking mid-retrain.
+        assert_eq!(throughput_bin_index(0.0), 0);
+        assert_eq!(throughput_bin_index(-5_000.0), 0);
+        assert_eq!(throughput_bin_index(f64::NAN), 0);
+        assert_eq!(throughput_bin_index(f64::NEG_INFINITY), 0);
+        assert_eq!(throughput_bin_index(f64::INFINITY), N_BINS - 1);
+        assert_eq!(throughput_bin_index(f64::MIN_POSITIVE), 0);
+        assert_eq!(throughput_bin_index(f64::MAX), N_BINS - 1);
+    }
+
+    #[test]
+    fn target_bin_handles_zero_duration_transfer() {
+        let tput_ttp =
+            Ttp::new(TtpConfig { target: PredictionTarget::Throughput, ..TtpConfig::default() }, 7);
+        // size / 0.0 = +inf throughput: the fastest bin, not a panic.
+        assert_eq!(tput_ttp.target_bin(1_000_000.0, 0.0), N_BINS - 1);
+        // 0-byte "transfer" with zero duration: 0/0 = NaN clamps low.
+        assert_eq!(tput_ttp.target_bin(0.0, 0.0), 0);
+    }
+
+    #[test]
+    fn batched_into_matches_allocating_path() {
+        let sizes: Vec<f64> = (1..=10).map(|r| 120_000.0 * r as f64).collect();
+        for (seed, target) in
+            [(11, PredictionTarget::TransmissionTime), (12, PredictionTarget::Throughput)]
+        {
+            let ttp = Ttp::new(TtpConfig { target, ..TtpConfig::default() }, seed);
+            let mut scratch = TtpScratch::new();
+            let mut flat = vec![0.0f64; sizes.len() * N_BINS];
+            // Reuse the same scratch across steps and batch sizes.
+            for step in 0..ttp.horizon() {
+                let reference = ttp.predict_time_distributions(step, &history(8), &tcp(), &sizes);
+                ttp.predict_time_distributions_into(
+                    step,
+                    &history(8),
+                    &tcp(),
+                    &sizes,
+                    &mut scratch,
+                    &mut flat,
+                );
+                for (r, d) in reference.iter().enumerate() {
+                    assert_eq!(d[..], flat[r * N_BINS..(r + 1) * N_BINS], "step {step} rung {r}");
+                }
+                // Pin against the fully naive per-size path (raw features →
+                // scale → one-row matmul → softmax), which shares none of the
+                // batched shared-prefix machinery.
+                if target == PredictionTarget::TransmissionTime {
+                    for (r, &size) in sizes.iter().enumerate() {
+                        let raw = ttp.raw_features(&history(8), &tcp(), size);
+                        let naive = ttp.predict_probs(step, &raw);
+                        for (b, &p) in naive.iter().enumerate() {
+                            assert_eq!(
+                                f64::from(p),
+                                flat[r * N_BINS + b],
+                                "naive path step {step} rung {r} bin {b}"
+                            );
+                        }
+                    }
+                }
+                // A single-size query through the same scratch.
+                let one = ttp.predict_time_distribution(step, &history(8), &tcp(), sizes[3]);
+                let mut one_flat = vec![0.0f64; N_BINS];
+                ttp.predict_time_distributions_into(
+                    step,
+                    &history(8),
+                    &tcp(),
+                    &sizes[3..4],
+                    &mut scratch,
+                    &mut one_flat,
+                );
+                assert_eq!(one, one_flat);
+            }
+        }
+    }
+
+    #[test]
     fn target_bin_respects_variant() {
         let time_ttp = Ttp::new(TtpConfig::default(), 6);
         assert_eq!(time_ttp.target_bin(1_000_000.0, 1.0), crate::bins::bin_index(1.0));
         let tput_ttp =
             Ttp::new(TtpConfig { target: PredictionTarget::Throughput, ..TtpConfig::default() }, 7);
-        assert_eq!(
-            tput_ttp.target_bin(1_000_000.0, 1.0),
-            throughput_bin_index(1_000_000.0)
-        );
+        assert_eq!(tput_ttp.target_bin(1_000_000.0, 1.0), throughput_bin_index(1_000_000.0));
     }
 
     #[test]

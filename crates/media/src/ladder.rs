@@ -47,11 +47,7 @@ impl EncoderLadder {
         EncoderLadder {
             rungs: spec
                 .iter()
-                .map(|&(height, crf, kbps)| Rung {
-                    height,
-                    crf,
-                    nominal_bitrate: kbps * 1000.0,
-                })
+                .map(|&(height, crf, kbps)| Rung { height, crf, nominal_bitrate: kbps * 1000.0 })
                 .collect(),
         }
     }

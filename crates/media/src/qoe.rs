@@ -36,12 +36,7 @@ impl QoeParams {
     ///
     /// `prev_ssim_db` is `None` for the first chunk of a stream, in which
     /// case the variation term is zero.
-    pub fn chunk_qoe(
-        &self,
-        ssim_db: f64,
-        prev_ssim_db: Option<f64>,
-        stall_seconds: f64,
-    ) -> f64 {
+    pub fn chunk_qoe(&self, ssim_db: f64, prev_ssim_db: Option<f64>, stall_seconds: f64) -> f64 {
         debug_assert!(stall_seconds >= 0.0);
         let variation = prev_ssim_db.map_or(0.0, |p| (ssim_db - p).abs());
         ssim_db - self.lambda * variation - self.mu * stall_seconds

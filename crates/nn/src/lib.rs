@@ -49,7 +49,7 @@ pub mod scaler;
 pub mod serialize;
 
 pub use matrix::Matrix;
-pub use mlp::{Activation, ForwardCache, Linear, Mlp};
+pub use mlp::{Activation, ForwardCache, Linear, Mlp, MlpScratch};
 pub use scaler::Scaler;
 
 /// Draw a standard normal sample with the Box–Muller transform.

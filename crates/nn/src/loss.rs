@@ -11,8 +11,15 @@ use crate::matrix::Matrix;
 /// Numerically-stable row-wise softmax.
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
     let mut out = logits.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// Row-wise softmax applied in place — the allocation-free core of
+/// [`softmax_rows`], used on inference hot paths.
+pub fn softmax_rows_inplace(logits: &mut Matrix) {
+    for r in 0..logits.rows() {
+        let row = logits.row_mut(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0;
         for x in row.iter_mut() {
@@ -23,7 +30,6 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
             *x /= sum;
         }
     }
-    out
 }
 
 /// Mean cross-entropy over the batch with optional per-sample weights.
@@ -87,22 +93,19 @@ pub fn mse(pred: &Matrix, target: &[f32]) -> (f32, Matrix) {
 /// Shannon entropy of each row of a probability matrix, in nats.
 pub fn entropy_rows(probs: &Matrix) -> Vec<f32> {
     (0..probs.rows())
-        .map(|r| {
-            probs
-                .row(r)
-                .iter()
-                .filter(|&&p| p > 0.0)
-                .map(|&p| -p * p.ln())
-                .sum()
-        })
+        .map(|r| probs.row(r).iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum())
         .collect()
 }
 
 /// Index of the largest element (first on ties).
-pub fn argmax(v: &[f32]) -> usize {
+///
+/// Generic over the element type so `f64` probability tables can be argmaxed
+/// directly instead of being narrowed through an intermediate `Vec<f32>`
+/// (which can flip near-ties and costs an allocation per call).
+pub fn argmax<T: PartialOrd>(v: &[T]) -> usize {
     let mut best = 0;
-    for (i, &x) in v.iter().enumerate() {
-        if x > v[best] {
+    for i in 1..v.len() {
+        if v[i] > v[best] {
             best = i;
         }
     }
@@ -179,6 +182,29 @@ mod tests {
 
     #[test]
     fn argmax_first_on_ties() {
-        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[1.0f32, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn argmax_f64_matches_f32_tie_behavior() {
+        // The controller argmaxes f64 probability tables; ties must resolve
+        // to the first index exactly as they do for f32 inputs.
+        assert_eq!(argmax(&[1.0f64, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[0.5f64]), 0);
+        // A pair whose f32 round-trip would tie but whose f64 values do not:
+        // the generic argmax must pick the genuinely larger element.
+        let a = 0.1f64;
+        let b = 0.1f64 + 1e-12;
+        assert_eq!(a as f32, b as f32, "precondition: indistinguishable in f32");
+        assert_eq!(argmax(&[a, b]), 1);
+    }
+
+    #[test]
+    fn softmax_inplace_matches_allocating() {
+        let m = Matrix::from_rows(&[vec![0.3, -1.5, 2.0, 0.0], vec![5.0, 5.0, -5.0, 1.0]]);
+        let reference = softmax_rows(&m);
+        let mut inplace = m.clone();
+        softmax_rows_inplace(&mut inplace);
+        assert_eq!(reference.data(), inplace.data());
     }
 }

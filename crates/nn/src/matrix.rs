@@ -2,7 +2,140 @@
 //!
 //! The TTP and Pensieve policy networks are at most a few hundred units wide,
 //! so a straightforward owned-`Vec` matrix with a loop-order-optimized matmul
-//! is plenty; no BLAS, no SIMD intrinsics, no unsafe.
+//! is plenty — no BLAS.  The one concession to the hardware is [`axpy`], the
+//! shared `out += a · b` inner loop, which runs 8 lanes wide under AVX when
+//! the CPU has it; every element still sees exactly one multiply rounding
+//! and one add rounding in the same accumulation order as the scalar loop,
+//! so results are bit-identical with and without it.
+
+/// Whether [`axpy_with`] may take the AVX path.  Callers issuing many axpy
+/// calls hoist this out of their loops: the cached feature test is cheap but
+/// not free at inner-loop frequency.
+#[inline]
+pub(crate) fn have_avx() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// `out[j] += a * b[j]` over the overlapping prefix — the accumulating inner
+/// loop shared by the matmuls and the MLP's shared-prefix forward.
+#[inline]
+pub(crate) fn axpy(a: f32, b: &[f32], out: &mut [f32]) {
+    axpy_with(have_avx(), a, b, out)
+}
+
+/// [`axpy`] with the AVX decision hoisted to the caller (`wide` must come
+/// from [`have_avx`]).
+#[inline]
+pub(crate) fn axpy_with(wide: bool, a: f32, b: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if wide {
+        // SAFETY: `wide` is only true when runtime detection found AVX.
+        unsafe { axpy_avx(a, b, out) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = wide;
+    for (o, &bv) in out.iter_mut().zip(b) {
+        *o += a * bv;
+    }
+}
+
+/// AVX body of [`axpy`]: 8-lane `vmulps` + `vaddps` (deliberately not FMA —
+/// fused rounding would diverge from the scalar mul-then-add).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn axpy_avx(a: f32, b: &[f32], out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = out.len().min(b.len());
+    let av = _mm256_set1_ps(a);
+    let mut j = 0;
+    while j + 8 <= n {
+        let bv = _mm256_loadu_ps(b.as_ptr().add(j));
+        let ov = _mm256_loadu_ps(out.as_ptr().add(j));
+        _mm256_storeu_ps(out.as_mut_ptr().add(j), _mm256_add_ps(ov, _mm256_mul_ps(av, bv)));
+        j += 8;
+    }
+    while j < n {
+        *out.get_unchecked_mut(j) += a * *b.get_unchecked(j);
+        j += 1;
+    }
+}
+
+/// AVX fast path of one [`Matrix::matmul_into`] output row:
+/// `out_row[j] += Σ_k a_row[k] · w[k*cols + j]`, with the output row held in
+/// registers across the whole `k` loop (the scalar loop re-loads and
+/// re-stores it for every `k`).  Per-element arithmetic — one multiply
+/// rounding, one add rounding, `k` ascending — matches the scalar loop
+/// exactly, so results are bit-identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn accum_row_avx(a_row: &[f32], w: &[f32], cols: usize, out_row: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert!(w.len() >= a_row.len() * cols);
+    debug_assert_eq!(out_row.len(), cols);
+    let mut j0 = 0usize;
+    // 64-column tiles: 8 accumulators, no loads/stores of `out` inside `k`.
+    while j0 + 64 <= cols {
+        let p = out_row.as_mut_ptr().add(j0);
+        let mut acc = [
+            _mm256_loadu_ps(p),
+            _mm256_loadu_ps(p.add(8)),
+            _mm256_loadu_ps(p.add(16)),
+            _mm256_loadu_ps(p.add(24)),
+            _mm256_loadu_ps(p.add(32)),
+            _mm256_loadu_ps(p.add(40)),
+            _mm256_loadu_ps(p.add(48)),
+            _mm256_loadu_ps(p.add(56)),
+        ];
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue; // matches the scalar loop's ReLU skip
+            }
+            let av = _mm256_set1_ps(a);
+            let b = w.as_ptr().add(k * cols + j0);
+            for (t, accv) in acc.iter_mut().enumerate() {
+                *accv = _mm256_add_ps(*accv, _mm256_mul_ps(av, _mm256_loadu_ps(b.add(t * 8))));
+            }
+        }
+        for (t, accv) in acc.iter().enumerate() {
+            _mm256_storeu_ps(p.add(t * 8), *accv);
+        }
+        j0 += 64;
+    }
+    // 8-column tiles.
+    while j0 + 8 <= cols {
+        let p = out_row.as_mut_ptr().add(j0);
+        let mut acc = _mm256_loadu_ps(p);
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b = w.as_ptr().add(k * cols + j0);
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a), _mm256_loadu_ps(b)));
+        }
+        _mm256_storeu_ps(p, acc);
+        j0 += 8;
+    }
+    // Remaining columns, scalar.
+    if j0 < cols {
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b = w.as_ptr().add(k * cols);
+            for j in j0..cols {
+                *out_row.get_unchecked_mut(j) += a * *b.add(j);
+            }
+        }
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,31 +217,55 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshape in place to `rows × cols`, reusing the existing allocation
+    /// when it is large enough.  The contents are unspecified afterwards;
+    /// callers are expected to overwrite every element.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// `self * other` — (m×k)·(k×n) → m×n, ikj loop order so the innermost
     /// loop streams both the output row and the `other` row.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-owned matrix (resized to fit)
+    /// so steady-state inference performs no allocations.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.resize(self.rows, other.cols);
+        out.data.fill(0.0);
+        let wide = have_avx();
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            #[cfg(target_arch = "x86_64")]
+            if wide {
+                // SAFETY: `wide` is only true when runtime detection found AVX.
+                unsafe { accum_row_avx(a_row, &other.data, other.cols, out_row) };
+                continue;
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            let _ = wide;
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue; // common after ReLU
                 }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                axpy_with(false, a, other.row(k), out_row);
             }
         }
-        out
     }
 
     /// `selfᵀ * other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "row counts must agree");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        let wide = have_avx();
         for r in 0..self.rows {
             let a_row = self.row(r);
             let b_row = other.row(r);
@@ -116,10 +273,7 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+                axpy_with(wide, a, b_row, out.row_mut(i));
             }
         }
         out
@@ -227,6 +381,78 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_across_reuses() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Reuse with a different (smaller) shape: stale contents must not leak.
+        let c = Matrix::from_rows(&[vec![1.0, -1.0]]);
+        c.matmul_into(&b, &mut out);
+        assert_eq!(out, c.matmul(&b));
+        assert_eq!((out.rows(), out.cols()), (1, 2));
+    }
+
+    #[test]
+    fn axpy_avx_is_bit_identical_to_scalar() {
+        // Odd length exercises both the 8-lane body and the scalar tail.
+        for n in [1usize, 7, 8, 21, 64, 67] {
+            let b: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.61).sin() * 1e3).collect();
+            let mut wide: Vec<f32> = (0..n).map(|i| (i as f32) * 0.25 - 3.0).collect();
+            let mut narrow = wide.clone();
+            axpy_with(have_avx(), 1.37, &b, &mut wide);
+            axpy_with(false, 1.37, &b, &mut narrow);
+            assert_eq!(wide, narrow, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn matmul_avx_is_bit_identical_to_scalar() {
+        // Shapes cover the 64-wide tile, the 8-wide tile, the scalar column
+        // tail, and combinations (64 + 8 + tail at cols = 77); zeros in the
+        // left matrix exercise the sparsity skip on both paths.
+        for (m, k, n) in [(1usize, 5usize, 3usize), (4, 21, 64), (10, 64, 21), (3, 7, 77)] {
+            let a = Matrix::from_vec(
+                m,
+                k,
+                (0..m * k)
+                    .map(|i| if i % 3 == 0 { 0.0 } else { ((i as f32) * 0.37).sin() * 10.0 })
+                    .collect(),
+            );
+            let b = Matrix::from_vec(
+                k,
+                n,
+                (0..k * n).map(|i| ((i as f32) * 0.11).cos() * 5.0).collect(),
+            );
+            let mut fast = Matrix::zeros(0, 0);
+            a.matmul_into(&b, &mut fast);
+            // Scalar reference: the exact loop `matmul_into` runs without AVX.
+            let mut reference = Matrix::zeros(m, n);
+            reference.data.fill(0.0);
+            for i in 0..m {
+                let a_row = &a.data[i * k..(i + 1) * k];
+                let out_row = &mut reference.data[i * n..(i + 1) * n];
+                for (kk, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    axpy_with(false, av, b.row(kk), out_row);
+                }
+            }
+            assert_eq!(fast.data(), reference.data(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn resize_changes_shape() {
+        let mut m = Matrix::zeros(2, 3);
+        m.resize(4, 5);
+        assert_eq!((m.rows(), m.cols()), (4, 5));
+        assert_eq!(m.data().len(), 20);
     }
 
     #[test]

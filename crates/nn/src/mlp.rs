@@ -5,7 +5,7 @@
 //! the same network with zero hidden layers.  [`Mlp`] covers both, plus the
 //! somewhat larger Pensieve policy/value networks.
 
-use crate::matrix::Matrix;
+use crate::matrix::{axpy, Matrix};
 use crate::optim::Optimizer;
 
 /// Hidden-layer nonlinearity.
@@ -105,6 +105,13 @@ impl Linear {
         y
     }
 
+    /// [`Linear::forward`] into a caller-owned output matrix (no allocation
+    /// once `out` has grown to the steady-state batch size).
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
+    }
+
     /// Backward pass: given the layer input `x` and upstream gradient `dy`,
     /// accumulate `gw`/`gb` and return the gradient w.r.t. `x`.
     pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
@@ -140,6 +147,29 @@ impl ForwardCache {
     /// Raw network output (pre-softmax logits / regression output).
     pub fn logits(&self) -> &Matrix {
         self.acts.last().expect("cache always holds input + output")
+    }
+}
+
+/// Reusable ping/pong activation buffers for [`Mlp::forward_into`].
+///
+/// Keeping these caller-owned lets steady-state inference (the TTP is queried
+/// for every rung of every lookahead step of every chunk decision) run with
+/// zero heap allocations after warm-up.
+#[derive(Debug, Clone)]
+pub struct MlpScratch {
+    ping: Matrix,
+    pong: Matrix,
+}
+
+impl Default for MlpScratch {
+    fn default() -> Self {
+        MlpScratch { ping: Matrix::zeros(0, 0), pong: Matrix::zeros(0, 0) }
+    }
+}
+
+impl MlpScratch {
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -202,6 +232,76 @@ impl Mlp {
             }
         }
         h
+    }
+
+    /// [`Mlp::forward`] through caller-owned scratch buffers: bit-identical
+    /// output, no allocations once the scratch has reached steady-state size.
+    /// Returns a reference to the scratch matrix holding the output.
+    pub fn forward_into<'a>(&self, x: &Matrix, scratch: &'a mut MlpScratch) -> &'a mut Matrix {
+        self.layers[0].forward_into(x, &mut scratch.ping);
+        if self.layers.len() > 1 {
+            scratch.ping.map_inplace(|v| self.activation.apply(v));
+        }
+        self.forward_tail(scratch)
+    }
+
+    /// Layers 1.. of the forward pass, with `scratch.ping` already holding
+    /// the activated output of layer 0.
+    fn forward_tail<'a>(&self, scratch: &'a mut MlpScratch) -> &'a mut Matrix {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            layer.forward_into(&scratch.ping, &mut scratch.pong);
+            if i != last {
+                scratch.pong.map_inplace(|v| self.activation.apply(v));
+            }
+            std::mem::swap(&mut scratch.ping, &mut scratch.pong);
+        }
+        &mut scratch.ping
+    }
+
+    /// Batched forward for inputs whose rows are identical except for the
+    /// *final* feature — the TTP's per-rung proposed-size column.  The first
+    /// layer's response to the shared prefix is computed once and each row's
+    /// last-feature contribution added on top.  Because the last feature is
+    /// also the final accumulation step of the ikj matmul (and the zero-skip
+    /// matches), the output is bit-identical to [`Mlp::forward_into`] on the
+    /// materialized batch.
+    pub fn forward_shared_last_into<'a>(
+        &self,
+        shared: &[f32],
+        last_feature: &[f32],
+        scratch: &'a mut MlpScratch,
+    ) -> &'a mut Matrix {
+        let l0 = &self.layers[0];
+        assert_eq!(shared.len() + 1, l0.in_dim(), "shared prefix + 1 == input dim");
+        let h = l0.out_dim();
+        let n = last_feature.len();
+
+        // partial = shared · W[..f-1, :], same k-order and zero-skip as
+        // `matmul_into`.
+        scratch.pong.resize(1, h);
+        scratch.pong.data_mut().fill(0.0);
+        for (k, &a) in shared.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            axpy(a, l0.w.row(k), scratch.pong.data_mut());
+        }
+
+        scratch.ping.resize(n, h);
+        let w_last = l0.w.row(shared.len());
+        for (i, &a) in last_feature.iter().enumerate() {
+            let row = scratch.ping.row_mut(i);
+            row.copy_from_slice(scratch.pong.row(0));
+            if a != 0.0 {
+                axpy(a, w_last, row);
+            }
+        }
+        scratch.ping.add_row_broadcast(&l0.b);
+        if self.layers.len() > 1 {
+            scratch.ping.map_inplace(|v| self.activation.apply(v));
+        }
+        self.forward_tail(scratch)
     }
 
     /// Forward pass retaining activations for [`Mlp::backward`].
@@ -316,13 +416,13 @@ mod tests {
         let net = Mlp::new(&[3, 2], Activation::Identity, &mut r);
         let x1 = Matrix::row_vector(&[1.0, 0.0, 0.0]);
         let x2 = Matrix::row_vector(&[0.0, 1.0, 0.0]);
-        let mut x12 = Matrix::row_vector(&[1.0, 1.0, 0.0]);
+        let x12 = Matrix::row_vector(&[1.0, 1.0, 0.0]);
         // Linearity: f(x1 + x2) - f(0) == (f(x1) - f(0)) + (f(x2) - f(0)).
         let zero = Matrix::row_vector(&[0.0, 0.0, 0.0]);
         let f0 = net.forward(&zero);
         let f1 = net.forward(&x1);
         let f2 = net.forward(&x2);
-        let f12 = net.forward(&mut x12);
+        let f12 = net.forward(&x12);
         for c in 0..2 {
             let lhs = f12.get(0, c) - f0.get(0, c);
             let rhs = (f1.get(0, c) - f0.get(0, c)) + (f2.get(0, c) - f0.get(0, c));
@@ -335,10 +435,7 @@ mod tests {
     fn gradient_check_cross_entropy() {
         let mut r = rng();
         let mut net = Mlp::new(&[4, 6, 3], Activation::Tanh, &mut r);
-        let x = Matrix::from_rows(&[
-            vec![0.5, -1.0, 0.25, 2.0],
-            vec![-0.5, 0.3, 1.5, -0.7],
-        ]);
+        let x = Matrix::from_rows(&[vec![0.5, -1.0, 0.25, 2.0], vec![-0.5, 0.3, 1.5, -0.7]]);
         let targets = [0usize, 2];
 
         let cache = net.forward_cache(&x);
@@ -362,7 +459,7 @@ mod tests {
             let wlen = net.layers[li].w.data().len();
             let blen = net.layers[li].b.len();
             for k in 0..(wlen + blen) {
-                if idx % 3 == 0 {
+                if idx.is_multiple_of(3) {
                     let read = |net: &Mlp, k: usize| {
                         if k < wlen {
                             net.layers[li].w.data()[k]
@@ -413,6 +510,48 @@ mod tests {
             sq += l.gb.iter().map(|g| g * g).sum::<f32>();
         }
         assert!(sq.sqrt() <= 0.011);
+    }
+
+    #[test]
+    fn forward_into_is_bit_identical_to_forward() {
+        let mut r = rng();
+        for dims in [&[5usize, 8, 3][..], &[4, 21][..], &[6, 16, 16, 7][..]] {
+            let net = Mlp::new(dims, Activation::Relu, &mut r);
+            let mut scratch = MlpScratch::new();
+            // Reuse the same scratch across varying batch sizes: stale shapes
+            // or contents must never leak into the output.
+            for batch in [3usize, 1, 5] {
+                let mut x = Matrix::zeros(batch, dims[0]);
+                for (i, v) in x.data_mut().iter_mut().enumerate() {
+                    *v = (i as f32 * 0.37).sin();
+                }
+                let reference = net.forward(&x);
+                let out = net.forward_into(&x, &mut scratch);
+                assert_eq!(reference.data(), out.data());
+                assert_eq!((out.rows(), out.cols()), (batch, *dims.last().unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_shared_last_is_bit_identical_to_materialized_batch() {
+        let mut r = rng();
+        for dims in [&[6usize, 8, 8, 4][..], &[5, 21][..], &[4, 16, 3][..]] {
+            let net = Mlp::new(dims, Activation::Relu, &mut r);
+            let f = dims[0];
+            let shared: Vec<f32> = (0..f - 1).map(|i| (i as f32 * 0.71).sin()).collect();
+            // Include 0.0 so the zero-skip path is exercised on both sides.
+            let lasts = [0.6f32, -1.2, 0.0, 2.4];
+            let mut batch = Matrix::zeros(lasts.len(), f);
+            for (i, &l) in lasts.iter().enumerate() {
+                batch.row_mut(i)[..f - 1].copy_from_slice(&shared);
+                batch.row_mut(i)[f - 1] = l;
+            }
+            let reference = net.forward(&batch);
+            let mut scratch = MlpScratch::new();
+            let out = net.forward_shared_last_into(&shared, &lasts, &mut scratch);
+            assert_eq!(reference.data(), out.data());
+        }
     }
 
     #[test]

@@ -95,14 +95,20 @@ impl Scaler {
         out
     }
 
+    /// Standardize `row` into a caller-owned buffer, avoiding the allocation
+    /// of [`Scaler::transform`] on hot inference paths.
+    pub fn transform_into(&self, row: &[f32], out: &mut [f32]) {
+        assert_eq!(row.len(), self.mean.len(), "feature dimension mismatch");
+        assert_eq!(out.len(), row.len(), "output buffer dimension mismatch");
+        for (((o, &x), &m), &s) in out.iter_mut().zip(row).zip(&self.mean).zip(&self.std) {
+            *o = (x - m) / s;
+        }
+    }
+
     /// Invert the transform (diagnostics only).
     pub fn inverse_transform(&self, row: &[f32]) -> Vec<f32> {
         assert_eq!(row.len(), self.mean.len());
-        row.iter()
-            .zip(&self.mean)
-            .zip(&self.std)
-            .map(|((&x, &m), &s)| x * s + m)
-            .collect()
+        row.iter().zip(&self.mean).zip(&self.std).map(|((&x, &m), &s)| x * s + m).collect()
     }
 }
 
@@ -112,7 +118,8 @@ mod tests {
 
     #[test]
     fn fit_then_transform_standardizes() {
-        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32, 1000.0 + 10.0 * i as f32]).collect();
+        let rows: Vec<Vec<f32>> =
+            (0..100).map(|i| vec![i as f32, 1000.0 + 10.0 * i as f32]).collect();
         let s = Scaler::fit(&rows);
         let transformed: Vec<Vec<f32>> = rows.iter().map(|r| s.transform(r)).collect();
         for d in 0..2 {
@@ -141,6 +148,16 @@ mod tests {
         for (a, b) in x.iter().zip(&back) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn transform_into_matches_transform() {
+        let rows = vec![vec![1.0, -3.0], vec![2.0, 4.0], vec![0.5, 10.0]];
+        let s = Scaler::fit(&rows);
+        let x = [1.7f32, 6.2];
+        let mut buf = [0.0f32; 2];
+        s.transform_into(&x, &mut buf);
+        assert_eq!(buf.to_vec(), s.transform(&x));
     }
 
     #[test]

@@ -111,9 +111,7 @@ pub fn save_to_string(ckpt: &Checkpoint) -> String {
 pub fn load_from_str(s: &str) -> Result<Checkpoint, LoadError> {
     let mut lines = s.lines();
     let mut next = |what: &str| {
-        lines
-            .next()
-            .ok_or_else(|| LoadError::Format(format!("unexpected EOF, wanted {what}")))
+        lines.next().ok_or_else(|| LoadError::Format(format!("unexpected EOF, wanted {what}")))
     };
 
     if next("magic")? != "puffer-nn-mlp v1" {

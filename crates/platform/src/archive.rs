@@ -36,9 +36,13 @@ impl DailyArchive {
     }
 
     fn video_acked_csv(&self) -> String {
-        let mut out = String::from("time,stream_id,expt_id,size\n");
+        let mut out = String::from("time,stream_id,expt_id,video_ts,size\n");
         for d in &self.video_acked {
-            let _ = writeln!(out, "{:.3},{},{},{:.0}", d.time, d.stream_id, d.expt_id, d.size);
+            let _ = writeln!(
+                out,
+                "{:.3},{},{},{},{:.0}",
+                d.time, d.stream_id, d.expt_id, d.video_ts, d.size
+            );
         }
         out
     }
@@ -73,6 +77,7 @@ mod tests {
             time: 1.0,
             stream_id: 5,
             expt_id: 1,
+            video_ts: 180_180,
             size: 4e5,
             ssim_index: 0.97,
             cwnd: 20.0,
@@ -81,7 +86,13 @@ mod tests {
             rtt: 0.05,
             delivery_rate: 9e5,
         });
-        t.video_acked.push(VideoAcked { time: 1.5, stream_id: 5, expt_id: 1, size: 4e5 });
+        t.video_acked.push(VideoAcked {
+            time: 1.5,
+            stream_id: 5,
+            expt_id: 1,
+            video_ts: 180_180,
+            size: 4e5,
+        });
         t.client_buffer.push(ClientBuffer {
             time: 1.5,
             stream_id: 5,
@@ -124,6 +135,7 @@ mod tests {
         let mut a = DailyArchive::new();
         a.add_stream(&telemetry());
         let csv = a.video_acked_csv();
-        assert!(csv.contains("1.500,5,1,400000"));
+        assert!(csv.starts_with("time,stream_id,expt_id,video_ts,size\n"));
+        assert!(csv.contains("1.500,5,1,180180,400000"));
     }
 }

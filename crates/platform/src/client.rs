@@ -190,7 +190,8 @@ mod tests {
         b.on_chunk_arrival(3.0); // stall 0.998
         b.on_chunk_arrival(4.0); // no stall (buffer was ~1 chunk)
         b.on_chunk_arrival(12.0); // gap 8 vs buffer ~3.0 → stall ~5.0
-        let expected = (3.0 - CHUNK_SECONDS) + (8.0 - (2.0 * CHUNK_SECONDS + CHUNK_SECONDS - 8.0 + 8.0 - 8.0)).max(0.0);
+        let expected = (3.0 - CHUNK_SECONDS)
+            + (8.0 - (2.0 * CHUNK_SECONDS + CHUNK_SECONDS - 8.0 + 8.0 - 8.0)).max(0.0);
         // Compute directly instead: verify via invariant below.
         let _ = expected;
         // Invariant: play time + stall time = wall time since play start.
@@ -231,7 +232,7 @@ mod tests {
     fn trailing_stall_is_counted() {
         let mut b = PlaybackBuffer::new(0.0);
         b.on_chunk_arrival(0.0); // buffer = 2.002
-        // Query 5 s later with nothing else arriving: 2.998 s of stall.
+                                 // Query 5 s later with nothing else arriving: 2.998 s of stall.
         assert!((b.cum_stall_at(5.0) - (5.0 - CHUNK_SECONDS)).abs() < 1e-9);
         // But the event-time accumulator hasn't moved.
         assert_eq!(b.cum_stall(), 0.0);

@@ -106,10 +106,12 @@ pub struct RctResult {
 
 /// SplitMix64 — derive independent per-session seeds from the master seed.
 fn mix_seed(master: u64, day: u32, index: usize, arm: usize) -> u64 {
+    // `index` is usize::MAX for the assignment stream, so the +1 offsets
+    // must wrap rather than overflow.
     let mut z = master
-        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + day as u64))
-        .wrapping_add(0x2545_f491_4f6c_dd1du64.wrapping_mul(1 + index as u64))
-        .wrapping_add(0x6a09_e667_f3bc_c909u64.wrapping_mul(1 + arm as u64));
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul((day as u64).wrapping_add(1)))
+        .wrapping_add(0x2545_f491_4f6c_dd1du64.wrapping_mul((index as u64).wrapping_add(1)))
+        .wrapping_add(0x6a09_e667_f3bc_c909u64.wrapping_mul((arm as u64).wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -123,6 +125,10 @@ struct SessionResult {
     observations: Vec<Vec<fugu::ChunkObservation>>,
 }
 
+/// One worker's share of a day: (session spec, output slot) pairs whose slot
+/// borrows are disjoint by construction.
+type WorkerShare<'a> = Vec<(&'a (usize, u64, u64), &'a mut Option<SessionResult>)>;
+
 fn run_one_session(
     spec: &SchemeSpec,
     arm: usize,
@@ -133,8 +139,7 @@ fn run_one_session(
 ) -> SessionResult {
     let mut abr = spec.instantiate();
     let stream_cfg = StreamConfig { expt_id: arm as u32, ..StreamConfig::default() };
-    let out =
-        run_session(bank, abr.as_mut(), &cfg.user, cfg.cc, stream_cfg, session_id, seed);
+    let out = run_session(bank, abr.as_mut(), &cfg.user, cfg.cc, stream_cfg, session_id, seed);
 
     let mut consort = ConsortCounts { sessions: 1, ..ConsortCounts::default() };
     let mut summaries = Vec::new();
@@ -156,13 +161,7 @@ fn run_one_session(
             observations.push(s.observations.clone());
         }
     }
-    SessionResult {
-        arm,
-        summaries,
-        session_duration: out.total_time,
-        consort,
-        observations,
-    }
+    SessionResult { arm, summaries, session_duration: out.total_time, consort, observations }
 }
 
 /// Run the RCT.  `schemes` defines the arms; Fugu arms flagged
@@ -198,9 +197,7 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
         let specs: Vec<(usize, u64, u64)> = if cfg.paired {
             // Within-subjects: every session under every arm.
             (0..cfg.sessions_per_day)
-                .flat_map(|i| {
-                    (0..schemes.len()).map(move |arm| (arm, i))
-                })
+                .flat_map(|i| (0..schemes.len()).map(move |arm| (arm, i)))
                 .map(|(arm, i)| {
                     let session_id = (day as u64) * 1_000_000 + i as u64;
                     (arm, session_id, mix_seed(cfg.seed, day, i, 0))
@@ -221,34 +218,43 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
         let results: Vec<SessionResult> = if cfg.threads <= 1 {
             specs
                 .iter()
-                .map(|&(arm, id, seed)| {
-                    run_one_session(&schemes[arm], arm, &bank, cfg, id, seed)
-                })
+                .map(|&(arm, id, seed)| run_one_session(&schemes[arm], arm, &bank, cfg, id, seed))
                 .collect()
         } else {
+            // Lock-free fan-out: deal each worker an interleaved set of
+            // (spec, &mut slot) pairs up front.  The mutable slot borrows
+            // are disjoint by construction, so workers write results
+            // straight into their own slots with no synchronization;
+            // results are identical to the sequential path because every
+            // session is fully determined by its seed, and aggregation
+            // below reads the slots back in session-index order.
             let schemes_ref = &schemes;
             let bank_ref = &bank;
-            let specs_ref = &specs;
             let n = specs.len();
             let mut slots: Vec<Option<SessionResult>> = Vec::with_capacity(n);
             slots.resize_with(n, || None);
-            let slots_mutex = parking_lot::Mutex::new(&mut slots);
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            crossbeam::scope(|scope| {
-                for _ in 0..cfg.threads {
-                    scope.spawn(|_| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n {
-                            break;
+            let n_workers = cfg.threads.min(n).max(1);
+            let mut assignments: Vec<WorkerShare<'_>> =
+                (0..n_workers).map(|_| Vec::with_capacity(n / n_workers + 1)).collect();
+            for (i, pair) in specs.iter().zip(slots.iter_mut()).enumerate() {
+                assignments[i % n_workers].push(pair);
+            }
+            std::thread::scope(|scope| {
+                for work in assignments {
+                    scope.spawn(move || {
+                        for (&(arm, id, seed), slot) in work {
+                            *slot = Some(run_one_session(
+                                &schemes_ref[arm],
+                                arm,
+                                bank_ref,
+                                cfg,
+                                id,
+                                seed,
+                            ));
                         }
-                        let (arm, id, seed) = specs_ref[i];
-                        let r =
-                            run_one_session(&schemes_ref[arm], arm, bank_ref, cfg, id, seed);
-                        slots_mutex.lock()[i] = Some(r);
                     });
                 }
-            })
-            .expect("worker thread panicked");
+            });
             slots.into_iter().map(|s| s.expect("every slot filled")).collect()
         };
 
@@ -273,14 +279,9 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
                 if !spec.retrains_daily() {
                     continue;
                 }
-                let mut new_ttp: Ttp =
-                    (**spec.ttp().expect("retraining arm has a TTP")).clone();
-                let mut rng = rand::rngs::StdRng::seed_from_u64(mix_seed(
-                    cfg.seed,
-                    day,
-                    usize::MAX - 1,
-                    7,
-                ));
+                let mut new_ttp: Ttp = (**spec.ttp().expect("retraining arm has a TTP")).clone();
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(mix_seed(cfg.seed, day, usize::MAX - 1, 7));
                 if train(&mut new_ttp, &dataset, day, train_cfg, &mut rng).is_some() {
                     spec.update_ttp(new_ttp);
                 }
@@ -295,14 +296,8 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
 /// sessions of the given scheme in a world — the bootstrap phase before
 /// Fugu can be deployed (the paper's Fugu entered the primary experiment
 /// already trained on prior Puffer telemetry).
-pub fn collect_training_data(
-    scheme: &SchemeSpec,
-    cfg: &ExperimentConfig,
-) -> Dataset {
-    let result = run_rct(vec![scheme.clone()], &ExperimentConfig {
-        retrain: None,
-        ..cfg.clone()
-    });
+pub fn collect_training_data(scheme: &SchemeSpec, cfg: &ExperimentConfig) -> Dataset {
+    let result = run_rct(vec![scheme.clone()], &ExperimentConfig { retrain: None, ..cfg.clone() });
     result.dataset
 }
 
@@ -378,7 +373,8 @@ mod tests {
             retrain: None,
             ..ExperimentConfig::default()
         };
-        let result = run_rct(vec![SchemeSpec::Bba, SchemeSpec::MpcHm, SchemeSpec::RobustMpcHm], &cfg);
+        let result =
+            run_rct(vec![SchemeSpec::Bba, SchemeSpec::MpcHm, SchemeSpec::RobustMpcHm], &cfg);
         for arm in &result.arms {
             let frac = arm.consort.sessions as f64 / 300.0;
             assert!((0.2..0.5).contains(&frac), "{}: {}", arm.name, frac);
@@ -412,12 +408,7 @@ mod tests {
 
     #[test]
     fn collect_and_train_bootstrap() {
-        let cfg = ExperimentConfig {
-            sessions_per_day: 20,
-            days: 1,
-            threads: 2,
-            ..tiny_cfg(2)
-        };
+        let cfg = ExperimentConfig { sessions_per_day: 20, days: 1, threads: 2, ..tiny_cfg(2) };
         let data = collect_training_data(&SchemeSpec::Bba, &cfg);
         assert!(data.n_observations() > 100, "{}", data.n_observations());
         let ttp = train_ttp_on(

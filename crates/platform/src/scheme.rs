@@ -135,7 +135,7 @@ mod tests {
         ];
         for s in &specs {
             let abr = s.instantiate();
-            assert_eq!(abr.name().is_empty(), false);
+            assert!(!abr.name().is_empty());
         }
     }
 

@@ -63,26 +63,11 @@ pub fn run_session(
         let stream_intent = user.next_stream_intent(remaining, &mut rng);
         let mut source = VideoSource::puffer_default();
         abr.reset_stream();
-        let cfg = StreamConfig {
-            stream_id: session_id * 1000 + stream_seq,
-            ..base_stream_cfg
-        };
-        let out = run_stream(
-            &mut conn,
-            &mut source,
-            abr,
-            user,
-            stream_intent,
-            t,
-            &cfg,
-            t,
-            &mut rng,
-        );
+        let cfg = StreamConfig { stream_id: session_id * 1000 + stream_seq, ..base_stream_cfg };
+        let out =
+            run_stream(&mut conn, &mut source, abr, user, stream_intent, t, &cfg, t, &mut rng);
         let end = out.end_time.max(t);
-        let abandoned = matches!(
-            out.quit,
-            QuitReason::AbandonedStall | QuitReason::AbandonedTail
-        );
+        let abandoned = matches!(out.quit, QuitReason::AbandonedStall | QuitReason::AbandonedTail);
         streams.push(out);
         let consumed = (end - t).max(0.05);
         t = end + CHANNEL_SWITCH_GAP;
@@ -171,12 +156,8 @@ mod tests {
     #[test]
     fn total_time_bounds_stream_times() {
         let out = run(9);
-        let sum: f64 = out
-            .streams
-            .iter()
-            .filter_map(|s| s.summary.as_ref())
-            .map(|s| s.watch_time)
-            .sum();
+        let sum: f64 =
+            out.streams.iter().filter_map(|s| s.summary.as_ref()).map(|s| s.watch_time).sum();
         assert!(sum <= out.total_time + 1.0, "watch {sum} vs session {}", out.total_time);
     }
 

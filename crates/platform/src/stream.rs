@@ -10,7 +10,9 @@
 //! (§5.1).
 
 use crate::client::PlaybackBuffer;
-use crate::telemetry::{BufferEvent, ClientBuffer, StreamTelemetry, VideoAcked, VideoSent};
+use crate::telemetry::{
+    BufferEvent, ClientBuffer, StreamTelemetry, VideoAcked, VideoSent, VIDEO_TS_PER_CHUNK,
+};
 use crate::user::{StreamIntent, UserModel};
 use fugu::ChunkObservation;
 use puffer_abr::{Abr, AbrContext, ChunkRecord, HISTORY_LEN, HORIZON};
@@ -61,12 +63,7 @@ pub struct StreamConfig {
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig {
-            stream_id: 0,
-            expt_id: 0,
-            lookahead: HORIZON,
-            startup_overhead: 0.4,
-        }
+        StreamConfig { stream_id: 0, expt_id: 0, lookahead: HORIZON, startup_overhead: 0.4 }
     }
 }
 
@@ -140,11 +137,13 @@ pub fn run_stream<R: Rng + ?Sized>(
         };
         let rung = abr.choose(&ctx).min(upcoming[0].n_rungs() - 1);
         let opt = upcoming[0].options[rung];
+        let video_ts = upcoming[0].index * VIDEO_TS_PER_CHUNK;
 
         telemetry.video_sent.push(VideoSent {
             time: send_t,
             stream_id: cfg.stream_id,
             expt_id: cfg.expt_id,
+            video_ts,
             size: opt.size,
             ssim_index: ssim::db_to_index(opt.ssim_db),
             cwnd: tcp_info.cwnd,
@@ -159,16 +158,28 @@ pub fn run_stream<R: Rng + ?Sized>(
         let arrival = transfer.completion;
         last_completion = arrival;
 
+        if arrival >= deadline {
+            // The user leaves while this chunk is still in flight: its last
+            // byte is never acknowledged, so no `video_acked` row, no TTP
+            // observation, and no history entry exist for it — only the
+            // `video_sent` row above (the unacked tail the identity join in
+            // [`StreamTelemetry::transmission_times`] drops).
+            if !client.playing() {
+                quit = QuitReason::NeverBegan;
+            }
+            end_time = deadline;
+            break;
+        }
+
         telemetry.video_acked.push(VideoAcked {
             time: arrival,
             stream_id: cfg.stream_id,
             expt_id: cfg.expt_id,
+            video_ts,
             size: opt.size,
         });
-        let record = ChunkRecord {
-            size: opt.size,
-            transmission_time: transfer.transmission_time(),
-        };
+        let record =
+            ChunkRecord { size: opt.size, transmission_time: transfer.transmission_time() };
         abr.on_chunk_delivered(record);
         history.push(record);
         observations.push(ChunkObservation {
@@ -176,15 +187,6 @@ pub fn run_stream<R: Rng + ?Sized>(
             transmission_time: transfer.transmission_time(),
             tcp_info,
         });
-
-        if arrival >= deadline {
-            // The user leaves while this chunk is still in flight.
-            if !client.playing() {
-                quit = QuitReason::NeverBegan;
-            }
-            end_time = deadline;
-            break;
-        }
 
         let started = client.playing();
         client.on_chunk_arrival(arrival);
@@ -227,13 +229,9 @@ pub fn run_stream<R: Rng + ?Sized>(
         }
         let session_time = session_watch_before + (arrival - start_time);
         let recent = &chunk_log[chunk_log.len().saturating_sub(RECENT_WINDOW)..];
-        let recent_ssim =
-            recent.iter().map(|c| c.ssim_db).sum::<f64>() / recent.len() as f64;
+        let recent_ssim = recent.iter().map(|c| c.ssim_db).sum::<f64>() / recent.len() as f64;
         let recent_var = if recent.len() > 1 {
-            recent
-                .windows(2)
-                .map(|w| (w[1].ssim_db - w[0].ssim_db).abs())
-                .sum::<f64>()
+            recent.windows(2).map(|w| (w[1].ssim_db - w[0].ssim_db).abs()).sum::<f64>()
                 / (recent.len() - 1) as f64
         } else {
             0.0
@@ -268,11 +266,8 @@ pub fn run_stream<R: Rng + ?Sized>(
     // chunk arrival and the user's departure, but never exceeds the watch.
     let stall_time = client.cum_stall_at(end_time.max(play_start)).min(watch_time);
     let ssims: Vec<f64> = chunk_log.iter().map(|c| c.ssim_db).collect();
-    let mean_ssim = if ssims.is_empty() {
-        0.0
-    } else {
-        ssims.iter().sum::<f64>() / ssims.len() as f64
-    };
+    let mean_ssim =
+        if ssims.is_empty() { 0.0 } else { ssims.iter().sum::<f64>() / ssims.len() as f64 };
     let variation = if ssims.len() > 1 {
         ssims.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (ssims.len() - 1) as f64
     } else {
@@ -293,14 +288,7 @@ pub fn run_stream<R: Rng + ?Sized>(
         total_bytes: chunk_log.iter().map(|c| c.size).sum(),
         chunks: chunk_log.len(),
     };
-    StreamOutcome {
-        summary: Some(summary),
-        chunk_log,
-        observations,
-        telemetry,
-        end_time,
-        quit,
-    }
+    StreamOutcome { summary: Some(summary), chunk_log, observations, telemetry, end_time, quit }
 }
 
 #[cfg(test)]
@@ -325,11 +313,7 @@ mod tests {
         )
     }
 
-    fn run(
-        rate_mbps: f64,
-        intent: StreamIntent,
-        seed: u64,
-    ) -> StreamOutcome {
+    fn run(rate_mbps: f64, intent: StreamIntent, seed: u64) -> StreamOutcome {
         let mut c = conn(rate_mbps);
         let mut src = VideoSource::puffer_default();
         let mut abr = Bba::default();
@@ -384,8 +368,14 @@ mod tests {
     #[test]
     fn telemetry_sent_acked_match() {
         let out = run(6.0, StreamIntent::Watch(60.0), 4);
-        assert_eq!(out.telemetry.video_sent.len(), out.telemetry.video_acked.len());
+        let sent = out.telemetry.video_sent.len();
+        let acked = out.telemetry.video_acked.len();
+        // At most one chunk (the one in flight when the user left) is sent
+        // but never acknowledged.
+        assert!(acked <= sent && sent <= acked + 1, "sent {sent} acked {acked}");
         let tt = out.telemetry.transmission_times();
+        assert_eq!(tt.len(), acked, "one joined time per acknowledged chunk");
+        assert_eq!(acked, out.chunk_log.len());
         for (i, c) in out.chunk_log.iter().enumerate() {
             assert!((tt[i] - c.transmission_time).abs() < 1e-9);
             assert!(tt[i] > 0.0);
@@ -396,20 +386,19 @@ mod tests {
     fn buffer_never_exceeds_cap() {
         let out = run(30.0, StreamIntent::Watch(90.0), 5);
         for cb in &out.telemetry.client_buffer {
-            assert!(
-                cb.buffer <= MAX_BUFFER_SECONDS + 1e-6,
-                "buffer {} exceeds cap",
-                cb.buffer
-            );
+            assert!(cb.buffer <= MAX_BUFFER_SECONDS + 1e-6, "buffer {} exceeds cap", cb.buffer);
         }
     }
 
     #[test]
-    fn observations_align_with_chunks_sent() {
+    fn observations_align_with_acked_chunks() {
+        // Observations feed TTP training, which needs a measured transmission
+        // time — so they align with `video_acked`, not `video_sent` (a chunk
+        // in flight at departure yields no observation).
         let out = run(6.0, StreamIntent::Watch(45.0), 6);
-        assert_eq!(out.observations.len(), out.telemetry.video_sent.len());
-        for (o, v) in out.observations.iter().zip(&out.telemetry.video_sent) {
-            assert_eq!(o.size, v.size);
+        assert_eq!(out.observations.len(), out.telemetry.video_acked.len());
+        for (o, a) in out.observations.iter().zip(&out.telemetry.video_acked) {
+            assert_eq!(o.size, a.size);
         }
     }
 

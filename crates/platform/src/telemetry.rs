@@ -11,6 +11,10 @@
 
 use std::fmt::Write as _;
 
+/// Presentation timestamp increment per 2.002-second chunk, in the archive's
+/// 90 kHz MPEG timebase: 90 000 × 2.002 = 180 180.
+pub const VIDEO_TS_PER_CHUNK: u64 = 180_180;
+
 /// One datum of `video_sent` (Appendix B).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VideoSent {
@@ -20,6 +24,9 @@ pub struct VideoSent {
     pub stream_id: u64,
     /// Experimental-group identifier (scheme arm).
     pub expt_id: u32,
+    /// Presentation timestamp of the chunk (90 kHz timebase) — the chunk's
+    /// identity within the stream, used to join against `video_acked`.
+    pub video_ts: u64,
     /// Chunk size, bytes.
     pub size: f64,
     /// SSIM index of the chunk (not dB — matching the archive field).
@@ -43,6 +50,9 @@ pub struct VideoAcked {
     pub time: f64,
     pub stream_id: u64,
     pub expt_id: u32,
+    /// Presentation timestamp of the acknowledged chunk (90 kHz timebase),
+    /// matching the `video_sent` row it joins with.
+    pub video_ts: u64,
     /// Byte count acknowledged (matches the `video_sent` size).
     pub size: f64,
 }
@@ -95,14 +105,23 @@ pub struct StreamTelemetry {
 
 impl StreamTelemetry {
     /// Derive per-chunk transmission times by joining `video_sent` with
-    /// `video_acked` in order — the join the paper describes ("Each data
-    /// point can be matched to a data point in video_sent ... and used to
-    /// calculate the transmission time of the chunk").
+    /// `video_acked` on chunk identity — the join the paper describes ("Each
+    /// data point can be matched to a data point in video_sent ... and used
+    /// to calculate the transmission time of the chunk").
+    ///
+    /// The join key is `(stream_id, video_ts)`.  A positional zip is wrong
+    /// whenever the two tables disagree in length — a chunk still in flight
+    /// when the user leaves is sent but never acked, and would shift every
+    /// later pair off by one.  Sent rows with no matching ack are dropped.
     pub fn transmission_times(&self) -> Vec<f64> {
+        use std::collections::HashMap;
+        let mut acked: HashMap<(u64, u64), f64> = HashMap::with_capacity(self.video_acked.len());
+        for a in &self.video_acked {
+            acked.insert((a.stream_id, a.video_ts), a.time);
+        }
         self.video_sent
             .iter()
-            .zip(&self.video_acked)
-            .map(|(s, a)| a.time - s.time)
+            .filter_map(|s| acked.get(&(s.stream_id, s.video_ts)).map(|&t| t - s.time))
             .collect()
     }
 }
@@ -110,15 +129,16 @@ impl StreamTelemetry {
 /// Render `video_sent` data as the daily CSV dump.
 pub fn video_sent_csv(data: &[VideoSent]) -> String {
     let mut out = String::from(
-        "time,stream_id,expt_id,size,ssim_index,cwnd,in_flight,min_rtt,rtt,delivery_rate\n",
+        "time,stream_id,expt_id,video_ts,size,ssim_index,cwnd,in_flight,min_rtt,rtt,delivery_rate\n",
     );
     for d in data {
         let _ = writeln!(
             out,
-            "{:.3},{},{},{:.0},{:.5},{:.1},{:.1},{:.6},{:.6},{:.0}",
+            "{:.3},{},{},{},{:.0},{:.5},{:.1},{:.1},{:.6},{:.6},{:.0}",
             d.time,
             d.stream_id,
             d.expt_id,
+            d.video_ts,
             d.size,
             d.ssim_index,
             d.cwnd,
@@ -153,11 +173,12 @@ pub fn client_buffer_csv(data: &[ClientBuffer]) -> String {
 mod tests {
     use super::*;
 
-    fn sent(time: f64) -> VideoSent {
+    fn sent_ts(time: f64, chunk: u64) -> VideoSent {
         VideoSent {
             time,
             stream_id: 7,
             expt_id: 2,
+            video_ts: chunk * VIDEO_TS_PER_CHUNK,
             size: 500_000.0,
             ssim_index: 0.975,
             cwnd: 30.0,
@@ -168,25 +189,54 @@ mod tests {
         }
     }
 
+    fn acked_ts(time: f64, chunk: u64) -> VideoAcked {
+        VideoAcked {
+            time,
+            stream_id: 7,
+            expt_id: 2,
+            video_ts: chunk * VIDEO_TS_PER_CHUNK,
+            size: 500_000.0,
+        }
+    }
+
     #[test]
     fn transmission_times_from_join() {
         let mut t = StreamTelemetry::default();
-        t.video_sent.push(sent(10.0));
-        t.video_acked.push(VideoAcked { time: 10.8, stream_id: 7, expt_id: 2, size: 500_000.0 });
-        t.video_sent.push(sent(11.0));
-        t.video_acked.push(VideoAcked { time: 12.5, stream_id: 7, expt_id: 2, size: 500_000.0 });
+        t.video_sent.push(sent_ts(10.0, 0));
+        t.video_acked.push(acked_ts(10.8, 0));
+        t.video_sent.push(sent_ts(11.0, 1));
+        t.video_acked.push(acked_ts(12.5, 1));
         let tt = t.transmission_times();
         assert!((tt[0] - 0.8).abs() < 1e-9);
         assert!((tt[1] - 1.5).abs() < 1e-9);
     }
 
     #[test]
+    fn transmission_times_drop_unacked_tail() {
+        // Three chunks sent, but the user left while the last was in flight:
+        // only two acks.  A positional zip would mispair nothing here, but
+        // with the *middle* ack missing it would pair chunk 2's ack with
+        // chunk 1's send.  The identity join must survive both cases.
+        let mut t = StreamTelemetry::default();
+        t.video_sent.push(sent_ts(10.0, 0));
+        t.video_sent.push(sent_ts(11.0, 1));
+        t.video_sent.push(sent_ts(12.0, 2));
+        t.video_acked.push(acked_ts(10.8, 0));
+        t.video_acked.push(acked_ts(12.5, 2));
+        let tt = t.transmission_times();
+        assert_eq!(tt.len(), 2, "unmatched sent rows are dropped");
+        assert!((tt[0] - 0.8).abs() < 1e-9);
+        assert!((tt[1] - 0.5).abs() < 1e-9, "chunk 2 joins its own ack, got {}", tt[1]);
+    }
+
+    #[test]
     fn csv_has_header_and_rows() {
-        let csv = video_sent_csv(&[sent(1.0), sent(2.0)]);
+        let csv = video_sent_csv(&[sent_ts(1.0, 0), sent_ts(2.0, 1)]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].starts_with("time,stream_id"));
-        assert!(lines[1].starts_with("1.000,7,2,500000,0.97500"));
+        assert!(lines[0].starts_with("time,stream_id,expt_id,video_ts"));
+        assert!(lines[1].starts_with("1.000,7,2,0,500000,0.97500"));
+        assert!(lines[2].starts_with("2.000,7,2,180180,500000,0.97500"));
     }
 
     #[test]

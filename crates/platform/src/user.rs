@@ -84,11 +84,7 @@ impl UserModel {
     }
 
     /// Intent for the next stream given the remaining session budget.
-    pub fn next_stream_intent<R: Rng + ?Sized>(
-        &self,
-        remaining: f64,
-        rng: &mut R,
-    ) -> StreamIntent {
+    pub fn next_stream_intent<R: Rng + ?Sized>(&self, remaining: f64, rng: &mut R) -> StreamIntent {
         if rng.random::<f64>() < self.zap_prob {
             // Zap durations: a bimodal mix of rapid channel-surfing (often
             // leaving before the first chunk even plays — Fig. A1's "did not
@@ -168,14 +164,9 @@ mod tests {
         let mean = intents.iter().sum::<f64>() / n as f64;
         // Fig. 10: scheme means are 27–33 minutes.  The *intent* mean sits a
         // bit above the realized mean (abandonment shortens sessions).
-        assert!(
-            (20.0 * 60.0..70.0 * 60.0).contains(&mean),
-            "mean intent {:.1} min",
-            mean / 60.0
-        );
+        assert!((20.0 * 60.0..70.0 * 60.0).contains(&mean), "mean intent {:.1} min", mean / 60.0);
         // Tail: some sessions beyond 2.5 h, none beyond the cap.
-        let tail_frac =
-            intents.iter().filter(|&&x| x > TAIL_THRESHOLD).count() as f64 / n as f64;
+        let tail_frac = intents.iter().filter(|&&x| x > TAIL_THRESHOLD).count() as f64 / n as f64;
         assert!((0.005..0.10).contains(&tail_frac), "tail fraction {tail_frac}");
         assert!(intents.iter().all(|&x| x <= m.intent_cap));
     }

@@ -1,0 +1,208 @@
+//! Vendored stand-in for `criterion`, implementing the subset this
+//! workspace's benches use: `Criterion::bench_function`, benchmark groups
+//! with `sample_size`, `BenchmarkId`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Measurement model: calibrate the per-sample iteration count to
+//! `TARGET_SAMPLE_MS`, take `sample_size` samples after a warmup, and report
+//! the median and mean ns/iteration.  When the `BENCH_JSON` environment
+//! variable names a file, one JSON line per benchmark is appended to it —
+//! `scripts/bench_hotpath.sh` uses this to build `BENCH_hotpath.json`.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 30;
+const WARMUP_MS: u64 = 300;
+const TARGET_SAMPLE_MS: f64 = 30.0;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { group: name.to_string(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    group: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.group, id.0);
+        run_bench(&name, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Passed to the closure under test; call [`Bencher::iter`] with the payload.
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Measured duration of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+    // Calibrate: grow the iteration count until one sample is long enough to
+    // time reliably, warming the code up along the way.
+    let warmup_deadline = Instant::now() + Duration::from_millis(WARMUP_MS);
+    let mut ns_per_iter = loop {
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        if b.elapsed.as_secs_f64() * 1e3 >= TARGET_SAMPLE_MS / 4.0
+            || Instant::now() > warmup_deadline
+        {
+            break ns.max(0.1);
+        }
+        b.iters = b.iters.saturating_mul(2);
+    };
+    b.iters = ((TARGET_SAMPLE_MS * 1e6 / ns_per_iter).ceil() as u64).max(1);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        f(&mut b);
+        ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        samples.push(ns_per_iter);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+    println!(
+        "bench: {name:<40} median {} mean {} ({} samples x {} iters)",
+        format_ns(median),
+        format_ns(mean),
+        samples.len(),
+        b.iters
+    );
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(
+                file,
+                "{{\"name\":\"{name}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                samples.len(),
+                b.iters
+            );
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns/iter")
+    } else if ns < 1e6 {
+        format!("{:8.2} us/iter", ns / 1e3)
+    } else {
+        format!("{:8.3} ms/iter", ns / 1e6)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { sample_size: 3 };
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        c.benchmark_group("g").sample_size(2).bench_function(
+            BenchmarkId::from_parameter("x"),
+            |b| {
+                runs += 1;
+                b.iter(|| black_box(2 * 2))
+            },
+        );
+        assert!(runs >= 2, "group bench body runs once per sample plus calibration");
+    }
+}

@@ -132,9 +132,8 @@ mod tests {
         // effect that frustrates A/B measurement.
         let n = 2000;
         let even: Vec<(f64, f64)> = (0..n).map(|_| (0.6, 60.0)).collect();
-        let tail: Vec<(f64, f64)> = (0..n)
-            .map(|i| if i % 100 == 0 { (60.0, 60.0) } else { (0.0, 60.0) })
-            .collect();
+        let tail: Vec<(f64, f64)> =
+            (0..n).map(|i| if i % 100 == 0 { (60.0, 60.0) } else { (0.0, 60.0) }).collect();
         let ci_even = bootstrap_ratio_ci(&even, 400, 0.95, &mut rng(7));
         let ci_tail = bootstrap_ratio_ci(&tail, 400, 0.95, &mut rng(8));
         assert!((ci_even.point - ci_tail.point).abs() < 1e-9, "same mean by construction");

@@ -85,8 +85,7 @@ pub fn stream_years_to_distinguish<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Option<f64> {
     assert!(!population.is_empty());
-    let mean_watch =
-        population.iter().map(|p| p.1).sum::<f64>() / population.len() as f64;
+    let mean_watch = population.iter().map(|p| p.1).sum::<f64>() / population.len() as f64;
     let mut n = 250usize;
     while n <= max_streams {
         if detection_rate(population, n, cfg, rng) >= cfg.power {
@@ -115,11 +114,8 @@ mod tests {
                 // Log-normal-ish watch times, mean of a few hundred seconds.
                 let u: f64 = r.random();
                 let watch = 30.0 * (1.0 / (1.0 - u * 0.999)).powf(0.7);
-                let stall = if r.random::<f64>() < 0.04 {
-                    watch * 0.05 * r.random::<f64>()
-                } else {
-                    0.0
-                };
+                let stall =
+                    if r.random::<f64>() < 0.04 { watch * 0.05 * r.random::<f64>() } else { 0.0 };
                 (stall, watch)
             })
             .collect()
@@ -131,10 +127,7 @@ mod tests {
         let cfg = DetectConfig { n_experiments: 8, n_boot: 80, ..DetectConfig::default() };
         let small = detection_rate(&pop, 300, &cfg, &mut rng(2));
         let large = detection_rate(&pop, 8_000, &cfg, &mut rng(3));
-        assert!(
-            large >= small,
-            "more streams must not hurt detection: {small} vs {large}"
-        );
+        assert!(large >= small, "more streams must not hurt detection: {small} vs {large}");
     }
 
     #[test]

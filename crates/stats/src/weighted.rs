@@ -21,11 +21,7 @@ pub fn weighted_mean(values: &[f64], weights: &[f64]) -> f64 {
 pub fn weighted_standard_error(values: &[f64], weights: &[f64]) -> f64 {
     let mean = weighted_mean(values, weights);
     let wsum: f64 = weights.iter().sum();
-    let var: f64 = values
-        .iter()
-        .zip(weights)
-        .map(|(v, w)| (w * (v - mean)).powi(2))
-        .sum::<f64>()
+    let var: f64 = values.iter().zip(weights).map(|(v, w)| (w * (v - mean)).powi(2)).sum::<f64>()
         / (wsum * wsum);
     var.sqrt()
 }

@@ -72,10 +72,8 @@ pub fn to_rate_trace(timestamps: &[u64], bucket_ms: u64) -> Result<RateTrace, St
         counts[(t / bucket_ms) as usize] += 1;
     }
     let dur = bucket_ms as f64 / 1000.0;
-    let epochs: Vec<Epoch> = counts
-        .iter()
-        .map(|&c| Epoch { duration: dur, rate: c as f64 * MTU_BYTES / dur })
-        .collect();
+    let epochs: Vec<Epoch> =
+        counts.iter().map(|&c| Epoch { duration: dur, rate: c as f64 * MTU_BYTES / dur }).collect();
     if epochs.iter().all(|e| e.rate == 0.0) {
         return Err("trace carries no bytes".into());
     }

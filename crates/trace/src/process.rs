@@ -176,13 +176,7 @@ impl FccLikeProcess {
     /// `mean_rate` in bytes/s.
     pub fn new(mean_rate: f64) -> Self {
         assert!(mean_rate > 0.0);
-        FccLikeProcess {
-            mean_rate,
-            sigma: 0.15,
-            rho: 0.9,
-            log_state: 0.0,
-            cap: 12.0 * MBPS,
-        }
+        FccLikeProcess { mean_rate, sigma: 0.15, rho: 0.9, log_state: 0.0, cap: 12.0 * MBPS }
     }
 
     pub fn mean_rate(&self) -> f64 {
@@ -229,11 +223,7 @@ impl Cs2pLikeProcess {
     /// The configuration used for Fig. 2a: four levels between 2.4 and
     /// 3.0 Mbit/s, 6-second epochs, sticky states.
     pub fn fig2_default() -> Self {
-        Cs2pLikeProcess::new(
-            vec![2.45 * MBPS, 2.6 * MBPS, 2.75 * MBPS, 2.95 * MBPS],
-            0.04,
-            6.0,
-        )
+        Cs2pLikeProcess::new(vec![2.45 * MBPS, 2.6 * MBPS, 2.75 * MBPS, 2.95 * MBPS], 0.04, 6.0)
     }
 
     pub fn levels(&self) -> &[f64] {
@@ -320,8 +310,11 @@ mod tests {
             v.sqrt() / m
         };
         let mut r = rng(5);
-        let fcc: Vec<f64> =
-            FccLikeProcess::new(4.0 * MBPS).sample_trace(3600.0, &mut r).epochs().map(|e| e.1).collect();
+        let fcc: Vec<f64> = FccLikeProcess::new(4.0 * MBPS)
+            .sample_trace(3600.0, &mut r)
+            .epochs()
+            .map(|e| e.1)
+            .collect();
         let puf: Vec<f64> = PufferLikeProcess::new(4.0 * MBPS, 0.5)
             .sample_trace(3600.0, &mut r)
             .epochs()
@@ -355,9 +348,7 @@ mod tests {
             let (i, _) = levels
                 .iter()
                 .enumerate()
-                .min_by(|a, b| {
-                    (a.1 - rate).abs().partial_cmp(&(b.1 - rate).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.1 - rate).abs().partial_cmp(&(b.1 - rate).abs()).unwrap())
                 .unwrap();
             visited.insert(i);
         }

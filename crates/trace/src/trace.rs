@@ -175,11 +175,8 @@ impl RateTrace {
         // Walk epochs within a single loop (at most once around).
         let mut i = self.epoch_index(t.min(self.total_duration - f64::EPSILON));
         loop {
-            let epoch_end = if i + 1 < self.starts.len() {
-                self.starts[i + 1]
-            } else {
-                self.total_duration
-            };
+            let epoch_end =
+                if i + 1 < self.starts.len() { self.starts[i + 1] } else { self.total_duration };
             let capacity = self.rates[i] * (epoch_end - t);
             if capacity >= remaining {
                 let dt = if self.rates[i] > 0.0 { remaining / self.rates[i] } else { 0.0 };

@@ -27,10 +27,7 @@ fn main() {
         "running a paired trial: {} sessions/day x {} days x 3 arms ...\n",
         cfg.sessions_per_day, cfg.days
     );
-    let result = run_rct(
-        vec![SchemeSpec::Bba, SchemeSpec::MpcHm, SchemeSpec::RobustMpcHm],
-        &cfg,
-    );
+    let result = run_rct(vec![SchemeSpec::Bba, SchemeSpec::MpcHm, SchemeSpec::RobustMpcHm], &cfg);
 
     println!(
         "{:<14} {:>10} {:>24} {:>12} {:>12}",

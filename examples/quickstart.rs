@@ -35,10 +35,12 @@ fn main() {
     //    distributions are just vague); train one with the
     //    `train_fugu_in_situ` example or the bench pipeline for real use.
     let mut fugu = Fugu::new(Ttp::new(TtpConfig::default(), 42));
-    println!("scheme: {} ({} networks, {} features each)",
+    println!(
+        "scheme: {} ({} networks, {} features each)",
         fugu.name(),
         fugu.ttp().horizon(),
-        fugu.ttp().config().n_features());
+        fugu.ttp().config().n_features()
+    );
 
     // 4. Stream five minutes of live TV to a well-behaved viewer.
     let mut source = VideoSource::puffer_default();

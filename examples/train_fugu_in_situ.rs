@@ -12,7 +12,7 @@
 
 use puffer_repro::abr::predictor::{HarmonicMean, ThroughputPredictor};
 use puffer_repro::abr::ChunkRecord;
-use puffer_repro::fugu::{bins, train, Dataset, TrainConfig, Ttp, TtpConfig};
+use puffer_repro::fugu::{bins, train, TrainConfig, Ttp, TtpConfig};
 use puffer_repro::platform::experiment::collect_training_data;
 use puffer_repro::platform::{ExperimentConfig, SchemeSpec};
 use rand::SeedableRng;
@@ -57,7 +57,8 @@ fn main() {
     //    harmonic-mean estimate (size / HM throughput), per §4.6's
     //    "Transmission-time prediction" ablation.
     println!("evaluating on held-out streams ...");
-    let eval_cfg = ExperimentConfig { seed: 99, sessions_per_day: 30, days: 1, retrain: None, ..data_cfg };
+    let eval_cfg =
+        ExperimentConfig { seed: 99, sessions_per_day: 30, days: 1, retrain: None, ..data_cfg };
     let eval_data = collect_training_data(&SchemeSpec::Bba, &eval_cfg);
 
     let mut n = 0usize;
@@ -83,11 +84,8 @@ fn main() {
             let truth_time = bins::bin_midpoint(truth_bin);
 
             let probs = ttp.predict_probs(0, feat);
-            let expected: f64 = probs
-                .iter()
-                .enumerate()
-                .map(|(b, &p)| f64::from(p) * bins::bin_midpoint(b))
-                .sum();
+            let expected: f64 =
+                probs.iter().enumerate().map(|(b, &p)| f64::from(p) * bins::bin_midpoint(b)).sum();
             ttp_abs_err += (expected - truth_time).abs();
             if bins::bin_index(expected) == truth_bin {
                 ttp_bin_hits += 1;

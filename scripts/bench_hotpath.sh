@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_hotpath.json, the hot-path perf snapshot compared by
+# perf-sensitive PRs (see README "Performance snapshot").
+#
+# Usage:
+#   scripts/bench_hotpath.sh [baseline.json]
+#
+# Runs the Criterion microbenches with the BENCH_JSON shim enabled, then
+# merges the fresh medians with a baseline (default: the "current_ns"
+# column of the existing BENCH_hotpath.json, so repeated runs compare
+# against the last committed snapshot).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fresh=$(mktemp)
+trap 'rm -f "$fresh"' EXIT
+
+BENCH_JSON="$fresh" cargo bench -p puffer-bench \
+  --bench controller --bench ttp_inference --bench stream_sim
+
+python3 - "$fresh" "${1:-}" <<'EOF'
+import json, sys
+
+fresh_path, baseline_path = sys.argv[1], sys.argv[2] or None
+fresh = {}
+with open(fresh_path) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            row = json.loads(line)
+            fresh[row["name"]] = row["median_ns"]
+
+baseline = {}
+if baseline_path:
+    with open(baseline_path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                row = json.loads(line)
+                baseline[row["name"]] = row["median_ns"]
+else:
+    try:
+        with open("BENCH_hotpath.json") as f:
+            prev = json.load(f)
+        baseline = {k: v["current_ns"] for k, v in prev["benches"].items()}
+    except FileNotFoundError:
+        pass
+
+out = {
+    "generated_by": "scripts/bench_hotpath.sh",
+    "units": "nanoseconds, median per iteration",
+    "benches": {},
+}
+for name in sorted(fresh):
+    entry = {"current_ns": fresh[name]}
+    if name in baseline:
+        entry["baseline_ns"] = baseline[name]
+        entry["speedup"] = round(baseline[name] / fresh[name], 3)
+    out["benches"][name] = entry
+
+with open("BENCH_hotpath.json", "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_hotpath.json")
+EOF

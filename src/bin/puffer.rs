@@ -154,10 +154,7 @@ fn cmd_collect(flags: HashMap<String, String>) -> ExitCode {
         retrain: None,
         ..ExperimentConfig::default()
     };
-    eprintln!(
-        "collecting {} sessions/day x {} days under BBA ...",
-        cfg.sessions_per_day, cfg.days
-    );
+    eprintln!("collecting {} sessions/day x {} days under BBA ...", cfg.sessions_per_day, cfg.days);
     let data = collect_training_data(&SchemeSpec::Bba, &cfg);
     if let Err(e) = std::fs::write(out_path, data.save_to_string()) {
         eprintln!("write failed: {e}");
@@ -200,10 +197,7 @@ fn cmd_train_ttp(flags: HashMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "training {variant:?} on {} observations ...",
-        data.n_observations()
-    );
+    eprintln!("training {variant:?} on {} observations ...", data.n_observations());
     let ttp = train_ttp_on(variant, &data, &TrainConfig::default(), get(&flags, "seed", 1));
     if let Err(e) = checkpoint::save_to_file(&ttp, std::path::Path::new(out_path)) {
         eprintln!("write failed: {e}");
@@ -215,12 +209,7 @@ fn cmd_train_ttp(flags: HashMap<String, String>) -> ExitCode {
 
 fn cmd_run_rct(flags: HashMap<String, String>) -> ExitCode {
     let mut schemes: Vec<SchemeSpec> = Vec::new();
-    for name in flags
-        .get("schemes")
-        .map(String::as_str)
-        .unwrap_or("bba,mpc,robustmpc")
-        .split(',')
-    {
+    for name in flags.get("schemes").map(String::as_str).unwrap_or("bba,mpc,robustmpc").split(',') {
         match scheme_by_name(name.trim()) {
             Some(s) => schemes.push(s),
             None => {
@@ -230,9 +219,10 @@ fn cmd_run_rct(flags: HashMap<String, String>) -> ExitCode {
         }
     }
     if let Some(ckpt) = flags.get("fugu") {
-        match std::fs::read_to_string(ckpt).map_err(|e| e.to_string()).and_then(|t| {
-            checkpoint::load_from_str(&t).map_err(|e| e.to_string())
-        }) {
+        match std::fs::read_to_string(ckpt)
+            .map_err(|e| e.to_string())
+            .and_then(|t| checkpoint::load_from_str(&t).map_err(|e| e.to_string()))
+        {
             Ok(ttp) => schemes.push(SchemeSpec::fugu(ttp)),
             Err(e) => {
                 eprintln!("cannot load TTP checkpoint {ckpt}: {e}");

@@ -38,7 +38,10 @@ fn decision_contexts() -> (Vec<puffer_repro::media::ChunkMenu>, Vec<ChunkRecord>
     let mut src = VideoSource::puffer_default();
     let menus: Vec<_> = (0..5).map(|_| src.next_chunk(&mut rng)).collect();
     let history: Vec<ChunkRecord> = (0..8)
-        .map(|i| ChunkRecord { size: 3e5 + 5e4 * i as f64, transmission_time: 0.4 + 0.05 * i as f64 })
+        .map(|i| ChunkRecord {
+            size: 3e5 + 5e4 * i as f64,
+            transmission_time: 0.4 + 0.05 * i as f64,
+        })
         .collect();
     let info = TcpInfo { cwnd: 22.0, in_flight: 3.0, min_rtt: 0.05, rtt: 0.06, delivery_rate: 7e5 };
     (menus, history, info)

@@ -45,6 +45,33 @@ fn thread_count_does_not_change_results() {
 }
 
 #[test]
+fn retraining_is_deterministic_across_thread_counts() {
+    // The nightly in-situ retraining loop (§4.3) consumes telemetry gathered
+    // by the parallel session runner; its model — and therefore every
+    // decision the next day — must be bit-identical no matter how the
+    // sessions were scheduled across threads.
+    use puffer_repro::fugu::{TrainConfig, Ttp, TtpConfig};
+    let schemes = || vec![SchemeSpec::Bba, SchemeSpec::fugu(Ttp::new(TtpConfig::default(), 42))];
+    let mk = |threads| ExperimentConfig {
+        seed: 9,
+        sessions_per_day: 6,
+        days: 2,
+        threads,
+        retrain: Some(TrainConfig {
+            epochs: 1,
+            max_samples_per_step: 400,
+            ..TrainConfig::default()
+        }),
+        ..ExperimentConfig::default()
+    };
+    let t1 = run_rct(schemes(), &mk(1));
+    let t2 = run_rct(schemes(), &mk(2));
+    let t8 = run_rct(schemes(), &mk(8));
+    assert_eq!(fingerprint(&t1), fingerprint(&t2), "1 vs 2 threads");
+    assert_eq!(fingerprint(&t1), fingerprint(&t8), "1 vs 8 threads");
+}
+
+#[test]
 fn different_seeds_differ() {
     let schemes = || vec![SchemeSpec::Bba];
     let a = run_rct(schemes(), &cfg(7, 2));

@@ -34,16 +34,16 @@ fn full_pipeline_bootstrap_train_deploy() {
 
     // 3. Deploy Fugu against two baselines in an RCT.
     let result = run_rct(
-        vec![SchemeSpec::fugu_frozen(ttp, TtpVariant::Full, "Fugu"), SchemeSpec::Bba, SchemeSpec::MpcHm],
+        vec![
+            SchemeSpec::fugu_frozen(ttp, TtpVariant::Full, "Fugu"),
+            SchemeSpec::Bba,
+            SchemeSpec::MpcHm,
+        ],
         &tiny_cfg(101),
     );
     assert_eq!(result.arms.len(), 3);
     for arm in &result.arms {
-        assert!(
-            arm.consort.considered > 0,
-            "arm {} produced no considered streams",
-            arm.name
-        );
+        assert!(arm.consort.considered > 0, "arm {} produced no considered streams", arm.name);
         let agg = SchemeSummary::from_streams(&arm.streams);
         // Sanity on every summary statistic.
         assert!(agg.stall_ratio >= 0.0 && agg.stall_ratio < 0.5);

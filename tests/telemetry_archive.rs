@@ -6,10 +6,11 @@ use puffer_repro::net::CongestionControl;
 use puffer_repro::platform::{run_session, DailyArchive, SchemeSpec, StreamConfig, UserModel};
 use puffer_repro::trace::TraceBank;
 
-fn simulate_archive(seed: u64, sessions: usize) -> DailyArchive {
+fn simulate_archive(seed: u64, sessions: usize) -> (DailyArchive, usize) {
     let bank = TraceBank::puffer();
     let user = UserModel::default();
     let mut archive = DailyArchive::new();
+    let mut streams = 0;
     for i in 0..sessions {
         let mut abr: Box<dyn Abr> = SchemeSpec::Bba.instantiate();
         let out = run_session(
@@ -23,17 +24,21 @@ fn simulate_archive(seed: u64, sessions: usize) -> DailyArchive {
         );
         for s in &out.streams {
             archive.add_stream(&s.telemetry);
+            streams += 1;
         }
     }
-    archive
+    (archive, streams)
 }
 
 #[test]
 fn archive_counts_are_consistent() {
-    let archive = simulate_archive(41, 8);
+    let (archive, streams) = simulate_archive(41, 8);
     let (sent, acked, buffer) = archive.counts();
     assert!(sent > 50, "eight sessions should send chunks, got {sent}");
-    assert_eq!(sent, acked, "every sent chunk is acked exactly once");
+    // Each stream can leave at most one chunk in flight (sent, never acked)
+    // when the user departs.
+    assert!(acked <= sent, "acks cannot exceed sends");
+    assert!(sent - acked <= streams, "at most one unacked tail per stream");
     // Buffer events only exist for chunks that arrived before the user left,
     // so there are at most as many as acks.
     assert!(buffer <= acked);
@@ -42,7 +47,7 @@ fn archive_counts_are_consistent() {
 
 #[test]
 fn archive_csvs_parse_back() {
-    let archive = simulate_archive(42, 5);
+    let (archive, _) = simulate_archive(42, 5);
     let dir = std::env::temp_dir().join(format!("puffer_archive_it_{}", std::process::id()));
     let paths = archive.write(&dir, 3).unwrap();
     assert_eq!(paths.len(), 3);
@@ -50,34 +55,40 @@ fn archive_csvs_parse_back() {
     // Parse video_sent back and sanity-check every row.
     let sent_csv = std::fs::read_to_string(&paths[0]).unwrap();
     let mut rows = 0;
+    let mut sent_by_chunk = std::collections::HashMap::new();
     for line in sent_csv.lines().skip(1) {
         let fields: Vec<&str> = line.split(',').collect();
-        assert_eq!(fields.len(), 10, "schema: {line}");
-        let size: f64 = fields[3].parse().unwrap();
-        let ssim: f64 = fields[4].parse().unwrap();
-        let min_rtt: f64 = fields[7].parse().unwrap();
-        let rtt: f64 = fields[8].parse().unwrap();
+        assert_eq!(fields.len(), 11, "schema: {line}");
+        let time: f64 = fields[0].parse().unwrap();
+        let size: f64 = fields[4].parse().unwrap();
+        let ssim: f64 = fields[5].parse().unwrap();
+        let min_rtt: f64 = fields[8].parse().unwrap();
+        let rtt: f64 = fields[9].parse().unwrap();
         assert!(size > 0.0);
         assert!((0.0..1.0).contains(&ssim), "ssim index in range: {ssim}");
         assert!(rtt >= min_rtt * 0.99, "srtt >= min_rtt");
+        // (stream_id, video_ts) identifies the chunk for the acked join.
+        sent_by_chunk.insert((fields[1].to_string(), fields[3].to_string()), time);
         rows += 1;
     }
     assert_eq!(rows, archive.counts().0);
 
-    // video_acked timestamps never precede the matching video_sent times
-    // in aggregate (join by position within the dump).
+    // Every video_acked row joins a video_sent row on chunk identity, and
+    // the ack never precedes the send.
     let acked_csv = std::fs::read_to_string(&paths[1]).unwrap();
-    let sent_times: Vec<f64> = sent_csv
-        .lines()
-        .skip(1)
-        .map(|l| l.split(',').next().unwrap().parse().unwrap())
-        .collect();
-    let acked_times: Vec<f64> = acked_csv
-        .lines()
-        .skip(1)
-        .map(|l| l.split(',').next().unwrap().parse().unwrap())
-        .collect();
-    assert_eq!(sent_times.len(), acked_times.len());
+    let mut acked_rows = 0;
+    for line in acked_csv.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 5, "schema: {line}");
+        let time: f64 = fields[0].parse().unwrap();
+        let sent_time = sent_by_chunk
+            .get(&(fields[1].to_string(), fields[3].to_string()))
+            .unwrap_or_else(|| panic!("ack without a matching send: {line}"));
+        assert!(time > *sent_time, "ack at {time} precedes send at {sent_time}");
+        acked_rows += 1;
+    }
+    assert!(acked_rows <= rows);
+    assert_eq!(acked_rows, archive.counts().1);
 
     for p in paths {
         std::fs::remove_file(p).ok();
@@ -87,7 +98,7 @@ fn archive_csvs_parse_back() {
 
 #[test]
 fn archive_is_deterministic() {
-    let a = simulate_archive(77, 4);
-    let b = simulate_archive(77, 4);
+    let (a, _) = simulate_archive(77, 4);
+    let (b, _) = simulate_archive(77, 4);
     assert_eq!(a.counts(), b.counts());
 }
