@@ -40,5 +40,5 @@ pub use bins::{bin_index, bin_midpoint, N_BINS};
 pub use controller::{ControllerConfig, PlanScratch, StochasticMpc};
 pub use dataset::{ChunkObservation, Dataset};
 pub use fugu::Fugu;
-pub use training::{train, TrainConfig, TrainReport};
+pub use training::{train, train_reference, TrainConfig, TrainReport, TrainScratch};
 pub use ttp::{Ttp, TtpConfig, TtpScratch};

@@ -11,12 +11,31 @@
 //! [`train`] performs one (re)training pass; warm starting falls out of
 //! mutating the caller's existing [`Ttp`] in place.  [`evaluate`] computes
 //! the prediction-accuracy metrics the ablation study reports (Fig. 7).
+//!
+//! ## Determinism and parallelism
+//!
+//! The nightly retrain is part of the experiment's reproducible surface: a
+//! replayed experiment must produce bit-identical models.  [`train`] therefore
+//! derives one independent RNG stream per lookahead step — `horizon` seeds
+//! drawn from the caller's RNG in fixed step order — and each step-net trains
+//! entirely from its own stream.  Since the five step-nets share no mutable
+//! state, they can train on separate threads ([`TrainConfig::threads`]) with
+//! results reduced in fixed step order, and the retrained model is
+//! bit-identical to the sequential run at any thread count.
+//!
+//! The per-minibatch path is allocation-free in steady state: each worker owns
+//! a [`TrainScratch`] whose buffers (scaled-feature matrix, minibatch gather
+//! buffers, per-layer activations, logit gradients, backprop ping/pong) are
+//! resized in place and reused across batches, epochs, and steps.
+//! [`train_reference`], the naive allocating sequential trainer, is kept as
+//! the pinned equivalence oracle for both properties.
 
 use crate::dataset::{Dataset, Sample};
 use crate::ttp::Ttp;
-use puffer_nn::{loss, optim::Sgd, Matrix, Scaler};
+use puffer_nn::{loss, optim::Sgd, BackwardScratch, Matrix, Scaler, TrainCache};
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// Hyper-parameters of one retraining pass.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +57,9 @@ pub struct TrainConfig {
     pub refit_scaler: bool,
     /// Cap on samples per step (subsampled uniformly) to bound retrain cost.
     pub max_samples_per_step: usize,
+    /// Worker threads for the per-step fan-out (0 = all available cores).
+    /// The trained model is bit-identical at any value.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -51,7 +73,39 @@ impl Default for TrainConfig {
             recency_half_life: 4.0,
             refit_scaler: true,
             max_samples_per_step: 200_000,
+            threads: 0,
         }
+    }
+}
+
+/// Per-worker reusable buffers for the minibatch training loop.
+///
+/// One scratch serves any number of step-nets sequentially: every buffer is
+/// resized in place, so after the first batch of steady-state shape the
+/// entire `gather → forward → loss → backward → step` cycle performs no heap
+/// allocations.  Parallel training gives each worker thread its own scratch.
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    /// Standardized features of the current step's full sample set
+    /// (`n_samples × n_features`).
+    scaled: Matrix,
+    /// Sample visit order, reshuffled every epoch (§4.3).
+    order: Vec<usize>,
+    /// Minibatch gather buffer: target bins.
+    targets: Vec<usize>,
+    /// Minibatch gather buffer: recency weights.
+    weights: Vec<f32>,
+    /// Per-layer activations of the forward pass (input gathered in place).
+    cache: TrainCache,
+    /// Gradient of the loss w.r.t. the logits.
+    dlogits: Matrix,
+    /// Backprop ping/pong gradient buffers.
+    backward: BackwardScratch,
+}
+
+impl TrainScratch {
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -74,9 +128,93 @@ impl TrainReport {
     }
 }
 
+/// One seed per lookahead step, drawn from the caller's RNG in fixed step
+/// order.  Both [`train`] and [`train_reference`] consume the caller's RNG
+/// identically (exactly `horizon` draws), so the two entry points — and any
+/// thread count — stay interchangeable mid-experiment.
+fn per_step_seeds<R: Rng + ?Sized>(horizon: usize, rng: &mut R) -> Vec<u64> {
+    (0..horizon).map(|_| rng.random::<u64>()).collect()
+}
+
+/// Resolve [`TrainConfig::threads`]: 0 means all available cores, and more
+/// workers than step-nets is pointless.
+fn effective_threads(requested: usize, horizon: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    };
+    t.clamp(1, horizon.max(1))
+}
+
+/// Train one step-net on its sample set using `scratch`'s reusable buffers;
+/// returns the final-epoch mean cross-entropy.  Allocation-free once the
+/// scratch has grown to steady-state shape.
+fn train_one_net(
+    net: &mut puffer_nn::Mlp,
+    scaler: &Scaler,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+    scratch: &mut TrainScratch,
+) -> f32 {
+    let f = net.input_dim();
+    let n = samples.len();
+    // Pre-scale features once per step.
+    scratch.scaled.resize(n, f);
+    for (i, s) in samples.iter().enumerate() {
+        scaler.transform_into(&s.features, scratch.scaled.row_mut(i));
+    }
+    scratch.order.clear();
+    scratch.order.extend(0..n);
+    let mut opt = Sgd::new(cfg.lr, cfg.momentum);
+    let mut last_epoch_ce = 0.0f64;
+    for epoch in 0..cfg.epochs {
+        // "we shuffle the sampled data to remove correlation in the
+        // sequence of inputs" (§4.3).
+        scratch.order.shuffle(rng);
+        let mut epoch_ce = 0.0f64;
+        let mut batches = 0usize;
+        for batch in scratch.order.chunks(cfg.batch_size) {
+            let x = scratch.cache.input_mut(batch.len(), f);
+            for (r, &i) in batch.iter().enumerate() {
+                x.row_mut(r).copy_from_slice(scratch.scaled.row(i));
+            }
+            scratch.targets.clear();
+            scratch.targets.extend(batch.iter().map(|&i| samples[i].target));
+            scratch.weights.clear();
+            scratch.weights.extend(batch.iter().map(|&i| samples[i].weight));
+            net.forward_train(&mut scratch.cache);
+            let ce = loss::softmax_cross_entropy_into(
+                scratch.cache.logits(),
+                &scratch.targets,
+                Some(&scratch.weights),
+                &mut scratch.dlogits,
+            );
+            net.zero_grad();
+            net.backward_into(&scratch.cache, &scratch.dlogits, &mut scratch.backward);
+            net.clip_grad_norm(5.0);
+            net.step(&mut opt);
+            epoch_ce += f64::from(ce);
+            batches += 1;
+        }
+        if epoch == cfg.epochs - 1 {
+            last_epoch_ce = epoch_ce / batches.max(1) as f64;
+        }
+    }
+    last_epoch_ce as f32
+}
+
 /// Retrain `ttp` in place on the dataset window ending at `current_day`.
 ///
 /// Returns `None` when the window holds no samples (nothing to train on).
+///
+/// The per-step nets are independent, so both phases — sample building and
+/// SGD — fan out over [`TrainConfig::threads`] scoped worker threads, each
+/// step driven by its own RNG stream and each worker owning one
+/// [`TrainScratch`].  Steps are partitioned into contiguous chunks and
+/// results reduced in fixed step order, making the retrained model
+/// bit-identical to [`train_reference`] at any thread count.
 pub fn train<R: Rng + ?Sized>(
     ttp: &mut Ttp,
     data: &Dataset,
@@ -84,13 +222,113 @@ pub fn train<R: Rng + ?Sized>(
     cfg: &TrainConfig,
     rng: &mut R,
 ) -> Option<TrainReport> {
+    let horizon = ttp.horizon();
+    let seeds = per_step_seeds(horizon, rng);
+    let threads = effective_threads(cfg.threads, horizon);
+    let chunk = horizon.div_ceil(threads);
+
+    // Phase 1: materialize per-step samples, subsampled from each step's own
+    // RNG stream; the stream carries over into that step's SGD shuffles.
+    let ttp_ref: &Ttp = ttp;
+    let build_step = |step: usize| -> (Vec<Sample>, StdRng) {
+        let mut srng = StdRng::seed_from_u64(seeds[step]);
+        let mut s =
+            data.build_samples(ttp_ref, step, current_day, cfg.window_days, cfg.recency_half_life);
+        if s.len() > cfg.max_samples_per_step {
+            s.shuffle(&mut srng);
+            s.truncate(cfg.max_samples_per_step);
+        }
+        (s, srng)
+    };
+    let mut per_step: Vec<(Vec<Sample>, StdRng)> = if threads <= 1 {
+        (0..horizon).map(build_step).collect()
+    } else {
+        let build_step = &build_step;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..horizon)
+                .collect::<Vec<_>>()
+                .chunks(chunk)
+                .map(|steps| {
+                    let steps = steps.to_vec();
+                    scope.spawn(move || steps.into_iter().map(build_step).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("sample builder panicked")).collect()
+        })
+    };
+    if per_step[0].0.is_empty() {
+        return None;
+    }
+
+    if cfg.refit_scaler {
+        // Fit on step-0 features (all steps share the feature layout).
+        ttp.set_scaler(Scaler::fit_from(per_step[0].0.iter().map(|s| s.features.as_slice())));
+    }
+
+    // Phase 2: train each step-net from its own stream; workers take
+    // contiguous chunks of steps and results are concatenated in step order.
+    let (nets, scaler) = ttp.nets_and_scaler_mut();
+    let run_step = |net: &mut puffer_nn::Mlp,
+                    state: &mut (Vec<Sample>, StdRng),
+                    scratch: &mut TrainScratch|
+     -> (usize, f32) {
+        let (samples, srng) = state;
+        if samples.is_empty() {
+            return (0, f32::NAN);
+        }
+        (samples.len(), train_one_net(net, scaler, samples, cfg, srng, scratch))
+    };
+    let results: Vec<(usize, f32)> = if threads <= 1 {
+        let mut scratch = TrainScratch::new();
+        nets.iter_mut()
+            .zip(per_step.iter_mut())
+            .map(|(net, state)| run_step(net, state, &mut scratch))
+            .collect()
+    } else {
+        let run_step = &run_step;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = nets
+                .chunks_mut(chunk)
+                .zip(per_step.chunks_mut(chunk))
+                .map(|(net_chunk, state_chunk)| {
+                    scope.spawn(move || {
+                        let mut scratch = TrainScratch::new();
+                        net_chunk
+                            .iter_mut()
+                            .zip(state_chunk.iter_mut())
+                            .map(|(net, state)| run_step(net, state, &mut scratch))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("step trainer panicked")).collect()
+        })
+    };
+    let (samples_per_step, final_ce_per_step) = results.into_iter().unzip();
+    Some(TrainReport { samples_per_step, final_ce_per_step })
+}
+
+/// The naive allocating sequential trainer, pinned as the equivalence
+/// reference for [`train`]: per-batch row clones, an allocating forward
+/// cache, and a freshly-allocated gradient set per step — exactly the
+/// pre-scratch implementation, with the same per-step RNG streams as
+/// [`train`] so the two produce bit-identical models.
+pub fn train_reference<R: Rng + ?Sized>(
+    ttp: &mut Ttp,
+    data: &Dataset,
+    current_day: u32,
+    cfg: &TrainConfig,
+    rng: &mut R,
+) -> Option<TrainReport> {
+    let seeds = per_step_seeds(ttp.horizon(), rng);
+    let mut step_rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
     // Materialize per-step samples.
     let mut per_step: Vec<Vec<Sample>> = (0..ttp.horizon())
         .map(|step| {
             let mut s =
                 data.build_samples(ttp, step, current_day, cfg.window_days, cfg.recency_half_life);
             if s.len() > cfg.max_samples_per_step {
-                s.shuffle(rng);
+                s.shuffle(&mut step_rngs[step]);
                 s.truncate(cfg.max_samples_per_step);
             }
             s
@@ -123,7 +361,7 @@ pub fn train<R: Rng + ?Sized>(
         for epoch in 0..cfg.epochs {
             // "we shuffle the sampled data to remove correlation in the
             // sequence of inputs" (§4.3).
-            order.shuffle(rng);
+            order.shuffle(&mut step_rngs[step]);
             let mut epoch_ce = 0.0f64;
             let mut batches = 0usize;
             for batch in order.chunks(cfg.batch_size) {
@@ -316,6 +554,103 @@ mod tests {
             dnn_eval.cross_entropy < lin_eval.cross_entropy,
             "dnn {dnn_eval:?} vs linear {lin_eval:?}"
         );
+    }
+
+    /// Exact model fingerprint: the checkpoint text round-trips every weight
+    /// and scaler statistic at full precision.
+    fn fingerprint(ttp: &Ttp) -> String {
+        crate::checkpoint::save_to_string(ttp)
+    }
+
+    #[test]
+    fn scratch_trainer_matches_reference_bitwise() {
+        let data = synthetic_dataset(1..=2, 8);
+        // Subsampling must engage so the per-step streams' shuffle order is
+        // exercised on both paths.
+        let cfg = TrainConfig {
+            epochs: 2,
+            max_samples_per_step: 150,
+            threads: 1,
+            ..TrainConfig::default()
+        };
+        let mut scratch_ttp = Ttp::new(TtpConfig::default(), 11);
+        let mut reference_ttp = Ttp::new(TtpConfig::default(), 12);
+        reference_ttp.copy_params_from(&scratch_ttp);
+        let a = train(&mut scratch_ttp, &data, 2, &cfg, &mut rng(13)).unwrap();
+        let b = train_reference(&mut reference_ttp, &data, 2, &cfg, &mut rng(13)).unwrap();
+        assert_eq!(a.samples_per_step, b.samples_per_step);
+        assert_eq!(a.final_ce_per_step, b.final_ce_per_step);
+        assert_eq!(fingerprint(&scratch_ttp), fingerprint(&reference_ttp));
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_across_thread_counts() {
+        let data = synthetic_dataset(1..=2, 8);
+        let base_cfg =
+            TrainConfig { epochs: 2, max_samples_per_step: 150, ..TrainConfig::default() };
+        let mut fingerprints = Vec::new();
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 5] {
+            let cfg = TrainConfig { threads, ..base_cfg };
+            let mut ttp = Ttp::new(TtpConfig::default(), 21);
+            let report = train(&mut ttp, &data, 2, &cfg, &mut rng(22)).unwrap();
+            fingerprints.push(fingerprint(&ttp));
+            reports.push(report);
+        }
+        for (i, fp) in fingerprints.iter().enumerate().skip(1) {
+            assert_eq!(fingerprints[0], *fp, "thread count diverged at index {i}");
+            assert_eq!(reports[0].final_ce_per_step, reports[i].final_ce_per_step);
+        }
+        // Every one of the five step-nets actually trained.
+        assert_eq!(reports[0].samples_per_step.len(), 5);
+        assert!(reports[0].samples_per_step.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_after_parallel_retrain() {
+        let data = synthetic_dataset(1..=2, 8);
+        let cfg = TrainConfig {
+            epochs: 1,
+            max_samples_per_step: 200,
+            threads: 5,
+            ..TrainConfig::default()
+        };
+        let mut ttp = Ttp::new(TtpConfig::default(), 31);
+        train(&mut ttp, &data, 2, &cfg, &mut rng(32)).unwrap();
+        let loaded = crate::checkpoint::load_from_str(&fingerprint(&ttp)).unwrap();
+        // Bit-identical predictions from the reloaded model, on every step.
+        let sample_features: Vec<f32> = data.build_samples(&ttp, 0, 2, 14, 4.0)[0].features.clone();
+        for step in 0..ttp.horizon() {
+            assert_eq!(
+                ttp.predict_probs(step, &sample_features),
+                loaded.predict_probs(step, &sample_features),
+                "step {step} predictions diverged after save/load"
+            );
+        }
+        assert_eq!(fingerprint(&ttp), fingerprint(&loaded));
+    }
+
+    #[test]
+    fn caller_rng_consumption_is_identical_on_empty_and_full_windows() {
+        // `train` must draw the same number of caller-RNG values no matter
+        // how many threads run or whether it early-returns, so downstream
+        // draws in an experiment replay stay aligned.
+        let full = synthetic_dataset(1..=2, 4);
+        let empty = Dataset::new();
+        let cfg = TrainConfig { epochs: 1, ..TrainConfig::default() };
+        let mut r1 = rng(41);
+        let mut r2 = rng(41);
+        let mut r3 = rng(41);
+        let mut ttp1 = Ttp::new(TtpConfig::default(), 42);
+        let mut ttp2 = Ttp::new(TtpConfig::default(), 42);
+        let mut ttp3 = Ttp::new(TtpConfig::default(), 42);
+        assert!(train(&mut ttp1, &full, 2, &cfg, &mut r1).is_some());
+        assert!(train(&mut ttp2, &empty, 2, &cfg, &mut r2).is_none());
+        assert!(train_reference(&mut ttp3, &empty, 2, &cfg, &mut r3).is_none());
+        // Draw each RNG exactly once: equal values mean equal consumption.
+        let (a, b, c) = (r1.random::<u64>(), r2.random::<u64>(), r3.random::<u64>());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
     }
 
     #[test]

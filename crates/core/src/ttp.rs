@@ -186,6 +186,13 @@ impl Ttp {
         &mut self.nets
     }
 
+    /// Split borrow for training: mutable step-nets alongside the shared
+    /// scaler, so the trainer can standardize features while updating weights
+    /// without cloning the scaler.
+    pub fn nets_and_scaler_mut(&mut self) -> (&mut [Mlp], &Scaler) {
+        (&mut self.nets, &self.scaler)
+    }
+
     pub fn nets(&self) -> &[Mlp] {
         &self.nets
     }

@@ -10,6 +10,9 @@
 //!   bins ([`loss::softmax_cross_entropy`]),
 //! * stochastic gradient descent with momentum and Adam ([`optim`]),
 //! * per-feature input standardization ([`Scaler`]),
+//! * allocation-free scratch paths for both inference ([`MlpScratch`]) and
+//!   training ([`TrainCache`] + [`BackwardScratch`], driven by
+//!   [`Mlp::forward_train`] / [`Mlp::backward_into`]),
 //! * plain-text checkpoints so models can be saved/loaded deterministically
 //!   without a serialization framework ([`serialize`]).
 //!
@@ -49,7 +52,7 @@ pub mod scaler;
 pub mod serialize;
 
 pub use matrix::Matrix;
-pub use mlp::{Activation, ForwardCache, Linear, Mlp, MlpScratch};
+pub use mlp::{Activation, BackwardScratch, ForwardCache, Linear, Mlp, MlpScratch, TrainCache};
 pub use scaler::Scaler;
 
 /// Draw a standard normal sample with the Box–Muller transform.

@@ -44,6 +44,21 @@ pub fn softmax_cross_entropy(
     targets: &[usize],
     weights: Option<&[f32]>,
 ) -> (f32, Matrix) {
+    let mut dlogits = Matrix::zeros(0, 0);
+    let loss = softmax_cross_entropy_into(logits, targets, weights, &mut dlogits);
+    (loss, dlogits)
+}
+
+/// [`softmax_cross_entropy`] writing the logit gradient into a caller-owned
+/// matrix (resized to fit), so the training hot loop performs no allocations
+/// in steady state.  Bit-identical to the allocating wrapper — it *is* the
+/// wrapper's implementation.
+pub fn softmax_cross_entropy_into(
+    logits: &Matrix,
+    targets: &[usize],
+    weights: Option<&[f32]>,
+    dlogits: &mut Matrix,
+) -> f32 {
     let n = logits.rows();
     assert_eq!(targets.len(), n, "one target per row");
     if let Some(w) = weights {
@@ -55,7 +70,9 @@ pub fn softmax_cross_entropy(
     };
     assert!(total_weight > 0.0, "weights must not sum to zero");
 
-    let mut dlogits = softmax_rows(logits);
+    dlogits.resize(n, logits.cols());
+    dlogits.data_mut().copy_from_slice(logits.data());
+    softmax_rows_inplace(dlogits);
     let mut loss = 0.0f64;
     for (r, &t) in targets.iter().enumerate() {
         assert!(t < logits.cols(), "target class out of range");
@@ -69,7 +86,7 @@ pub fn softmax_cross_entropy(
         }
         row[t] -= w / total_weight;
     }
-    ((loss / f64::from(total_weight)) as f32, dlogits)
+    (loss / f64::from(total_weight)) as f32
 }
 
 /// Mean-squared-error loss; returns `(loss, dpred)`.

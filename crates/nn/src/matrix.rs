@@ -2,7 +2,7 @@
 //!
 //! The TTP and Pensieve policy networks are at most a few hundred units wide,
 //! so a straightforward owned-`Vec` matrix with a loop-order-optimized matmul
-//! is plenty — no BLAS.  The one concession to the hardware is [`axpy`], the
+//! is plenty — no BLAS.  The one concession to the hardware is `axpy`, the
 //! shared `out += a · b` inner loop, which runs 8 lanes wide under AVX when
 //! the CPU has it; every element still sees exactly one multiply rounding
 //! and one add rounding in the same accumulation order as the scalar loop,
@@ -145,6 +145,14 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
+impl Default for Matrix {
+    /// An empty (0 × 0) matrix — the starting state of every reusable
+    /// scratch buffer before its first resize.
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Matrix {
     /// An all-zeros matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -263,26 +271,46 @@ impl Matrix {
 
     /// `selfᵀ * other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "row counts must agree");
         let mut out = Matrix::zeros(self.cols, other.cols);
+        self.t_matmul_acc(other, &mut out);
+        out
+    }
+
+    /// `out += selfᵀ * other`, accumulating into a caller-owned matrix of
+    /// matching shape — the weight-gradient kernel of `Mlp::backward_into`
+    /// (`gw += xᵀ·dy` with `gw` pre-zeroed by `zero_grad`), so steady-state
+    /// training allocates nothing here.  The per-element accumulation order
+    /// is identical to [`Matrix::t_matmul`], so accumulating into a zeroed
+    /// `out` produces the same values.
+    pub fn t_matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "row counts must agree");
+        assert_eq!((out.rows, out.cols), (self.cols, other.cols), "output shape mismatch");
         let wide = have_avx();
         for r in 0..self.rows {
-            let a_row = self.row(r);
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
             let b_row = other.row(r);
             for (i, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
-                axpy_with(wide, a, b_row, out.row_mut(i));
+                axpy_with(wide, a, b_row, &mut out.data[i * other.cols..(i + 1) * other.cols]);
             }
         }
-        out
     }
 
     /// `self * otherᵀ` without materializing the transpose.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_t`] writing into a caller-owned matrix (resized to
+    /// fit) — the backpropagated-gradient kernel (`dx = dy·Wᵀ`) of the
+    /// allocation-free training backward pass.
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "column counts must agree");
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.resize(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
@@ -295,7 +323,6 @@ impl Matrix {
                 *o = acc;
             }
         }
-        out
     }
 
     /// Explicit transpose (used rarely; prefer the fused variants above).
@@ -329,12 +356,20 @@ impl Matrix {
     /// Sum each column into a vector (used for bias gradients).
     pub fn col_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.cols];
+        self.col_sums_acc(&mut out);
+        out
+    }
+
+    /// Accumulate each column's sum into a caller-owned slice (`out[c] +=
+    /// Σ_r self[r][c]`) — the bias-gradient kernel of `Mlp::backward_into`
+    /// (`gb += col_sums(dy)` with `gb` pre-zeroed by `zero_grad`).
+    pub fn col_sums_acc(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "output length must match columns");
         for r in 0..self.rows {
             for (o, &x) in out.iter_mut().zip(self.row(r)) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Frobenius norm, useful for gradient-clipping and tests.
@@ -445,6 +480,43 @@ mod tests {
             }
             assert_eq!(fast.data(), reference.data(), "shape {m}x{k}x{n}");
         }
+    }
+
+    #[test]
+    fn t_matmul_acc_from_zero_matches_t_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0, 0.0], vec![0.5, 3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![2.0, 1.0], vec![-1.0, 0.25]]);
+        let reference = a.t_matmul(&b);
+        let mut acc = Matrix::zeros(3, 2);
+        a.t_matmul_acc(&b, &mut acc);
+        assert_eq!(reference.data(), acc.data());
+        // A second accumulation doubles every element.
+        a.t_matmul_acc(&b, &mut acc);
+        for (x, r) in acc.data().iter().zip(reference.data()) {
+            assert_eq!(*x, 2.0 * r);
+        }
+    }
+
+    #[test]
+    fn matmul_t_into_matches_matmul_t_across_reuses() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0, 0.5], vec![0.0, 3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![2.0, 1.0, -0.5], vec![1.5, 0.0, 3.0]]);
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_t_into(&b, &mut out);
+        assert_eq!(out, a.matmul_t(&b));
+        // Reuse with a different shape: stale contents must not leak.
+        let c = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        c.matmul_t_into(&b, &mut out);
+        assert_eq!(out, c.matmul_t(&b));
+        assert_eq!((out.rows(), out.cols()), (1, 2));
+    }
+
+    #[test]
+    fn col_sums_acc_accumulates() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, -4.0]]);
+        let mut out = vec![10.0f32, 20.0];
+        m.col_sums_acc(&mut out);
+        assert_eq!(out, vec![14.0, 18.0]);
     }
 
     #[test]

@@ -127,6 +127,15 @@ impl Linear {
         dy.matmul_t(&self.w)
     }
 
+    /// The gradient-accumulation half of [`Linear::backward`], writing into
+    /// the layer's own `gw`/`gb` with no intermediate allocations.  With
+    /// gradients pre-zeroed (the universal `zero_grad` → backward → `step`
+    /// cycle), the accumulated values equal [`Linear::backward`]'s.
+    pub fn accumulate_grads(&mut self, x: &Matrix, dy: &Matrix) {
+        x.t_matmul_acc(dy, &mut self.gw);
+        dy.col_sums_acc(&mut self.gb);
+    }
+
     pub fn zero_grad(&mut self) {
         self.gw.data_mut().fill(0.0);
         self.gb.fill(0.0);
@@ -147,6 +156,64 @@ impl ForwardCache {
     /// Raw network output (pre-softmax logits / regression output).
     pub fn logits(&self) -> &Matrix {
         self.acts.last().expect("cache always holds input + output")
+    }
+}
+
+/// Caller-owned per-layer activation storage for training forward passes —
+/// the allocation-free counterpart of [`ForwardCache`].
+///
+/// Unlike inference (which only needs the final output and can ping/pong two
+/// buffers), backprop needs every layer's activation, so the cache keeps one
+/// matrix per layer plus the input batch.  All matrices are resized in place;
+/// once they have grown to the steady-state minibatch shape, a training step
+/// performs no heap allocations.
+///
+/// Usage: fill the batch via [`TrainCache::input_mut`], run
+/// [`Mlp::forward_train`], read [`TrainCache::logits`], then hand the cache
+/// to [`Mlp::backward_into`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainCache {
+    /// `acts[0]` is the input batch; `acts[i]` for `0 < i < L` are
+    /// post-activation hidden outputs; `acts[L]` is the raw logits — the same
+    /// layout as [`ForwardCache`].
+    acts: Vec<Matrix>,
+}
+
+impl TrainCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resize the input activation buffer for a `rows × cols` batch and
+    /// return it for the caller to fill (contents are unspecified; overwrite
+    /// every element).
+    pub fn input_mut(&mut self, rows: usize, cols: usize) -> &mut Matrix {
+        if self.acts.is_empty() {
+            self.acts.push(Matrix::zeros(0, 0));
+        }
+        self.acts[0].resize(rows, cols);
+        &mut self.acts[0]
+    }
+
+    /// Raw network output (pre-softmax logits) of the last
+    /// [`Mlp::forward_train`] pass.
+    pub fn logits(&self) -> &Matrix {
+        self.acts.last().expect("forward_train fills the cache before logits are read")
+    }
+}
+
+/// Caller-owned gradient ping/pong buffers for [`Mlp::backward_into`].
+#[derive(Debug, Clone, Default)]
+pub struct BackwardScratch {
+    /// Gradient w.r.t. the current layer's output.
+    grad: Matrix,
+    /// Scratch for the gradient w.r.t. the layer below's output.
+    tmp: Matrix,
+}
+
+impl BackwardScratch {
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -302,6 +369,64 @@ impl Mlp {
             scratch.ping.map_inplace(|v| self.activation.apply(v));
         }
         self.forward_tail(scratch)
+    }
+
+    /// Forward pass over the batch already loaded into `cache`'s input
+    /// buffer (see [`TrainCache::input_mut`]), retaining every layer's
+    /// activation for [`Mlp::backward_into`].
+    ///
+    /// Bit-identical to [`Mlp::forward_cache`] on the same batch — same
+    /// matmul kernel, bias add, and activation, in the same order — but all
+    /// intermediate storage is caller-owned, so steady-state training
+    /// minibatches allocate nothing.
+    pub fn forward_train(&self, cache: &mut TrainCache) {
+        assert!(!cache.acts.is_empty(), "fill the input via TrainCache::input_mut first");
+        assert_eq!(cache.acts[0].cols(), self.input_dim(), "batch width must match input dim");
+        cache.acts.resize_with(self.layers.len() + 1, Matrix::default);
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (lo, hi) = cache.acts.split_at_mut(i + 1);
+            layer.forward_into(&lo[i], &mut hi[0]);
+            if i != last {
+                hi[0].map_inplace(|v| self.activation.apply(v));
+            }
+        }
+    }
+
+    /// Backpropagate `dlogits` through the activations retained by
+    /// [`Mlp::forward_train`], accumulating parameter gradients into each
+    /// layer's `gw`/`gb` with zero heap allocations in steady state.
+    ///
+    /// Equivalent to [`Mlp::backward`] (with gradients pre-zeroed, the
+    /// universal cycle), except the gradient w.r.t. the *input batch* is not
+    /// computed — supervised training never consumes it, and skipping it
+    /// saves one matmul per step without affecting any parameter gradient.
+    pub fn backward_into(
+        &mut self,
+        cache: &TrainCache,
+        dlogits: &Matrix,
+        scratch: &mut BackwardScratch,
+    ) {
+        assert_eq!(cache.acts.len(), self.layers.len() + 1, "cache/net mismatch");
+        let n_layers = self.layers.len();
+        scratch.grad.resize(dlogits.rows(), dlogits.cols());
+        scratch.grad.data_mut().copy_from_slice(dlogits.data());
+        for i in (0..n_layers).rev() {
+            if i != n_layers - 1 {
+                // Multiply by activation derivative at this layer's output.
+                let y = &cache.acts[i + 1];
+                let act = self.activation;
+                for (g, &out) in scratch.grad.data_mut().iter_mut().zip(y.data()) {
+                    *g *= act.derivative_from_output(out);
+                }
+            }
+            let layer = &mut self.layers[i];
+            layer.accumulate_grads(&cache.acts[i], &scratch.grad);
+            if i > 0 {
+                scratch.grad.matmul_t_into(&layer.w, &mut scratch.tmp);
+                std::mem::swap(&mut scratch.grad, &mut scratch.tmp);
+            }
+        }
     }
 
     /// Forward pass retaining activations for [`Mlp::backward`].
@@ -551,6 +676,53 @@ mod tests {
             let mut scratch = MlpScratch::new();
             let out = net.forward_shared_last_into(&shared, &lasts, &mut scratch);
             assert_eq!(reference.data(), out.data());
+        }
+    }
+
+    #[test]
+    fn train_scratch_path_is_bit_identical_to_allocating_path() {
+        let mut r = rng();
+        for dims in [&[5usize, 8, 3][..], &[4, 21][..], &[6, 16, 16, 7][..]] {
+            let mut net = Mlp::new(dims, Activation::Relu, &mut r);
+            let mut reference = net.clone();
+            let mut cache = TrainCache::new();
+            let mut scratch = BackwardScratch::new();
+            let mut dlogits_buf = Matrix::zeros(0, 0);
+            // Reuse the same scratch across varying batch sizes: stale shapes
+            // or contents must never leak into the gradients.
+            for batch in [3usize, 1, 5] {
+                let mut x = Matrix::zeros(batch, dims[0]);
+                for (i, v) in x.data_mut().iter_mut().enumerate() {
+                    *v = (i as f32 * 0.53).sin();
+                }
+                let targets: Vec<usize> = (0..batch).map(|i| i % dims.last().unwrap()).collect();
+
+                // Allocating reference path.
+                let ref_cache = reference.forward_cache(&x);
+                let (ref_ce, ref_dlogits) =
+                    loss::softmax_cross_entropy(ref_cache.logits(), &targets, None);
+                reference.zero_grad();
+                reference.backward(&ref_cache, &ref_dlogits);
+
+                // Scratch path.
+                cache.input_mut(batch, dims[0]).data_mut().copy_from_slice(x.data());
+                net.forward_train(&mut cache);
+                let ce = loss::softmax_cross_entropy_into(
+                    cache.logits(),
+                    &targets,
+                    None,
+                    &mut dlogits_buf,
+                );
+                net.zero_grad();
+                net.backward_into(&cache, &dlogits_buf, &mut scratch);
+
+                assert_eq!(ce, ref_ce);
+                assert_eq!(cache.logits().data(), ref_cache.logits().data());
+                for (a, b) in net.layers().iter().zip(reference.layers()) {
+                    assert_eq!(a.gw.data(), b.gw.data());
+                    assert_eq!(a.gb, b.gb);
+                }
+            }
         }
     }
 

@@ -27,11 +27,24 @@ impl Scaler {
     /// Features with (near-)zero variance get `std = 1` so they pass through
     /// centred but unscaled instead of exploding.
     pub fn fit(rows: &[Vec<f32>]) -> Self {
-        assert!(!rows.is_empty(), "cannot fit a scaler on an empty dataset");
-        let dim = rows[0].len();
-        let n = rows.len() as f64;
+        Self::fit_from(rows.iter().map(Vec::as_slice))
+    }
+
+    /// [`Scaler::fit`] over borrowed rows: any re-iterable source of feature
+    /// slices works, so callers holding samples in richer structures can fit
+    /// without materializing a `Vec<Vec<f32>>` copy of every row (the
+    /// training pipeline fits directly on `&[Sample]`).  Accumulation order
+    /// matches [`Scaler::fit`] exactly, so the statistics are bit-identical.
+    pub fn fit_from<'a, I>(rows: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f32]> + Clone,
+    {
+        let mut iter = rows.clone().into_iter();
+        let first = iter.next().expect("cannot fit a scaler on an empty dataset");
+        let dim = first.len();
+        let n = (1 + iter.count()) as f64;
         let mut mean = vec![0.0f64; dim];
-        for r in rows {
+        for r in rows.clone() {
             assert_eq!(r.len(), dim, "ragged feature rows");
             for (m, &x) in mean.iter_mut().zip(r) {
                 *m += f64::from(x);

@@ -16,7 +16,7 @@ fresh=$(mktemp)
 trap 'rm -f "$fresh"' EXIT
 
 BENCH_JSON="$fresh" cargo bench -p puffer-bench \
-  --bench controller --bench ttp_inference --bench stream_sim
+  --bench controller --bench ttp_inference --bench ttp_training --bench stream_sim
 
 python3 - "$fresh" "${1:-}" <<'EOF'
 import json, sys
