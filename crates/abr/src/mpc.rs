@@ -47,6 +47,37 @@ impl Default for MpcConfig {
     }
 }
 
+/// Reusable flat tables for [`Mpc::plan_with`].
+///
+/// The MPC family plans once per chunk on every stream of every MPC arm, so
+/// the planner is a simulation hot path (§5.1: "MPC and Fugu even share most
+/// of their codebase" — Fugu's `PlanScratch` got this treatment first).
+/// Every per-decision table lives here as a flat `Vec` indexed arithmetically
+/// — `value[bin·R + prev]`, `mu_stall`/`to_go[bin·R + a]`, `m[prev·R + a]` —
+/// so steady-state planning allocates nothing and the inner maximization
+/// walks contiguous rows.
+#[derive(Debug, Clone, Default)]
+pub struct MpcScratch {
+    /// Value table for the step below, `bin * n_rungs + prev`.
+    value: Vec<f64>,
+    /// Value table being built for this step (ping/pong partner of `value`).
+    next_value: Vec<f64>,
+    /// `µ · stall` per `bin * n_rungs + a` — `prev`-independent.
+    mu_stall: Vec<f64>,
+    /// Value-to-go after action `a` from `bin`, `bin * n_rungs + a`.
+    to_go: Vec<f64>,
+    /// Quality-minus-smoothness term per `prev * n_rungs + a`.
+    m: Vec<f64>,
+    /// Transmission time per rung of the step being expanded.
+    times: Vec<f64>,
+}
+
+impl MpcScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// MPC-HM (and RobustMPC-HM with `robust = true`).
 ///
 /// A custom throughput predictor — e.g. the CS2P-style Markov model — can be
@@ -58,6 +89,10 @@ pub struct Mpc {
     config: MpcConfig,
     predictor: RobustDiscount<HarmonicMean>,
     custom: Option<std::sync::Arc<dyn ThroughputPredictor + Send + Sync>>,
+    /// Planner tables reused across decisions (planning is allocation-free
+    /// after the first chunk).  Not per-stream state: every entry is fully
+    /// rewritten by each plan, so `reset_stream` leaves it alone.
+    scratch: MpcScratch,
     name: &'static str,
 }
 
@@ -76,7 +111,13 @@ impl Mpc {
         assert!(config.horizon >= 1, "horizon must be at least 1");
         assert!(config.buffer_bins >= 2, "need at least 2 buffer bins");
         let name = if config.robust { "RobustMPC-HM" } else { "MPC-HM" };
-        Mpc { config, predictor: RobustDiscount::new(HarmonicMean), custom: None, name }
+        Mpc {
+            config,
+            predictor: RobustDiscount::new(HarmonicMean),
+            custom: None,
+            scratch: MpcScratch::new(),
+            name,
+        }
     }
 
     /// MPC with a custom throughput predictor (e.g. [`crate::Cs2pModel`]) in
@@ -89,6 +130,7 @@ impl Mpc {
             config: MpcConfig::default(),
             predictor: RobustDiscount::new(HarmonicMean),
             custom: Some(predictor),
+            scratch: MpcScratch::new(),
             name,
         }
     }
@@ -116,12 +158,21 @@ impl Mpc {
 
     /// Receding-horizon plan; returns the rung for the immediate chunk.
     ///
-    /// Shared value-iteration core: the deterministic predictor is a special
-    /// case of a transmission-time *distribution* with all mass on one bin.
+    /// Naive reference implementation of the value iteration, kept verbatim
+    /// as the ground truth the optimized [`Mpc::plan_with`] is pinned
+    /// against.  Allocates fresh tables every call and re-evaluates the full
+    /// QoE expression in the innermost `(bin, prev, rung)` loop.
+    ///
+    /// Total: an empty `ctx.lookahead` (no upcoming chunk known — e.g. the
+    /// tail of a live stream's encoder queue) falls back to rung 0 instead
+    /// of panicking on `menus[0]`.
     // Buffer-bin and rung indices are the DP state; explicit loops keep
     // the recursion readable next to the paper's Eq. (value iteration).
     #[allow(clippy::needless_range_loop)]
-    fn plan(&self, ctx: &AbrContext, throughput: f64) -> usize {
+    pub fn plan_reference(&self, ctx: &AbrContext, throughput: f64) -> usize {
+        if ctx.lookahead.is_empty() {
+            return 0;
+        }
         let horizon = self.config.horizon.min(ctx.lookahead.len());
         let menus: &[ChunkMenu] = &ctx.lookahead[..horizon];
         let n_rungs = menus[0].n_rungs();
@@ -175,6 +226,122 @@ impl Mpc {
         }
         best_rung
     }
+
+    /// [`Mpc::plan_reference`] through caller-owned [`MpcScratch`] tables:
+    /// identical decisions, zero heap allocations once the scratch has warmed
+    /// up to the (rungs, bins) shape.
+    ///
+    /// Everything that does not depend on the previous rung is hoisted out of
+    /// the inner `(bin, prev, rung)` loop: the transmission time `t = size /
+    /// throughput` (per rung), the stall term `µ·(t − buffer)⁺` and the
+    /// post-transfer buffer bin (per rung × buffer bin), and the quality part
+    /// of `chunk_qoe` (folded into the per-`(prev, rung)` smoothness table
+    /// `m`).  The surviving inner-loop work is one subtraction, one addition,
+    /// and a max over contiguous rows.
+    ///
+    /// Decision equivalence is exact, not approximate: every floating-point
+    /// expression keeps the reference's operand association —
+    /// `(m − µ·stall) + to_go` reassociates `((ssim − λ·|Δ|) − µ·stall) +
+    /// to_go` only at the subtraction the reference also performs — so the DP
+    /// values are bit-identical, the step-0 argmax scans rungs in the same
+    /// order with the same strict `>` (first max wins), and the chosen rung
+    /// matches the reference on ties too.  Pinned by the property tests
+    /// below.
+    pub fn plan_with(&self, ctx: &AbrContext, throughput: f64, scratch: &mut MpcScratch) -> usize {
+        if ctx.lookahead.is_empty() {
+            return 0;
+        }
+        let horizon = self.config.horizon.min(ctx.lookahead.len());
+        let menus: &[ChunkMenu] = &ctx.lookahead[..horizon];
+        let n_rungs = menus[0].n_rungs();
+        let bins = self.config.buffer_bins;
+        let bin_w = MAX_BUFFER_SECONDS / (bins - 1) as f64;
+        let to_bin = |buffer: f64| -> usize { ((buffer / bin_w).round() as usize).min(bins - 1) };
+        let mu = self.config.qoe.mu;
+        let lambda = self.config.qoe.lambda;
+
+        // (Re)shape the tables; `value` must start zeroed (terminal step),
+        // everything else is fully overwritten before being read.
+        scratch.value.clear();
+        scratch.value.resize(bins * n_rungs, 0.0);
+        scratch.next_value.resize(bins * n_rungs, 0.0);
+        scratch.mu_stall.resize(bins * n_rungs, 0.0);
+        scratch.to_go.resize(bins * n_rungs, 0.0);
+        scratch.m.resize(n_rungs * n_rungs, 0.0);
+        scratch.times.resize(n_rungs, 0.0);
+
+        for step in (1..horizon).rev() {
+            let menu = &menus[step];
+            let prev_menu = &menus[step - 1];
+
+            // Per rung: the deterministic transmission time.
+            for (t, opt) in scratch.times.iter_mut().zip(&menu.options) {
+                *t = opt.size / throughput;
+            }
+            // Per (buffer bin, rung): µ·stall and the value-to-go after the
+            // transfer — both independent of the previous rung.
+            let last_step = step + 1 >= horizon;
+            for bin in 0..bins {
+                let buffer = bin as f64 * bin_w;
+                let ms_row = &mut scratch.mu_stall[bin * n_rungs..(bin + 1) * n_rungs];
+                let tg_row = &mut scratch.to_go[bin * n_rungs..(bin + 1) * n_rungs];
+                for a in 0..n_rungs {
+                    let t = scratch.times[a];
+                    ms_row[a] = mu * (t - buffer).max(0.0);
+                    tg_row[a] = if last_step {
+                        0.0
+                    } else {
+                        let next_buf =
+                            ((buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
+                        scratch.value[to_bin(next_buf) * n_rungs + a]
+                    };
+                }
+            }
+            // Per (previous rung, rung): quality minus the λ·|Δssim|
+            // smoothness penalty.
+            for (prev, popt) in prev_menu.options.iter().enumerate() {
+                let m_row = &mut scratch.m[prev * n_rungs..(prev + 1) * n_rungs];
+                for (ma, opt) in m_row.iter_mut().zip(&menu.options) {
+                    *ma = opt.ssim_db - lambda * (opt.ssim_db - popt.ssim_db).abs();
+                }
+            }
+            // The maximization: all rows contiguous in the rung index.
+            for bin in 0..bins {
+                let ms_row = &scratch.mu_stall[bin * n_rungs..(bin + 1) * n_rungs];
+                let tg_row = &scratch.to_go[bin * n_rungs..(bin + 1) * n_rungs];
+                let nv_row = &mut scratch.next_value[bin * n_rungs..(bin + 1) * n_rungs];
+                for (prev, nv) in nv_row.iter_mut().enumerate() {
+                    let m_row = &scratch.m[prev * n_rungs..(prev + 1) * n_rungs];
+                    let mut best = f64::NEG_INFINITY;
+                    for a in 0..n_rungs {
+                        best = best.max((m_row[a] - ms_row[a]) + tg_row[a]);
+                    }
+                    *nv = best;
+                }
+            }
+            std::mem::swap(&mut scratch.value, &mut scratch.next_value);
+        }
+
+        // Step 0: the real buffer and the real previous chunk — O(rungs),
+        // evaluated exactly as the reference does.
+        let menu = &menus[0];
+        let mut best_rung = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (a, opt) in menu.options.iter().enumerate() {
+            let t = opt.size / throughput;
+            let stall = (t - ctx.buffer).max(0.0);
+            let q = self.config.qoe.chunk_qoe(opt.ssim_db, ctx.prev_ssim_db, stall);
+            let next_buf = ((ctx.buffer - t).max(0.0) + CHUNK_SECONDS).min(MAX_BUFFER_SECONDS);
+            let to_go =
+                if horizon > 1 { scratch.value[to_bin(next_buf) * n_rungs + a] } else { 0.0 };
+            let score = q + to_go;
+            if score > best_score {
+                best_score = score;
+                best_rung = a;
+            }
+        }
+        best_rung
+    }
 }
 
 impl Abr for Mpc {
@@ -187,7 +354,13 @@ impl Abr for Mpc {
         if self.config.robust {
             self.predictor.note_prediction(throughput);
         }
-        self.plan(ctx, throughput)
+        // Detach the scratch so `plan_with` can borrow `self` immutably;
+        // the default `MpcScratch` holds empty Vecs, so the swap allocates
+        // nothing.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let rung = self.plan_with(ctx, throughput, &mut scratch);
+        self.scratch = scratch;
+        rung
     }
 
     fn on_chunk_delivered(&mut self, record: ChunkRecord) {
@@ -322,6 +495,150 @@ mod tests {
             let again = mpc.choose(&ctx(10.0, &m, &h));
             assert_eq!(again, first, "static conditions must give a static plan");
         }
+    }
+
+    #[test]
+    fn empty_lookahead_is_total() {
+        // Regression: `plan` used to index `menus[0]` and panic when the
+        // lookahead was empty.  Both planners must fall back to rung 0.
+        let h = history_at(5e6 / 8.0);
+        let c = ctx(6.0, &[], &h);
+        let mut mpc = Mpc::mpc_hm();
+        assert_eq!(mpc.choose(&c), 0);
+        assert_eq!(mpc.plan_reference(&c, 1e6), 0);
+        assert_eq!(mpc.plan_with(&c, 1e6, &mut MpcScratch::new()), 0);
+        let mut robust = Mpc::robust_mpc_hm();
+        assert_eq!(robust.choose(&c), 0);
+    }
+
+    #[test]
+    fn scratch_survives_changing_shapes() {
+        // Alternate lookahead lengths, rung counts, and discretizations with
+        // one scratch; stale table contents must never leak into a decision.
+        let h = history_at(3.0e6 / 8.0);
+        let mut scratch = MpcScratch::new();
+        for (len, bins) in [(5usize, 61usize), (1, 61), (5, 31), (3, 121), (5, 61)] {
+            let m = menus(len);
+            let c = ctx(5.0, &m, &h);
+            let mpc = Mpc::new(MpcConfig { buffer_bins: bins, ..MpcConfig::default() });
+            assert_eq!(
+                mpc.plan_with(&c, 400_000.0, &mut scratch),
+                mpc.plan_reference(&c, 400_000.0),
+                "lookahead={len} bins={bins}"
+            );
+        }
+    }
+
+    /// Random menus for the equivalence sweep: `h` steps × `n_rungs` rungs
+    /// with sizes/SSIMs drawn from the given unit samples.  When `dup` is
+    /// set, every other rung duplicates its predecessor exactly (size and
+    /// SSIM), manufacturing exact score ties that exercise the first-max
+    /// tie-breaking.
+    fn random_menus(
+        h: usize,
+        n_rungs: usize,
+        unit: &mut impl FnMut() -> f64,
+        dup: bool,
+    ) -> Vec<ChunkMenu> {
+        (0..h)
+            .map(|i| ChunkMenu {
+                index: i as u64,
+                options: (0..n_rungs)
+                    .map(|_| ChunkOption {
+                        size: (0.05e6 + 1.8e6 * unit()) / 8.0 * CHUNK_SECONDS,
+                        ssim_db: 4.0 + 16.0 * unit(),
+                    })
+                    .collect(),
+            })
+            .map(|mut menu| {
+                if dup {
+                    for r in (1..n_rungs).step_by(2) {
+                        menu.options[r] = menu.options[r - 1];
+                    }
+                }
+                menu
+            })
+            .collect()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig {
+            cases: 200,
+            ..proptest::ProptestConfig::default()
+        })]
+
+        /// The scratch planner must choose the reference's rung on random
+        /// menus (varying rung counts and horizons), buffers, and
+        /// throughputs — including menus with exactly-duplicated rungs,
+        /// where the scores tie bit-for-bit and first-max tie-breaking
+        /// decides.
+        #[test]
+        fn scratch_planner_matches_reference(
+            h in 1usize..7,
+            n_rungs in 1usize..12,
+            buffer in 0.0f64..15.0,
+            throughput in 10_000.0f64..3_000_000.0,
+            seed in 0u64..u64::MAX,
+            dup in proptest::any::<bool>(),
+            robust in proptest::any::<bool>(),
+        ) {
+            let mut rng = proptest::TestRng::new(seed);
+            let mut unit = move || rng.unit_f64();
+            let m = random_menus(h, n_rungs, &mut unit, dup);
+            let hist = history_at(throughput);
+            let prev = if buffer > 7.5 { Some(11.0) } else { None };
+            let c = AbrContext { prev_ssim_db: prev, ..ctx(buffer, &m, &hist) };
+            let mpc = if robust { Mpc::robust_mpc_hm() } else { Mpc::mpc_hm() };
+            let mut scratch = MpcScratch::new();
+            let fast = mpc.plan_with(&c, throughput, &mut scratch);
+            let slow = mpc.plan_reference(&c, throughput);
+            proptest::prop_assert_eq!(
+                fast, slow,
+                "h={} rungs={} buffer={} throughput={} dup={}",
+                h, n_rungs, buffer, throughput, dup
+            );
+            // Reusing the warmed scratch must not change the answer.
+            let again = mpc.plan_with(&c, throughput, &mut scratch);
+            proptest::prop_assert_eq!(again, fast);
+        }
+
+        /// `choose` (predictor + scratch planner) agrees with the reference
+        /// plan at the predicted throughput — end-to-end equivalence of the
+        /// deployed path.
+        #[test]
+        fn choose_matches_reference_plan(
+            buffer in 0.0f64..15.0,
+            rate in 20_000.0f64..2_000_000.0,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut rng = proptest::TestRng::new(seed);
+            let mut unit = move || rng.unit_f64();
+            let m = random_menus(5, 10, &mut unit, false);
+            let hist = history_at(rate);
+            let c = ctx(buffer, &m, &hist);
+            let mut mpc = Mpc::mpc_hm();
+            let predicted = mpc.predict(&c);
+            proptest::prop_assert_eq!(mpc.choose(&c), mpc.plan_reference(&c, predicted));
+        }
+    }
+
+    #[test]
+    fn duplicate_rungs_tie_break_to_first() {
+        // All rungs identical → every score ties exactly; both planners must
+        // return rung 0 (strict `>` keeps the first maximum).
+        let m: Vec<ChunkMenu> = (0..5)
+            .map(|i| ChunkMenu {
+                index: i as u64,
+                options: (0..6)
+                    .map(|_| ChunkOption { size: 1.0e6 / 8.0 * CHUNK_SECONDS, ssim_db: 12.0 })
+                    .collect(),
+            })
+            .collect();
+        let h = history_at(1.0e6 / 8.0);
+        let c = ctx(7.0, &m, &h);
+        let mpc = Mpc::mpc_hm();
+        assert_eq!(mpc.plan_reference(&c, 125_000.0), 0);
+        assert_eq!(mpc.plan_with(&c, 125_000.0, &mut MpcScratch::new()), 0);
     }
 
     #[test]

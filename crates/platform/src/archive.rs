@@ -6,8 +6,10 @@
 //! `client_buffer`, with sensitive fields redacted.  [`DailyArchive`]
 //! accumulates a day's telemetry and writes the same three CSV files.
 
-use crate::telemetry::{client_buffer_csv, video_sent_csv, StreamTelemetry, VideoAcked};
-use std::fmt::Write as _;
+use crate::telemetry::{
+    write_client_buffer_csv, write_video_sent_csv, StreamTelemetry, VideoAcked,
+};
+use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Accumulates one day's telemetry and writes the public dump.
@@ -35,33 +37,54 @@ impl DailyArchive {
         (self.video_sent.len(), self.video_acked.len(), self.client_buffer.len())
     }
 
-    fn video_acked_csv(&self) -> String {
-        let mut out = String::from("time,stream_id,expt_id,video_ts,size\n");
+    fn write_video_acked_csv<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
+        out.write_all(b"time,stream_id,expt_id,video_ts,size\n")?;
         for d in &self.video_acked {
-            let _ = writeln!(
+            writeln!(
                 out,
                 "{:.3},{},{},{},{:.0}",
                 d.time, d.stream_id, d.expt_id, d.video_ts, d.size
-            );
+            )?;
         }
-        out
+        Ok(())
+    }
+
+    /// In-memory `video_acked` CSV (same bytes the streamed write produces).
+    pub fn video_acked_csv(&self) -> String {
+        let mut out = Vec::new();
+        self.write_video_acked_csv(&mut out).expect("writing to memory cannot fail");
+        String::from_utf8(out).expect("CSV is ASCII")
     }
 
     /// Write `video_sent_<day>.csv`, `video_acked_<day>.csv`, and
     /// `client_buffer_<day>.csv` under `dir`; returns the paths written.
+    ///
+    /// Each file streams row-by-row through a `BufWriter` — a paper-scale day
+    /// (§3.4: hundreds of thousands of chunks) never holds its rendered CSV
+    /// in memory, only the fixed-size write buffer.  The bytes on disk are
+    /// identical to the in-memory renderings (pinned by
+    /// `streamed_write_matches_in_memory_csv`).
     pub fn write(&self, dir: &Path, day: u32) -> std::io::Result<Vec<PathBuf>> {
         std::fs::create_dir_all(dir)?;
-        let files = [
-            (format!("video_sent_{day}.csv"), video_sent_csv(&self.video_sent)),
-            (format!("video_acked_{day}.csv"), self.video_acked_csv()),
-            (format!("client_buffer_{day}.csv"), client_buffer_csv(&self.client_buffer)),
-        ];
         let mut paths = Vec::new();
-        for (name, content) in files {
+        let stream_to = |name: String,
+                         write: &dyn Fn(&mut BufWriter<std::fs::File>) -> std::io::Result<()>|
+         -> std::io::Result<PathBuf> {
             let path = dir.join(name);
-            std::fs::write(&path, content)?;
-            paths.push(path);
-        }
+            let mut out = BufWriter::new(std::fs::File::create(&path)?);
+            write(&mut out)?;
+            out.flush()?;
+            Ok(path)
+        };
+        paths.push(stream_to(format!("video_sent_{day}.csv"), &|out| {
+            write_video_sent_csv(out, &self.video_sent)
+        })?);
+        paths.push(stream_to(format!("video_acked_{day}.csv"), &|out| {
+            self.write_video_acked_csv(out)
+        })?);
+        paths.push(stream_to(format!("client_buffer_{day}.csv"), &|out| {
+            write_client_buffer_csv(out, &self.client_buffer)
+        })?);
         Ok(paths)
     }
 }
@@ -125,6 +148,31 @@ mod tests {
             assert!(content.starts_with("time,"), "{p:?} has the schema header");
         }
         assert!(paths[0].file_name().unwrap().to_str().unwrap().contains("video_sent_17"));
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn streamed_write_matches_in_memory_csv() {
+        // The BufWriter path must produce byte-identical files to the
+        // in-memory renderings the old `write` materialized.
+        use crate::telemetry::{client_buffer_csv, video_sent_csv};
+        let mut a = DailyArchive::new();
+        for _ in 0..3 {
+            a.add_stream(&telemetry());
+        }
+        let dir = std::env::temp_dir().join("puffer_archive_stream_test");
+        let paths = a.write(&dir, 3).unwrap();
+        let expected = [
+            video_sent_csv(&a.video_sent),
+            a.video_acked_csv(),
+            client_buffer_csv(&a.client_buffer),
+        ];
+        for (p, want) in paths.iter().zip(&expected) {
+            let got = std::fs::read_to_string(p).unwrap();
+            assert_eq!(&got, want, "{p:?} must match the in-memory rendering byte for byte");
+        }
         for p in paths {
             std::fs::remove_file(p).ok();
         }

@@ -14,6 +14,7 @@ use crate::stream::{QuitReason, StreamConfig};
 use crate::user::UserModel;
 use crate::MIN_CONSIDERED_WATCH;
 use fugu::{train, Dataset, TrainConfig, Ttp, TtpVariant};
+use puffer_abr::Abr;
 use puffer_net::CongestionControl;
 use puffer_stats::StreamSummary;
 use puffer_trace::TraceBank;
@@ -76,6 +77,14 @@ pub struct ExperimentConfig {
     /// binaries use it so orderings stabilize at laptop scale.  `false`
     /// gives the paper's honest between-subjects RCT.
     pub paired: bool,
+    /// Reuse one ABR instance per (worker, arm) across a day's sessions via
+    /// [`puffer_abr::Abr::reset_stream`], instead of
+    /// [`SchemeSpec::instantiate`]-ing per session.  Skips the per-session
+    /// model clone (Fugu's TTP, Pensieve's policy) and keeps planner scratch
+    /// tables warm; results are identical because `reset_stream` runs before
+    /// every stream (pinned by `abr_reuse_matches_fresh_instantiation`).
+    /// `false` restores per-session instantiation.
+    pub reuse_abrs: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -90,6 +99,7 @@ impl Default for ExperimentConfig {
             retrain: Some(TrainConfig::default()),
             user: UserModel::default(),
             paired: false,
+            reuse_abrs: true,
         }
     }
 }
@@ -129,22 +139,43 @@ struct SessionResult {
 /// borrows are disjoint by construction.
 type WorkerShare<'a> = Vec<(&'a (usize, u64, u64), &'a mut Option<SessionResult>)>;
 
+/// Per-arm ABR instances one worker reuses across its share of a day's
+/// sessions.  Instances are built lazily (a worker may never draw some arm)
+/// and rebuilt each day, so a nightly TTP swap (§4.3) reaches every worker.
+struct ArmAbrs<'a> {
+    schemes: &'a [SchemeSpec],
+    abrs: Vec<Option<Box<dyn Abr>>>,
+}
+
+impl<'a> ArmAbrs<'a> {
+    fn new(schemes: &'a [SchemeSpec]) -> Self {
+        ArmAbrs { schemes, abrs: schemes.iter().map(|_| None).collect() }
+    }
+
+    fn get(&mut self, arm: usize) -> &mut dyn Abr {
+        let schemes = self.schemes;
+        self.abrs[arm].get_or_insert_with(|| schemes[arm].instantiate()).as_mut()
+    }
+}
+
 fn run_one_session(
-    spec: &SchemeSpec,
+    abr: &mut dyn Abr,
     arm: usize,
     bank: &TraceBank,
     cfg: &ExperimentConfig,
     session_id: u64,
     seed: u64,
 ) -> SessionResult {
-    let mut abr = spec.instantiate();
     let stream_cfg = StreamConfig { expt_id: arm as u32, ..StreamConfig::default() };
-    let out = run_session(bank, abr.as_mut(), &cfg.user, cfg.cc, stream_cfg, session_id, seed);
+    let out = run_session(bank, abr, &cfg.user, cfg.cc, stream_cfg, session_id, seed);
 
     let mut consort = ConsortCounts { sessions: 1, ..ConsortCounts::default() };
     let mut summaries = Vec::new();
     let mut observations = Vec::new();
-    for s in &out.streams {
+    let session_duration = out.total_time;
+    // Streams are consumed by value so each one's TTP observations move into
+    // the result instead of being cloned.
+    for s in out.streams {
         consort.streams += 1;
         match (&s.summary, s.quit) {
             (None, _) | (_, QuitReason::NeverBegan) => consort.never_began += 1,
@@ -158,10 +189,10 @@ fn run_one_session(
             }
         }
         if !s.observations.is_empty() {
-            observations.push(s.observations.clone());
+            observations.push(s.observations);
         }
     }
-    SessionResult { arm, summaries, session_duration: out.total_time, consort, observations }
+    SessionResult { arm, summaries, session_duration, consort, observations }
 }
 
 /// Run the RCT.  `schemes` defines the arms; Fugu arms flagged
@@ -216,9 +247,19 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
 
         // Run the day's sessions (parallel, deterministic by construction).
         let results: Vec<SessionResult> = if cfg.threads <= 1 {
+            let mut pool = ArmAbrs::new(&schemes);
             specs
                 .iter()
-                .map(|&(arm, id, seed)| run_one_session(&schemes[arm], arm, &bank, cfg, id, seed))
+                .map(|&(arm, id, seed)| {
+                    let mut fresh;
+                    let abr: &mut dyn Abr = if cfg.reuse_abrs {
+                        pool.get(arm)
+                    } else {
+                        fresh = pool.schemes[arm].instantiate();
+                        fresh.as_mut()
+                    };
+                    run_one_session(abr, arm, &bank, cfg, id, seed)
+                })
                 .collect()
         } else {
             // Lock-free fan-out: deal each worker an interleaved set of
@@ -242,15 +283,19 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
             std::thread::scope(|scope| {
                 for work in assignments {
                     scope.spawn(move || {
+                        // Worker-local per-arm instances: model clones and
+                        // planner scratch amortize over the worker's whole
+                        // share instead of being paid per session.
+                        let mut pool = ArmAbrs::new(schemes_ref);
                         for (&(arm, id, seed), slot) in work {
-                            *slot = Some(run_one_session(
-                                &schemes_ref[arm],
-                                arm,
-                                bank_ref,
-                                cfg,
-                                id,
-                                seed,
-                            ));
+                            let mut fresh;
+                            let abr: &mut dyn Abr = if cfg.reuse_abrs {
+                                pool.get(arm)
+                            } else {
+                                fresh = schemes_ref[arm].instantiate();
+                                fresh.as_mut()
+                            };
+                            *slot = Some(run_one_session(abr, arm, bank_ref, cfg, id, seed));
                         }
                     });
                 }
@@ -361,6 +406,49 @@ mod tests {
             for (x, y) in a.streams.iter().zip(&b.streams) {
                 assert_eq!(x, y);
             }
+        }
+    }
+
+    #[test]
+    fn abr_reuse_matches_fresh_instantiation() {
+        // Worker-local ABR reuse must be invisible in the results: any
+        // cross-session state a scheme fails to clear in `reset_stream`
+        // (predictor history, RobustMPC error window, Pensieve's previous
+        // bitrate) would change some stream here.  Every stateful scheme is
+        // on an arm, and both thread counts are exercised because workers
+        // see different arm interleavings.
+        use puffer_abr::PensievePolicy;
+        use std::sync::Arc;
+        let schemes = || {
+            vec![
+                SchemeSpec::MpcHm,
+                SchemeSpec::RobustMpcHm,
+                SchemeSpec::Pensieve(Arc::new(PensievePolicy::new(17))),
+                SchemeSpec::fugu(Ttp::new(TtpConfig::default(), 8)),
+            ]
+        };
+        for threads in [1usize, 4] {
+            let mk = |reuse_abrs| ExperimentConfig {
+                seed: 21,
+                sessions_per_day: 16,
+                days: 2,
+                threads,
+                retrain: None,
+                reuse_abrs,
+                ..ExperimentConfig::default()
+            };
+            let reused = run_rct(schemes(), &mk(true));
+            let fresh = run_rct(schemes(), &mk(false));
+            for (a, b) in reused.arms.iter().zip(&fresh.arms) {
+                assert_eq!(a.consort, b.consort, "consort, arm {} threads {threads}", a.name);
+                assert_eq!(a.streams, b.streams, "streams, arm {} threads {threads}", a.name);
+                assert_eq!(
+                    a.session_durations, b.session_durations,
+                    "durations, arm {} threads {threads}",
+                    a.name
+                );
+            }
+            assert_eq!(reused.dataset.n_observations(), fresh.dataset.n_observations());
         }
     }
 

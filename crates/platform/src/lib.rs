@@ -36,7 +36,7 @@ pub mod telemetry;
 pub mod user;
 
 pub use archive::DailyArchive;
-pub use experiment::{ConsortCounts, ExperimentConfig, RctResult, SchemeArm};
+pub use experiment::{run_rct, ConsortCounts, ExperimentConfig, RctResult, SchemeArm};
 pub use pensieve_env::{train_pensieve, PensieveTrainConfig};
 pub use scheme::SchemeSpec;
 pub use session::{run_session, SessionOutcome};

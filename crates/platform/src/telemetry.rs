@@ -9,8 +9,6 @@
 //! shape work against simulated data, and provide a CSV-ish writer for the
 //! daily dumps.
 
-use std::fmt::Write as _;
-
 /// Presentation timestamp increment per 2.002-second chunk, in the archive's
 /// 90 kHz MPEG timebase: 90 000 × 2.002 = 180 180.
 pub const VIDEO_TS_PER_CHUNK: u64 = 180_180;
@@ -126,13 +124,19 @@ impl StreamTelemetry {
     }
 }
 
-/// Render `video_sent` data as the daily CSV dump.
-pub fn video_sent_csv(data: &[VideoSent]) -> String {
-    let mut out = String::from(
-        "time,stream_id,expt_id,video_ts,size,ssim_index,cwnd,in_flight,min_rtt,rtt,delivery_rate\n",
-    );
+/// Stream `video_sent` data as the daily CSV dump, row by row.
+///
+/// Writer-based so [`crate::DailyArchive::write`] can stream a day straight
+/// to a `BufWriter` without materializing the full CSV in memory.
+pub fn write_video_sent_csv<W: std::io::Write>(
+    out: &mut W,
+    data: &[VideoSent],
+) -> std::io::Result<()> {
+    out.write_all(
+        b"time,stream_id,expt_id,video_ts,size,ssim_index,cwnd,in_flight,min_rtt,rtt,delivery_rate\n",
+    )?;
     for d in data {
-        let _ = writeln!(
+        writeln!(
             out,
             "{:.3},{},{},{},{:.0},{:.5},{:.1},{:.1},{:.6},{:.6},{:.0}",
             d.time,
@@ -146,16 +150,27 @@ pub fn video_sent_csv(data: &[VideoSent]) -> String {
             d.min_rtt,
             d.rtt,
             d.delivery_rate
-        );
+        )?;
     }
-    out
+    Ok(())
 }
 
-/// Render `client_buffer` data as the daily CSV dump.
-pub fn client_buffer_csv(data: &[ClientBuffer]) -> String {
-    let mut out = String::from("time,stream_id,expt_id,event,buffer,cum_rebuf\n");
+/// Render `video_sent` data as an in-memory CSV (same bytes as
+/// [`write_video_sent_csv`]).
+pub fn video_sent_csv(data: &[VideoSent]) -> String {
+    let mut out = Vec::new();
+    write_video_sent_csv(&mut out, data).expect("writing to memory cannot fail");
+    String::from_utf8(out).expect("CSV is ASCII")
+}
+
+/// Stream `client_buffer` data as the daily CSV dump, row by row.
+pub fn write_client_buffer_csv<W: std::io::Write>(
+    out: &mut W,
+    data: &[ClientBuffer],
+) -> std::io::Result<()> {
+    out.write_all(b"time,stream_id,expt_id,event,buffer,cum_rebuf\n")?;
     for d in data {
-        let _ = writeln!(
+        writeln!(
             out,
             "{:.3},{},{},{},{:.3},{:.3}",
             d.time,
@@ -164,9 +179,17 @@ pub fn client_buffer_csv(data: &[ClientBuffer]) -> String {
             d.event.name(),
             d.buffer,
             d.cum_rebuf
-        );
+        )?;
     }
-    out
+    Ok(())
+}
+
+/// Render `client_buffer` data as an in-memory CSV (same bytes as
+/// [`write_client_buffer_csv`]).
+pub fn client_buffer_csv(data: &[ClientBuffer]) -> String {
+    let mut out = Vec::new();
+    write_client_buffer_csv(&mut out, data).expect("writing to memory cannot fail");
+    String::from_utf8(out).expect("CSV is ASCII")
 }
 
 #[cfg(test)]

@@ -16,7 +16,8 @@ fresh=$(mktemp)
 trap 'rm -f "$fresh"' EXIT
 
 BENCH_JSON="$fresh" cargo bench -p puffer-bench \
-  --bench controller --bench ttp_inference --bench ttp_training --bench stream_sim
+  --bench controller --bench ttp_inference --bench ttp_training --bench stream_sim \
+  --bench rct_day
 
 python3 - "$fresh" "${1:-}" <<'EOF'
 import json, sys
