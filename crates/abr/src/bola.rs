@@ -153,6 +153,7 @@ mod tests {
         // point is a graded ladder, not a step function at one threshold.
         let m = [menu()];
         let mut bola = Bola::default();
+        // lint: order-insensitive — set only counts distinct decisions, never iterated
         let mut seen = std::collections::HashSet::new();
         for i in 0..=150 {
             seen.insert(bola.choose(&ctx(0.1 * i as f64, &m)));

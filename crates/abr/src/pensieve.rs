@@ -469,6 +469,7 @@ mod tests {
         p.set_stochastic(true);
         let m = [menu10()];
         let f = p.features(&ctx(&m, &[]));
+        // lint: order-insensitive — set only counts distinct actions, never iterated
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
             seen.insert(p.act(&f));

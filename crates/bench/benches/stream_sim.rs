@@ -8,7 +8,7 @@ use puffer_abr::{Abr, Bba, Mpc};
 use puffer_media::VideoSource;
 use puffer_net::{CongestionControl, Connection};
 use puffer_platform::user::StreamIntent;
-use puffer_platform::{run_stream, StreamConfig, UserModel};
+use puffer_platform::{run_stream, StreamClock, StreamConfig, UserModel};
 use puffer_trace::{PufferLikeProcess, RateProcess, MBPS};
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -24,10 +24,8 @@ fn one_stream(abr: &mut dyn Abr, seed: u64) -> f64 {
         &mut source,
         abr,
         &user,
-        StreamIntent::Watch(120.0),
-        0.0,
+        StreamClock::starting(StreamIntent::Watch(120.0)),
         &StreamConfig::default(),
-        0.0,
         &mut rng,
     );
     out.summary.map(|s| s.watch_time).unwrap_or(0.0)

@@ -34,6 +34,7 @@ fn main() {
             SchemeSpec::Bba,
         ];
         let mut cfg = pipeline.rct_config(false);
+        // lint: seed-mix — derives a distinct RCT seed per replication
         cfg.seed = seed.wrapping_add(0x1000 + rep);
         cfg.sessions_per_day /= 2;
         cfg.days = 2;

@@ -129,6 +129,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
+        // lint: order-insensitive — set only checks name uniqueness via len()
         let names: std::collections::HashSet<_> =
             TtpVariant::ALL.iter().map(|v| v.name()).collect();
         assert_eq!(names.len(), TtpVariant::ALL.len());

@@ -324,6 +324,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "trains a TTP on the fly; minutes-long under Miri")]
     fn fast_path_full_buffer_gets_high_quality() {
         let ttp = trained_ttp();
         let m = menus(5);
@@ -341,6 +342,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "trains a TTP on the fly; minutes-long under Miri")]
     fn slow_path_low_buffer_is_conservative() {
         let ttp = trained_ttp();
         let m = menus(5);
@@ -358,6 +360,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "trains a TTP on the fly; minutes-long under Miri")]
     fn buffer_level_changes_the_decision() {
         let ttp = trained_ttp();
         let m = menus(5);
@@ -380,6 +383,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "trains a TTP on the fly; minutes-long under Miri")]
     fn point_estimate_differs_from_probabilistic_under_uncertainty() {
         // A trained TTP on noisy data produces genuinely-spread
         // distributions; collapsing them to the MLE bin discards tail risk.
@@ -499,6 +503,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "trains a TTP on the fly; minutes-long under Miri")]
     fn optimized_planner_matches_naive_reference() {
         let ttp = trained_ttp();
         let m = menus(5);
@@ -532,6 +537,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "trains a TTP on the fly; minutes-long under Miri")]
     fn scratch_survives_changing_shapes() {
         // Alternate between lookahead lengths and buffer discretizations with
         // one scratch; every answer must match a fresh allocation's.
@@ -561,6 +567,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "trains a TTP on the fly; minutes-long under Miri")]
     fn horizon_respects_lookahead_length() {
         let ttp = trained_ttp();
         let m = menus(2); // shorter than the TTP's 5-step horizon

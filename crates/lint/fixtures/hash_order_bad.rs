@@ -1,0 +1,12 @@
+// Violating fixture: an unwaived HashMap in a result-affecting crate.  A
+// per-chunk map like this, iterated into telemetry, would reorder rows
+// between runs (RandomState) and change every downstream fingerprint.
+use std::collections::HashMap;
+
+pub fn chunk_sizes_csv(sizes: &HashMap<u64, f64>) -> String {
+    let mut out = String::new();
+    for (ts, size) in sizes {
+        out.push_str(&format!("{ts},{size}\n"));
+    }
+    out
+}

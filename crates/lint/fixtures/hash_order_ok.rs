@@ -1,0 +1,17 @@
+// Passing fixture: ordered map for anything that reaches output, and a
+// reasoned waiver where a hash set is genuinely order-insensitive.
+use std::collections::BTreeMap;
+
+pub fn chunk_sizes_csv(sizes: &BTreeMap<u64, f64>) -> String {
+    let mut out = String::new();
+    for (ts, size) in sizes {
+        out.push_str(&format!("{ts},{size}\n"));
+    }
+    out
+}
+
+pub fn all_distinct(ids: &[u64]) -> bool {
+    // lint: order-insensitive — the set is only probed for cardinality
+    let set: std::collections::HashSet<u64> = ids.iter().copied().collect();
+    set.len() == ids.len()
+}

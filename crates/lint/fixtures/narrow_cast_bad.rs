@@ -1,0 +1,13 @@
+// Violating fixture: an f64 QoE score narrowed through f32 before the
+// comparison — near-ties that are distinct in f64 can collapse in f32 and
+// flip the argmax (the PR 1 controller bug).
+pub fn best_rung(scores: &[f64]) -> usize {
+    let mut best = (0usize, f32::NEG_INFINITY);
+    for (i, &s) in scores.iter().enumerate() {
+        let s32 = s as f32;
+        if s32 > best.1 {
+            best = (i, s32);
+        }
+    }
+    best.0
+}

@@ -1,0 +1,16 @@
+// Passing fixture: scores stay in f64 end to end; the one narrowing feeds
+// a display label, not a comparison, and says so.
+pub fn best_rung(scores: &[f64]) -> usize {
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, &s) in scores.iter().enumerate() {
+        if s > best.1 {
+            best = (i, s);
+        }
+    }
+    best.0
+}
+
+pub fn label(score: f64) -> f32 {
+    // lint: narrowing-ok — UI label precision, never compared or summed
+    score as f32
+}

@@ -1,0 +1,5 @@
+// Violating fixture: an unsafe block with no SAFETY comment.  The reader
+// has no way to audit why the unchecked index cannot go out of bounds.
+pub fn first(v: &[f32]) -> f32 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,11 @@
+// Violating fixture: a wall-clock read in a sim crate.  Stamping telemetry
+// with real time makes two replays of the same seed produce different rows.
+pub fn stamp() -> std::time::Duration {
+    let start = std::time::Instant::now();
+    start.elapsed()
+}
+
+pub fn epoch_seconds() -> u64 {
+    use std::time::SystemTime;
+    SystemTime::now().duration_since(SystemTime::UNIX_EPOCH).unwrap().as_secs()
+}

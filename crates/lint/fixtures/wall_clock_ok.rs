@@ -1,0 +1,12 @@
+// Passing fixture: time is simulated and threaded through explicitly; the
+// only mention of the real clock is inside a string, which the scanner
+// blanks, plus a waived diagnostic that never reaches results.
+pub fn stamp(sim_time: f64) -> String {
+    format!("sim clock (not Instant::now): {sim_time}")
+}
+
+pub fn debug_wall_seconds() -> u64 {
+    // lint: wall-clock — operator-facing log line only, never written to telemetry
+    let started = std::time::SystemTime::now();
+    started.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}

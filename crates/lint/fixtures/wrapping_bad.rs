@@ -1,0 +1,10 @@
+// Violating fixture: wrapping arithmetic on a quantity that is not a seed.
+// A byte counter that overflows u64 is a logic error; wrapping_add would
+// silently wrap it into a tiny, wrong total.
+pub fn total_bytes(chunks: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for &c in chunks {
+        total = total.wrapping_add(c);
+    }
+    total
+}

@@ -1,0 +1,11 @@
+// Passing fixture: wrapping ops with a seed-mix waiver — deriving a child
+// RNG stream, where modular arithmetic is exactly the intent.
+pub fn child_seed(parent: u64, index: u64) -> u64 {
+    // lint: seed-mix — splitmix-style stream derivation for worker RNGs
+    let z = parent.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index + 1));
+    z ^ (z >> 30)
+}
+
+pub fn total_bytes(chunks: &[u64]) -> u64 {
+    chunks.iter().copied().sum()
+}

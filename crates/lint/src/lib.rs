@@ -1,0 +1,613 @@
+//! Repo-invariant static analysis for the Puffer reproduction.
+//!
+//! The experiment's conclusions rest on *bit-exact* determinism: randomized
+//! assignment must replay identically, nightly retrains must be bit-identical
+//! at any thread count, and the pinned hot paths must stay allocation-free.
+//! Those invariants are easy to break silently — iterate a `HashMap` into a
+//! fingerprint, call `Instant::now()` in a sim crate, narrow an `f64` score
+//! through `f32` — so this crate enforces them mechanically, at analysis
+//! time, instead of hoping a reviewer notices.
+//!
+//! The build environment is offline (no `syn`), so the scanner is a small
+//! comment/string-aware lexical pass: source is split into per-line *code*
+//! and *comment* channels (string literals blanked, comments routed aside),
+//! and each rule matches tokens in the code channel only.  That makes the
+//! rules deliberately coarse — they flag *mentions*, not data flow — and the
+//! escape hatch is an explicit, reasoned waiver comment that a reviewer can
+//! audit:
+//!
+//! ```text
+//! // lint: order-insensitive — set is only used for a cardinality check
+//! let mut seen = std::collections::HashSet::new();
+//! ```
+//!
+//! A waiver lives on the flagged line or the line directly above it, names
+//! the rule key, and must carry a non-empty reason.  A keyed waiver with no
+//! reason is itself a violation.
+//!
+//! ## Rules
+//!
+//! | rule id         | invariant                                                        | waiver key          |
+//! |-----------------|------------------------------------------------------------------|---------------------|
+//! | `hash-order`    | no `HashMap`/`HashSet` in result-affecting crates                | `order-insensitive` |
+//! | `wall-clock`    | no `Instant::now`/`SystemTime` outside `shims`/`bench`           | `wall-clock`        |
+//! | `wrapping`      | wrapping arithmetic only in seed/RNG-mixing code                 | `seed-mix`          |
+//! | `unsafe-safety` | every `unsafe` is preceded by a `// SAFETY:` comment             | (none — document)   |
+//! | `narrow-cast`   | no `as f32` narrowing in scoring/QoE paths                       | `narrowing-ok`      |
+//!
+//! Run as `cargo run -p puffer-lint` (CI) or via the `workspace_is_clean`
+//! test, which makes `cargo test --workspace` itself the enforcement point.
+//! The full invariant catalogue lives in `docs/INVARIANTS.md`.
+
+use std::path::{Path, PathBuf};
+
+/// One line of source, split into its code and comment channels.
+///
+/// String and char literals are blanked out of `code` (replaced by a quoted
+/// space) so rule patterns never match inside literals; comment text —
+/// line, block, and doc comments — is routed to `comment` so waivers and
+/// `SAFETY:` markers can be found without false-positive code matches.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    pub code: String,
+    pub comment: String,
+}
+
+/// A single rule violation at a file/line position.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (`hash-order`, `wall-clock`, ...).
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Split Rust source into per-line code/comment channels.
+///
+/// Handles line comments, (nested) block comments, string literals with
+/// escapes, raw strings (`r"…"`, `r#"…"#`, `br"…"`), byte strings, char
+/// literals, and lifetimes (`'a` is code, `'x'` is a blanked literal).
+/// The state machine is lexical, not a full lexer: its job is only to keep
+/// rule patterns from matching inside literals or comments, and to expose
+/// comment text for waiver parsing.
+pub fn split_source(source: &str) -> Vec<Line> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum St {
+        Code,
+        LineComment,
+        Block(u32),
+        Str,
+        RawStr(u32),
+    }
+    let b: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut st = St::Code;
+    let mut i = 0usize;
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    st = St::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && b.get(i + 1) == Some(&'*') {
+                    st = St::Block(1);
+                    cur.code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                // Raw / byte string prefixes: r"  r#"  br"  b"  (only when
+                // the prefix letter is not the tail of a longer identifier).
+                if (c == 'r' || c == 'b') && (i == 0 || !is_ident(b[i - 1])) {
+                    let mut j = i + 1;
+                    if c == 'b' && b.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    let rawish = c == 'r' || b.get(i + 1) == Some(&'r');
+                    if b.get(j) == Some(&'"') && (rawish || hashes == 0) {
+                        if rawish {
+                            st = St::RawStr(hashes);
+                        } else {
+                            st = St::Str;
+                        }
+                        cur.code.push('"');
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    st = St::Str;
+                    cur.code.push('"');
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: '\x' escapes and 'c' literals
+                    // close with a quote; lifetimes ('a, 'static) do not.
+                    if b.get(i + 1) == Some(&'\\') {
+                        let mut j = i + 2;
+                        while j < b.len() && b[j] != '\'' && b[j] != '\n' {
+                            j += 1;
+                        }
+                        cur.code.push_str("' '");
+                        i = (j + 1).min(b.len());
+                        continue;
+                    }
+                    if b.get(i + 2) == Some(&'\'') {
+                        cur.code.push_str("' '");
+                        i += 3;
+                        continue;
+                    }
+                    cur.code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                cur.code.push(c);
+                i += 1;
+            }
+            St::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            St::Block(depth) => {
+                if c == '*' && b.get(i + 1) == Some(&'/') {
+                    st = if depth == 1 { St::Code } else { St::Block(depth - 1) };
+                    i += 2;
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    st = St::Block(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char (may be a quote)
+                } else if c == '"' {
+                    st = St::Code;
+                    cur.code.push_str(" \"");
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut n = 0u32;
+                    while n < hashes && b.get(j) == Some(&'#') {
+                        n += 1;
+                        j += 1;
+                    }
+                    if n == hashes {
+                        st = St::Code;
+                        cur.code.push_str(" \"");
+                        i = j;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Does `code` contain `needle` as a whole token (neither neighbour is an
+/// identifier character)?
+fn has_token(code: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok =
+            !code[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Outcome of looking for a waiver near a flagged line.
+enum Waiver {
+    /// No waiver comment with this key.
+    None,
+    /// Waiver present with a non-empty reason.
+    Granted,
+    /// Waiver key present but no reason given.
+    MissingReason,
+}
+
+/// Look for `lint: <key> <reason>` in the comment channel of the flagged
+/// line or the line directly above it.
+fn waiver(lines: &[Line], idx: usize, key: &str) -> Waiver {
+    let mut found_empty = false;
+    for j in [idx, idx.wrapping_sub(1)] {
+        let Some(line) = lines.get(j) else { continue };
+        let Some(pos) = line.comment.find("lint:") else { continue };
+        let rest = line.comment[pos + "lint:".len()..].trim_start();
+        if let Some(after_key) = rest.strip_prefix(key) {
+            let reason = after_key.trim_start_matches([' ', '\u{2014}', '-', ':', '\u{2013}']);
+            if reason.trim().is_empty() {
+                found_empty = true;
+            } else {
+                return Waiver::Granted;
+            }
+        }
+    }
+    if found_empty {
+        Waiver::MissingReason
+    } else {
+        Waiver::None
+    }
+}
+
+/// Crates whose output reaches results, telemetry, fingerprints, or model
+/// weights — where hash-iteration order or wrapping arithmetic can corrupt
+/// the experiment.  `root` is the top-level `puffer-repro` package (binaries,
+/// integration tests, examples), which drives the RCT end to end.
+const RESULT_CRATES: &[&str] =
+    &["core", "abr", "platform", "nn", "stats", "trace", "media", "net", "root"];
+
+/// Files that *are* the seed/RNG-mixing path: wrapping arithmetic is the
+/// point there (splitmix-style avalanche), so no waiver is required.
+const SEED_MIX_FILES: &[&str] = &["crates/platform/src/experiment.rs"];
+
+/// Scoring/QoE paths where an `f64 → f32` narrowing can flip near-ties (the
+/// PR 1 controller argmax bug): QoE arithmetic, SSIM, the planners, and the
+/// statistics crate that turns telemetry into the paper's figures.
+const SCORING_PATHS: &[&str] = &[
+    "crates/media/src/qoe.rs",
+    "crates/media/src/ssim.rs",
+    "crates/core/src/controller.rs",
+    "crates/abr/src/mpc.rs",
+    "crates/abr/src/bola.rs",
+    "crates/abr/src/bba.rs",
+    "crates/stats/src/",
+];
+
+/// Which crate a workspace-relative path belongs to (`root` for the
+/// top-level package's `src/`, `tests/`, and `examples/`).
+fn crate_of(relpath: &str) -> Option<&str> {
+    if let Some(rest) = relpath.strip_prefix("crates/") {
+        return rest.split('/').next();
+    }
+    if relpath.starts_with("src/")
+        || relpath.starts_with("tests/")
+        || relpath.starts_with("examples/")
+    {
+        return Some("root");
+    }
+    None
+}
+
+fn push(violations: &mut Vec<Violation>, file: &str, line: usize, rule: &'static str, msg: String) {
+    violations.push(Violation { file: file.to_string(), line: line + 1, rule, msg });
+}
+
+/// Run every rule over one file.  `relpath` must be workspace-relative with
+/// `/` separators — rule scoping keys off it.
+pub fn check_file(relpath: &str, source: &str) -> Vec<Violation> {
+    let lines = split_source(source);
+    let mut out = Vec::new();
+    let Some(krate) = crate_of(relpath) else { return out };
+    let result_crate = RESULT_CRATES.contains(&krate);
+    let scoring = SCORING_PATHS.iter().any(|p| relpath.starts_with(p));
+    let seed_mix_file = SEED_MIX_FILES.contains(&relpath);
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+
+        // Rule: hash-order.  HashMap/HashSet iteration order varies per
+        // process (RandomState), so any use in a result-affecting crate must
+        // either be replaced by BTreeMap/sorted iteration or carry a
+        // reviewed order-insensitivity waiver.
+        if result_crate {
+            for ty in ["HashMap", "HashSet"] {
+                if has_token(code, ty) {
+                    match waiver(&lines, idx, "order-insensitive") {
+                        Waiver::Granted => {}
+                        Waiver::MissingReason => push(
+                            &mut out,
+                            relpath,
+                            idx,
+                            "hash-order",
+                            format!("`{ty}` waiver needs a reason: `// lint: order-insensitive — <why>`"),
+                        ),
+                        Waiver::None => push(
+                            &mut out,
+                            relpath,
+                            idx,
+                            "hash-order",
+                            format!(
+                                "`{ty}` in a result-affecting crate: iteration order is \
+                                 nondeterministic; use BTreeMap/BTreeSet or sorted iteration, \
+                                 or waive with `// lint: order-insensitive — <why>`"
+                            ),
+                        ),
+                    }
+                }
+            }
+        }
+
+        // Rule: wall-clock.  Simulated time is the only time: real-clock
+        // reads make replays diverge.  `crates/shims` (vendored criterion)
+        // and `crates/bench` (measures real durations) are exempt.
+        if krate != "bench" {
+            for src in ["Instant::now", "SystemTime"] {
+                if code.contains(src) {
+                    match waiver(&lines, idx, "wall-clock") {
+                        Waiver::Granted => {}
+                        Waiver::MissingReason => push(
+                            &mut out,
+                            relpath,
+                            idx,
+                            "wall-clock",
+                            format!("`{src}` waiver needs a reason: `// lint: wall-clock — <why>`"),
+                        ),
+                        Waiver::None => push(
+                            &mut out,
+                            relpath,
+                            idx,
+                            "wall-clock",
+                            format!(
+                                "`{src}` outside crates/shims and crates/bench: wall-clock reads \
+                                 break replay determinism; thread simulated time through instead, \
+                                 or waive with `// lint: wall-clock — <why>`"
+                            ),
+                        ),
+                    }
+                }
+            }
+        }
+
+        // Rule: wrapping.  Wrapping ops are correct in seed mixers (the
+        // avalanche *wants* modular arithmetic) and a bug smell everywhere
+        // else — a quantity that overflows u64 in scoring code is a logic
+        // error that `wrapping_*` would silence.
+        if !seed_mix_file && code.contains(".wrapping_") {
+            match waiver(&lines, idx, "seed-mix") {
+                Waiver::Granted => {}
+                Waiver::MissingReason => push(
+                    &mut out,
+                    relpath,
+                    idx,
+                    "wrapping",
+                    "wrapping-arithmetic waiver needs a reason: `// lint: seed-mix — <why>`".into(),
+                ),
+                Waiver::None => push(
+                    &mut out,
+                    relpath,
+                    idx,
+                    "wrapping",
+                    "wrapping arithmetic outside the seed-mixing path: if this derives an RNG \
+                     seed, waive with `// lint: seed-mix — <why>`; otherwise use checked math"
+                        .into(),
+                ),
+            }
+        }
+
+        // Rule: unsafe-safety.  Every `unsafe` block, fn, or impl must be
+        // introduced by a `// SAFETY:` comment, or (for declarations) a
+        // doc-comment `# Safety` section.  The upward scan looks through the
+        // contiguous run of comment, attribute, and blank lines above the
+        // flagged line — a SAFETY comment separated by real code does not
+        // count.  No waiver key — the SAFETY comment *is* the waiver.
+        if has_token(code, "unsafe") {
+            // The comment must *start* with `SAFETY` (after doc-comment `#`
+            // header markers) — a passing mention of the word in prose does
+            // not document an obligation.
+            let is_safety = |l: &Line| {
+                let t = l.comment.trim_start_matches(['/', '!', '#', ' ', '\t']);
+                t.len() >= 6 && t[..6].eq_ignore_ascii_case("safety")
+            };
+            let mut documented = lines.get(idx).is_some_and(is_safety);
+            let mut j = idx;
+            while !documented && j > 0 {
+                j -= 1;
+                let above = &lines[j];
+                if is_safety(above) {
+                    documented = true;
+                    break;
+                }
+                // Keep walking only over comment-only, attribute, or blank
+                // lines; any other code terminates the introduction.
+                let code_above = above.code.trim();
+                if !(code_above.is_empty() || code_above.starts_with("#[")) {
+                    break;
+                }
+            }
+            if !documented {
+                push(
+                    &mut out,
+                    relpath,
+                    idx,
+                    "unsafe-safety",
+                    "`unsafe` without an introducing `// SAFETY:` comment or `# Safety` doc section"
+                        .into(),
+                );
+            }
+        }
+
+        // Rule: narrow-cast.  `as f32` in a scoring/QoE path silently drops
+        // precision and can flip near-tie comparisons (the PR 1 controller
+        // argmax bug); keep scores in f64 end to end or waive explicitly.
+        if scoring && code.contains("as f32") {
+            match waiver(&lines, idx, "narrowing-ok") {
+                Waiver::Granted => {}
+                Waiver::MissingReason => push(
+                    &mut out,
+                    relpath,
+                    idx,
+                    "narrow-cast",
+                    "narrowing waiver needs a reason: `// lint: narrowing-ok — <why>`".into(),
+                ),
+                Waiver::None => push(
+                    &mut out,
+                    relpath,
+                    idx,
+                    "narrow-cast",
+                    "`as f32` in a scoring/QoE path: keep scores in f64 (near-ties flip under \
+                     narrowing), or waive with `// lint: narrowing-ok — <why>`"
+                        .into(),
+                ),
+            }
+        }
+    }
+    out
+}
+
+/// Directories never scanned: vendored shims (external-API stand-ins), this
+/// crate itself (its sources and fixtures contain the rule patterns by
+/// design), build products, and non-source trees.
+const SKIP_DIRS: &[&str] =
+    &["target", ".git", ".github", "crates/shims", "crates/lint", "results", "docs", "scripts"];
+
+/// Recursively collect the workspace's `.rs` files, workspace-relative.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if SKIP_DIRS.iter().any(|s| rel_str == *s || rel_str.starts_with(&format!("{s}/"))) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+}
+
+/// Scan the whole workspace rooted at `root`; returns all violations in
+/// path order.
+pub fn scan_workspace(root: &Path) -> Vec<Violation> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files);
+    let mut out = Vec::new();
+    for rel in files {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if let Ok(source) = std::fs::read_to_string(root.join(&rel)) {
+            out.extend(check_file(&rel_str, &source));
+        }
+    }
+    out
+}
+
+/// The workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitter_separates_code_and_comments() {
+        let src = "let x = 1; // trailing note\n/* block\nspans */ let y = 2;\n";
+        let lines = split_source(src);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert_eq!(lines[0].comment.trim(), "trailing note");
+        assert!(lines[1].comment.contains("block"));
+        assert!(lines[1].code.trim().is_empty());
+        assert!(lines[2].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn splitter_blanks_string_literals() {
+        let src = "let s = \"Instant::now is just text\"; let t = r#\"HashMap\"#;\n";
+        let lines = split_source(src);
+        assert!(!lines[0].code.contains("Instant::now"));
+        assert!(!lines[0].code.contains("HashMap"));
+        // The statement structure survives.
+        assert!(lines[0].code.contains("let s ="));
+        assert!(lines[0].code.contains("let t ="));
+    }
+
+    #[test]
+    fn splitter_handles_char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\nlet q = '\\'';\n";
+        let lines = split_source(src);
+        // Lifetime survives as code; the char literals are blanked.
+        assert!(lines[0].code.contains("'a"));
+        assert!(!lines[0].code.contains("'x'"));
+        assert!(!lines[1].code.contains("\\'"));
+    }
+
+    #[test]
+    fn token_matching_respects_boundaries() {
+        assert!(has_token("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_token("struct MyHashMapLike;", "HashMap"));
+        assert!(has_token("unsafe { x }", "unsafe"));
+        assert!(!has_token("unsafely()", "unsafe"));
+    }
+
+    #[test]
+    fn waiver_requires_reason() {
+        let src = "// lint: order-insensitive\nlet s = std::collections::HashSet::new();\n";
+        let v = check_file("crates/core/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("needs a reason"));
+        let src_ok =
+            "// lint: order-insensitive — cardinality only\nlet s = std::collections::HashSet::new();\n";
+        assert!(check_file("crates/core/src/x.rs", src_ok).is_empty());
+    }
+
+    #[test]
+    fn scoping_excludes_non_result_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(!check_file("crates/core/src/x.rs", src).is_empty());
+        // bench is not a result-affecting crate for hash-order.
+        assert!(check_file("crates/bench/src/x.rs", src).is_empty());
+        // ...but bench is still covered by unsafe-safety.
+        assert!(!check_file("crates/bench/src/x.rs", "unsafe { f() }\n").is_empty());
+        // Paths outside any known tree are skipped entirely.
+        assert!(check_file("weird/path.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seed_mix_allowlist_covers_the_mixer() {
+        let src = "let z = a.wrapping_add(1);\n";
+        assert!(check_file("crates/platform/src/experiment.rs", src).is_empty());
+        assert_eq!(check_file("crates/core/src/x.rs", src).len(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+//! `cargo run -p puffer-lint` — scan the workspace and report violations.
+//!
+//! Exit status 0 when clean, 1 when any rule fires; CI runs this alongside
+//! the `workspace_is_clean` test so either entry point gates a merge.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = puffer_lint::workspace_root();
+    let violations = puffer_lint::scan_workspace(&root);
+    if violations.is_empty() {
+        println!("puffer-lint: workspace clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!("puffer-lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}

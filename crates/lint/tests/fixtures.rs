@@ -1,0 +1,74 @@
+//! Every rule is demonstrated by a violating fixture the lint must catch
+//! and a passing fixture it must accept — so a regression in any rule
+//! (pattern, scoping, or waiver parsing) fails `cargo test -p puffer-lint`.
+
+use puffer_lint::check_file;
+
+/// Fixtures are checked under a pseudo-path inside a result-affecting,
+/// scoring-scoped crate so every rule's scope applies to them.
+const RESULT_PATH: &str = "crates/core/src/controller.rs";
+
+fn rules_fired(source: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> =
+        check_file(RESULT_PATH, source).into_iter().map(|v| v.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+#[track_caller]
+fn assert_catches(source: &str, rule: &str) {
+    let fired = rules_fired(source);
+    assert!(fired.contains(&rule), "expected rule `{rule}` to fire, got {fired:?}");
+}
+
+#[track_caller]
+fn assert_clean(source: &str) {
+    let v = check_file(RESULT_PATH, source);
+    assert!(v.is_empty(), "expected no violations, got: {v:#?}");
+}
+
+#[test]
+fn hash_order_fixtures() {
+    assert_catches(include_str!("../fixtures/hash_order_bad.rs"), "hash-order");
+    assert_clean(include_str!("../fixtures/hash_order_ok.rs"));
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    assert_catches(include_str!("../fixtures/wall_clock_bad.rs"), "wall-clock");
+    assert_clean(include_str!("../fixtures/wall_clock_ok.rs"));
+}
+
+#[test]
+fn wrapping_fixtures() {
+    assert_catches(include_str!("../fixtures/wrapping_bad.rs"), "wrapping");
+    assert_clean(include_str!("../fixtures/wrapping_ok.rs"));
+}
+
+#[test]
+fn unsafe_safety_fixtures() {
+    assert_catches(include_str!("../fixtures/unsafe_safety_bad.rs"), "unsafe-safety");
+    assert_clean(include_str!("../fixtures/unsafe_safety_ok.rs"));
+}
+
+#[test]
+fn narrow_cast_fixtures() {
+    assert_catches(include_str!("../fixtures/narrow_cast_bad.rs"), "narrow-cast");
+    assert_clean(include_str!("../fixtures/narrow_cast_ok.rs"));
+}
+
+#[test]
+fn violating_fixtures_fire_exactly_their_own_rule() {
+    // Each bad fixture is a minimal reproduction: it must not trip unrelated
+    // rules, or a fixture edit could silently shift which rule is covered.
+    for (fixture, rule) in [
+        (include_str!("../fixtures/hash_order_bad.rs"), "hash-order"),
+        (include_str!("../fixtures/wall_clock_bad.rs"), "wall-clock"),
+        (include_str!("../fixtures/wrapping_bad.rs"), "wrapping"),
+        (include_str!("../fixtures/unsafe_safety_bad.rs"), "unsafe-safety"),
+        (include_str!("../fixtures/narrow_cast_bad.rs"), "narrow-cast"),
+    ] {
+        assert_eq!(rules_fired(fixture), vec![rule]);
+    }
+}

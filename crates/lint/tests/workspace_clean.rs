@@ -1,0 +1,25 @@
+//! The enforcement point: `cargo test --workspace` fails if any repo
+//! invariant is violated, with the same findings `cargo run -p puffer-lint`
+//! prints in CI.
+
+#[test]
+fn workspace_is_clean() {
+    let root = puffer_lint::workspace_root();
+    let violations = puffer_lint::scan_workspace(&root);
+    assert!(
+        violations.is_empty(),
+        "puffer-lint found {} violation(s):\n{}",
+        violations.len(),
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn workspace_scan_covers_the_source_tree() {
+    // Guard against the scanner silently walking nothing (wrong root, bad
+    // skip list): the hot-path crates must be among the scanned files.
+    let root = puffer_lint::workspace_root();
+    for probe in ["crates/core/src/controller.rs", "crates/nn/src/matrix.rs", "src/bin/puffer.rs"] {
+        assert!(root.join(probe).exists(), "scan probe missing: {probe}");
+    }
+}

@@ -1,5 +1,10 @@
 //! Property-based tests for the TCP model: causality, conservation, and
 //! monotonicity over arbitrary paths and workloads.
+//!
+//! Skipped under Miri: hundreds of proptest cases through the full
+//! simulation are minutes-long in an interpreter, and the unsafe code
+//! Miri exists to check is exercised by the faster unit tests.
+#![cfg(not(miri))]
 
 use proptest::prelude::*;
 use puffer_net::{CongestionControl, Connection};

@@ -13,6 +13,12 @@
 /// not free at inner-loop frequency.
 #[inline]
 pub(crate) fn have_avx() -> bool {
+    // Miri has no model of the AVX intrinsics; report the feature absent so
+    // it interprets the portable scalar loops instead (which are bit-identical
+    // to the AVX path by construction, so coverage is not lost).
+    if cfg!(miri) {
+        return false;
+    }
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx")
@@ -49,21 +55,32 @@ pub(crate) fn axpy_with(wide: bool, a: f32, b: &[f32], out: &mut [f32]) {
 
 /// AVX body of [`axpy`]: 8-lane `vmulps` + `vaddps` (deliberately not FMA —
 /// fused rounding would diverge from the scalar mul-then-add).
+///
+/// # Safety
+/// The CPU must support AVX — callers gate on [`have_avx`].
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 unsafe fn axpy_avx(a: f32, b: &[f32], out: &mut [f32]) {
     use std::arch::x86_64::*;
     let n = out.len().min(b.len());
+    debug_assert!(n <= b.len() && n <= out.len());
     let av = _mm256_set1_ps(a);
     let mut j = 0;
     while j + 8 <= n {
-        let bv = _mm256_loadu_ps(b.as_ptr().add(j));
-        let ov = _mm256_loadu_ps(out.as_ptr().add(j));
-        _mm256_storeu_ps(out.as_mut_ptr().add(j), _mm256_add_ps(ov, _mm256_mul_ps(av, bv)));
+        // SAFETY: `j + 8 <= n` and `n` is the shorter of the two slice
+        // lengths, so the unaligned 8-lane loads and the store all stay
+        // inside `b` and `out`.
+        unsafe {
+            let bv = _mm256_loadu_ps(b.as_ptr().add(j));
+            let ov = _mm256_loadu_ps(out.as_ptr().add(j));
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), _mm256_add_ps(ov, _mm256_mul_ps(av, bv)));
+        }
         j += 8;
     }
     while j < n {
-        *out.get_unchecked_mut(j) += a * *b.get_unchecked(j);
+        // SAFETY: `j < n <= b.len()` and `n <= out.len()`, so both
+        // unchecked accesses are in bounds.
+        unsafe { *out.get_unchecked_mut(j) += a * *b.get_unchecked(j) };
         j += 1;
     }
 }
@@ -74,6 +91,12 @@ unsafe fn axpy_avx(a: f32, b: &[f32], out: &mut [f32]) {
 /// re-stores it for every `k`).  Per-element arithmetic — one multiply
 /// rounding, one add rounding, `k` ascending — matches the scalar loop
 /// exactly, so results are bit-identical.
+///
+/// # Safety
+/// The CPU must support AVX — callers gate on [`have_avx`].  The slice
+/// bounds the pointer arithmetic relies on (`out_row.len() == cols`,
+/// `w.len() >= a_row.len() * cols`) are asserted on entry in debug builds
+/// and guaranteed by `matmul_into`'s shape checks in release builds.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 unsafe fn accum_row_avx(a_row: &[f32], w: &[f32], cols: usize, out_row: &mut [f32]) {
@@ -83,44 +106,61 @@ unsafe fn accum_row_avx(a_row: &[f32], w: &[f32], cols: usize, out_row: &mut [f3
     let mut j0 = 0usize;
     // 64-column tiles: 8 accumulators, no loads/stores of `out` inside `k`.
     while j0 + 64 <= cols {
-        let p = out_row.as_mut_ptr().add(j0);
-        let mut acc = [
-            _mm256_loadu_ps(p),
-            _mm256_loadu_ps(p.add(8)),
-            _mm256_loadu_ps(p.add(16)),
-            _mm256_loadu_ps(p.add(24)),
-            _mm256_loadu_ps(p.add(32)),
-            _mm256_loadu_ps(p.add(40)),
-            _mm256_loadu_ps(p.add(48)),
-            _mm256_loadu_ps(p.add(56)),
-        ];
+        debug_assert!(j0 + 64 <= out_row.len());
+        let p = out_row.as_mut_ptr();
+        // SAFETY: `j0 + 64 <= cols == out_row.len()`, so all eight 8-lane
+        // lanes of the tile lie inside `out_row`.
+        let mut acc = unsafe {
+            [
+                _mm256_loadu_ps(p.add(j0)),
+                _mm256_loadu_ps(p.add(j0 + 8)),
+                _mm256_loadu_ps(p.add(j0 + 16)),
+                _mm256_loadu_ps(p.add(j0 + 24)),
+                _mm256_loadu_ps(p.add(j0 + 32)),
+                _mm256_loadu_ps(p.add(j0 + 40)),
+                _mm256_loadu_ps(p.add(j0 + 48)),
+                _mm256_loadu_ps(p.add(j0 + 56)),
+            ]
+        };
         for (k, &a) in a_row.iter().enumerate() {
             if a == 0.0 {
                 continue; // matches the scalar loop's ReLU skip
             }
             let av = _mm256_set1_ps(a);
-            let b = w.as_ptr().add(k * cols + j0);
+            debug_assert!(k * cols + j0 + 64 <= w.len());
             for (t, accv) in acc.iter_mut().enumerate() {
-                *accv = _mm256_add_ps(*accv, _mm256_mul_ps(av, _mm256_loadu_ps(b.add(t * 8))));
+                // SAFETY: `k < a_row.len()` and `j0 + 64 <= cols`, so
+                // `k*cols + j0 + t*8 + 8 <= a_row.len()*cols <= w.len()`
+                // keeps every lane of the load inside `w`.
+                let bv = unsafe { _mm256_loadu_ps(w.as_ptr().add(k * cols + j0 + t * 8)) };
+                *accv = _mm256_add_ps(*accv, _mm256_mul_ps(av, bv));
             }
         }
         for (t, accv) in acc.iter().enumerate() {
-            _mm256_storeu_ps(p.add(t * 8), *accv);
+            // SAFETY: same tile bound as the loads above — `j0 + t*8 + 8 <=
+            // j0 + 64 <= out_row.len()`.
+            unsafe { _mm256_storeu_ps(p.add(j0 + t * 8), *accv) };
         }
         j0 += 64;
     }
     // 8-column tiles.
     while j0 + 8 <= cols {
-        let p = out_row.as_mut_ptr().add(j0);
-        let mut acc = _mm256_loadu_ps(p);
+        debug_assert!(j0 + 8 <= out_row.len());
+        let p = out_row.as_mut_ptr();
+        // SAFETY: `j0 + 8 <= cols == out_row.len()` bounds the load.
+        let mut acc = unsafe { _mm256_loadu_ps(p.add(j0)) };
         for (k, &a) in a_row.iter().enumerate() {
             if a == 0.0 {
                 continue;
             }
-            let b = w.as_ptr().add(k * cols + j0);
-            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a), _mm256_loadu_ps(b)));
+            debug_assert!(k * cols + j0 + 8 <= w.len());
+            // SAFETY: `k < a_row.len()` and `j0 + 8 <= cols`, so the 8-lane
+            // load ends at `k*cols + j0 + 8 <= a_row.len()*cols <= w.len()`.
+            let bv = unsafe { _mm256_loadu_ps(w.as_ptr().add(k * cols + j0)) };
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a), bv));
         }
-        _mm256_storeu_ps(p, acc);
+        // SAFETY: same bound as the load of this tile.
+        unsafe { _mm256_storeu_ps(p.add(j0), acc) };
         j0 += 8;
     }
     // Remaining columns, scalar.
@@ -129,9 +169,13 @@ unsafe fn accum_row_avx(a_row: &[f32], w: &[f32], cols: usize, out_row: &mut [f3
             if a == 0.0 {
                 continue;
             }
-            let b = w.as_ptr().add(k * cols);
             for j in j0..cols {
-                *out_row.get_unchecked_mut(j) += a * *b.add(j);
+                debug_assert!(j < out_row.len() && k * cols + j < w.len());
+                // SAFETY: `j < cols == out_row.len()`, and `k*cols + j <
+                // a_row.len()*cols <= w.len()`.
+                unsafe {
+                    *out_row.get_unchecked_mut(j) += a * *w.get_unchecked(k * cols + j);
+                }
             }
         }
     }

@@ -557,6 +557,7 @@ mod tests {
 
     /// Numerical gradient check: backprop must agree with finite differences.
     #[test]
+    #[cfg_attr(miri, ignore = "finite-difference/SGD loops; minutes-long under Miri")]
     fn gradient_check_cross_entropy() {
         let mut r = rng();
         let mut net = Mlp::new(&[4, 6, 3], Activation::Tanh, &mut r);
@@ -680,6 +681,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "finite-difference/SGD loops; minutes-long under Miri")]
     fn train_scratch_path_is_bit_identical_to_allocating_path() {
         let mut r = rng();
         for dims in [&[5usize, 8, 3][..], &[4, 21][..], &[6, 16, 16, 7][..]] {

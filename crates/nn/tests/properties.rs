@@ -1,6 +1,11 @@
 //! Property-based tests for the NN substrate: algebraic identities of the
 //! matrix kernels, softmax/CE math, scaler round trips, and checkpoint
 //! serialization over arbitrary architectures.
+//!
+//! Skipped under Miri: hundreds of proptest cases through the full
+//! simulation are minutes-long in an interpreter, and the unsafe code
+//! Miri exists to check is exercised by the faster unit tests.
+#![cfg(not(miri))]
 
 use proptest::prelude::*;
 use puffer_nn::serialize::{load_from_str, save_to_string, Checkpoint};

@@ -514,6 +514,7 @@ mod tests {
         let b = mix_seed(1, 0, 1, 0);
         let c = mix_seed(1, 1, 0, 0);
         let d = mix_seed(2, 0, 0, 0);
+        // lint: order-insensitive — set only checks the four seeds are distinct
         let set: std::collections::HashSet<u64> = [a, b, c, d].into_iter().collect();
         assert_eq!(set.len(), 4);
     }

@@ -40,7 +40,7 @@ pub use experiment::{run_rct, ConsortCounts, ExperimentConfig, RctResult, Scheme
 pub use pensieve_env::{train_pensieve, PensieveTrainConfig};
 pub use scheme::SchemeSpec;
 pub use session::{run_session, SessionOutcome};
-pub use stream::{run_stream, ChunkLog, QuitReason, StreamConfig, StreamOutcome};
+pub use stream::{run_stream, ChunkLog, QuitReason, StreamClock, StreamConfig, StreamOutcome};
 pub use user::UserModel;
 
 /// Minimum watch time for a stream to enter the primary analysis:

@@ -8,7 +8,7 @@
 //! paths), episodes are 10-minute watch segments, and the reward is the
 //! bitrate-based QoE Pensieve optimizes (Fig. 5): it cannot see SSIM (§3.3).
 
-use crate::stream::{run_stream, StreamConfig};
+use crate::stream::{run_stream, StreamClock, StreamConfig};
 use crate::user::{StreamIntent, UserModel};
 use puffer_abr::pensieve::{PensievePolicy, PensieveTrainer, Trajectory};
 use puffer_abr::{Abr, AbrContext, ChunkRecord};
@@ -103,10 +103,8 @@ fn run_episode<R: Rng + ?Sized>(
         &mut source,
         &mut recorder,
         &user,
-        StreamIntent::Watch(cfg.episode_seconds),
-        0.0,
+        StreamClock::starting(StreamIntent::Watch(cfg.episode_seconds)),
         &StreamConfig::default(),
-        0.0,
         rng,
     );
 
@@ -197,6 +195,7 @@ pub fn train_pensieve_with_selection(
             entropy_floor: floor,
             ..*base
         };
+        // lint: seed-mix — derives a distinct training seed per sweep point
         let policy = train_pensieve(&cfg, seed.wrapping_add(i as u64 * 0x1111));
         let score = evaluate_policy(&policy, base, 12, seed ^ 0xe7a1);
         scores.push(score);

@@ -6,7 +6,7 @@
 //! ABR algorithms" (Fig. A1).  The primary experiment randomized 337,170
 //! sessions carrying 1,595,356 streams — about 4.7 streams per session.
 
-use crate::stream::{run_stream, QuitReason, StreamConfig, StreamOutcome};
+use crate::stream::{run_stream, QuitReason, StreamClock, StreamConfig, StreamOutcome};
 use crate::user::UserModel;
 use puffer_abr::Abr;
 use puffer_media::VideoSource;
@@ -64,8 +64,8 @@ pub fn run_session(
         let mut source = VideoSource::puffer_default();
         abr.reset_stream();
         let cfg = StreamConfig { stream_id: session_id * 1000 + stream_seq, ..base_stream_cfg };
-        let out =
-            run_stream(&mut conn, &mut source, abr, user, stream_intent, t, &cfg, t, &mut rng);
+        let clock = StreamClock { intent: stream_intent, session_watch_before: t, start_time: t };
+        let out = run_stream(&mut conn, &mut source, abr, user, clock, &cfg, &mut rng);
         let end = out.end_time.max(t);
         let abandoned = matches!(out.quit, QuitReason::AbandonedStall | QuitReason::AbandonedTail);
         streams.push(out);
@@ -123,6 +123,7 @@ mod tests {
     #[test]
     fn stream_ids_are_unique_within_session() {
         let out = run(3);
+        // lint: order-insensitive — set only detects duplicate stream ids, never iterated
         let mut ids = std::collections::HashSet::new();
         for s in &out.streams {
             for v in &s.telemetry.video_sent {

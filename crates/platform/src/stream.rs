@@ -84,22 +84,40 @@ pub struct StreamOutcome {
 /// Number of recent chunks over which tail-retention QoE is assessed.
 const RECENT_WINDOW: usize = 32;
 
-/// Run one stream starting at `start_time` over an existing connection.
-///
-/// `session_watch_before` is the wall time already spent in this session
-/// (for the 2.5-hour tail-retention rule).
-#[allow(clippy::too_many_arguments)]
+/// The when-and-for-how-long of one stream: the viewer's intent plus the two
+/// session clocks [`run_stream`] needs to place the stream on the simulated
+/// timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamClock {
+    /// What the viewer means to do with this stream (zap away or watch).
+    pub intent: StreamIntent,
+    /// Wall time already spent watching in this session before this stream
+    /// starts, seconds (for the 2.5-hour tail-retention rule).
+    pub session_watch_before: f64,
+    /// Wall-clock time at which the stream starts.
+    pub start_time: f64,
+}
+
+impl StreamClock {
+    /// A stream starting at the session epoch with no prior watch time —
+    /// the common single-stream case.
+    pub fn starting(intent: StreamIntent) -> Self {
+        StreamClock { intent, session_watch_before: 0.0, start_time: 0.0 }
+    }
+}
+
+/// Run one stream over an existing connection, placed on the timeline by
+/// `clock`.
 pub fn run_stream<R: Rng + ?Sized>(
     conn: &mut Connection,
     source: &mut VideoSource,
     abr: &mut dyn Abr,
     user: &UserModel,
-    intent: StreamIntent,
-    session_watch_before: f64,
+    clock: StreamClock,
     cfg: &StreamConfig,
-    start_time: f64,
     rng: &mut R,
 ) -> StreamOutcome {
+    let StreamClock { intent, session_watch_before, start_time } = clock;
     let intent_secs = match intent {
         StreamIntent::Zap(d) | StreamIntent::Watch(d) => d,
     };
@@ -323,10 +341,8 @@ mod tests {
             &mut src,
             &mut abr,
             &user,
-            intent,
-            0.0,
+            StreamClock::starting(intent),
             &StreamConfig::default(),
-            0.0,
             &mut rng(seed),
         )
     }

@@ -112,8 +112,11 @@ impl StreamTelemetry {
     /// when the user leaves is sent but never acked, and would shift every
     /// later pair off by one.  Sent rows with no matching ack are dropped.
     pub fn transmission_times(&self) -> Vec<f64> {
-        use std::collections::HashMap;
-        let mut acked: HashMap<(u64, u64), f64> = HashMap::with_capacity(self.video_acked.len());
+        use std::collections::BTreeMap;
+        // BTreeMap, not HashMap: the index is only probed here, but keeping
+        // hashed containers out of result-affecting paths is a repo
+        // invariant (a later `iter()` must not become a nondeterminism bug).
+        let mut acked: BTreeMap<(u64, u64), f64> = BTreeMap::new();
         for a in &self.video_acked {
             acked.insert((a.stream_id, a.video_ts), a.time);
         }

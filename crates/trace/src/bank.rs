@@ -211,6 +211,7 @@ mod tests {
     fn class_mixture_hits_all_classes() {
         let bank = TraceBank::puffer();
         let mut r = rng(12);
+        // lint: order-insensitive — set only counts distinct path classes, never iterated
         let mut seen = std::collections::HashSet::new();
         for _ in 0..500 {
             seen.insert(bank.sample_path(&mut r).class);
@@ -250,6 +251,7 @@ mod tests {
 
     #[test]
     fn path_class_names_unique() {
+        // lint: order-insensitive — set only checks name uniqueness via len()
         let names: std::collections::HashSet<&str> =
             PathClass::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), 5);

@@ -343,6 +343,7 @@ mod tests {
         let rates: Vec<f64> = t.epochs().map(|e| e.1).collect();
         // Identify nearest level per epoch and count distinct levels visited.
         let levels = Cs2pLikeProcess::fig2_default().levels().to_vec();
+        // lint: order-insensitive — set only counts distinct levels visited, never iterated
         let mut visited = std::collections::HashSet::new();
         for rate in rates {
             let (i, _) = levels

@@ -1,5 +1,10 @@
 //! Property-based tests for trace arithmetic: the integral/inverse-integral
 //! pair must be mutually consistent for *any* piecewise-constant trace.
+//!
+//! Skipped under Miri: hundreds of proptest cases through the full
+//! simulation are minutes-long in an interpreter, and the unsafe code
+//! Miri exists to check is exercised by the faster unit tests.
+#![cfg(not(miri))]
 
 use proptest::prelude::*;
 use puffer_trace::trace::{Epoch, RateTrace};

@@ -10,7 +10,7 @@ use puffer_repro::fugu::{Fugu, Ttp, TtpConfig};
 use puffer_repro::media::VideoSource;
 use puffer_repro::net::{CongestionControl, Connection};
 use puffer_repro::platform::user::StreamIntent;
-use puffer_repro::platform::{run_stream, StreamConfig, UserModel};
+use puffer_repro::platform::{run_stream, StreamClock, StreamConfig, UserModel};
 use puffer_repro::trace::{bytes_per_sec_to_mbps, TraceBank};
 use rand::SeedableRng;
 
@@ -50,10 +50,8 @@ fn main() {
         &mut source,
         &mut fugu,
         &user,
-        StreamIntent::Watch(300.0),
-        0.0,
+        StreamClock::starting(StreamIntent::Watch(300.0)),
         &StreamConfig::default(),
-        0.0,
         &mut rng,
     );
 

@@ -1,0 +1,238 @@
+//! Hard allocation gates for the pinned hot paths.
+//!
+//! Earlier work made the per-decision planners and the training minibatch
+//! step allocation-free and *claimed* so in doc comments; this harness turns
+//! those claims into assertions.  A counting `#[global_allocator]` wraps the
+//! system allocator, and each gate warms its scratch buffers to steady-state
+//! shape, then asserts the measured region performs **zero** heap operations
+//! — so an accidental `Vec::new()` or format! on a hot path fails CI instead
+//! of silently costing microseconds per chunk.
+//!
+//! The counter is thread-local: the libtest harness runs each `#[test]` on
+//! its own thread, so allocations from a concurrently running gate can never
+//! leak into another gate's count.
+
+use fugu::controller::{PlanScratch, StochasticMpc};
+use fugu::dataset::Sample;
+use fugu::training::{train_one_net, TrainConfig, TrainScratch};
+use fugu::ttp::{Ttp, TtpConfig, TtpScratch};
+use fugu::N_BINS;
+use puffer_repro::abr::mpc::{Mpc, MpcScratch};
+use puffer_repro::abr::{AbrContext, ChunkRecord};
+use puffer_repro::media::{ChunkMenu, ChunkOption, CHUNK_SECONDS};
+use puffer_repro::net::TcpInfo;
+use puffer_repro::nn::{Activation, Mlp, Scaler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Wraps the system allocator, counting every heap operation that can
+/// acquire or move memory (`alloc`, `alloc_zeroed`, `realloc`) on the
+/// current thread.  `dealloc` is deliberately not counted: a free in a
+/// measured region implies a prior allocation that was already counted.
+struct CountingAlloc;
+
+thread_local! {
+    static HEAP_OPS: Cell<u64> = const { Cell::new(0) };
+}
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// GlobalAlloc contract; the only addition is a thread-local counter bump,
+// which itself performs no heap operations (const-initialized Cell).
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`, to which this forwards.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        HEAP_OPS.with(|c| c.set(c.get() + 1));
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: same contract as `System::dealloc`, to which this forwards.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; caller upholds the pointer/layout
+        // contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: same contract as `System::alloc_zeroed`, to which this forwards.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        HEAP_OPS.with(|c| c.set(c.get() + 1));
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: same contract as `System::realloc`, to which this forwards.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        HEAP_OPS.with(|c| c.set(c.get() + 1));
+        // SAFETY: forwarded verbatim; caller upholds the pointer/layout
+        // contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap operations performed by `f` on this thread.
+fn heap_ops_in(f: impl FnOnce()) -> u64 {
+    let before = HEAP_OPS.with(Cell::get);
+    f();
+    HEAP_OPS.with(Cell::get) - before
+}
+
+// --- shared fixtures -------------------------------------------------------
+
+fn menus(h: usize) -> Vec<ChunkMenu> {
+    (0..h)
+        .map(|i| ChunkMenu {
+            index: i as u64,
+            options: [0.2e6, 1.0e6, 3.0e6, 5.5e6]
+                .iter()
+                .enumerate()
+                .map(|(r, &bps)| ChunkOption {
+                    size: bps / 8.0 * CHUNK_SECONDS,
+                    ssim_db: 8.0 + 3.0 * r as f64,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn tcp(rate: f64) -> TcpInfo {
+    TcpInfo { cwnd: 20.0, in_flight: 1.0, min_rtt: 0.04, rtt: 0.05, delivery_rate: rate }
+}
+
+fn history(rate: f64) -> Vec<ChunkRecord> {
+    (0..8).map(|_| ChunkRecord { size: rate, transmission_time: 1.0 }).collect()
+}
+
+fn ctx<'a>(menus: &'a [ChunkMenu], history: &'a [ChunkRecord]) -> AbrContext<'a> {
+    AbrContext {
+        buffer: 6.0,
+        prev_ssim_db: Some(11.0),
+        prev_rung: Some(1),
+        lookahead: menus,
+        history,
+        tcp_info: tcp(1_400_000.0),
+    }
+}
+
+// --- gates -----------------------------------------------------------------
+
+/// The Fugu controller's per-chunk decision: zero heap operations once the
+/// plan scratch has reached steady-state shape.  A randomly initialized TTP
+/// exercises the same code path as a trained one — the planner's work per
+/// decision does not depend on the weights.
+#[test]
+fn stochastic_mpc_plan_is_allocation_free() {
+    let ttp = Ttp::new(TtpConfig::default(), 11);
+    let m = menus(5);
+    let h = history(1_400_000.0);
+    let c = ctx(&m, &h);
+    let smpc = StochasticMpc::default();
+    let mut scratch = PlanScratch::new();
+
+    smpc.plan_with(&c, &ttp, &mut scratch); // warm the scratch buffers
+    let warm_rung = smpc.plan_with(&c, &ttp, &mut scratch);
+
+    let mut rung = usize::MAX;
+    let ops = heap_ops_in(|| {
+        rung = smpc.plan_with(&c, &ttp, &mut scratch);
+    });
+    assert_eq!(ops, 0, "StochasticMpc::plan_with allocated on a warm scratch");
+    assert_eq!(rung, warm_rung, "measured call must agree with the warm call");
+}
+
+/// The MPC-HM / RobustMPC-HM value iteration: zero heap operations on a
+/// warm scratch, for both the plain and robust discounting variants.
+#[test]
+fn mpc_plan_is_allocation_free() {
+    let m = menus(5);
+    let h = history(1_400_000.0);
+    let c = ctx(&m, &h);
+    for mpc in [Mpc::mpc_hm(), Mpc::robust_mpc_hm()] {
+        let mut scratch = MpcScratch::new();
+        mpc.plan_with(&c, 1_400_000.0, &mut scratch); // warm
+        let ops = heap_ops_in(|| {
+            mpc.plan_with(&c, 1_400_000.0, &mut scratch);
+        });
+        assert_eq!(ops, 0, "Mpc::plan_with allocated on a warm scratch");
+    }
+}
+
+/// The TTP inference kernel the planner calls per step: zero heap operations
+/// once `TtpScratch` and the output buffer are warm.
+#[test]
+fn ttp_predict_into_is_allocation_free() {
+    let ttp = Ttp::new(TtpConfig::default(), 7);
+    let h = history(1_400_000.0);
+    let info = tcp(1_400_000.0);
+    let sizes = [50_000.0, 250_000.0, 750_000.0, 1_375_000.0];
+    let mut scratch = TtpScratch::new();
+    let mut out = vec![0.0f64; sizes.len() * N_BINS];
+
+    ttp.predict_time_distributions_into(0, &h, &info, &sizes, &mut scratch, &mut out); // warm
+    let ops = heap_ops_in(|| {
+        ttp.predict_time_distributions_into(0, &h, &info, &sizes, &mut scratch, &mut out);
+    });
+    assert_eq!(ops, 0, "predict_time_distributions_into allocated on a warm scratch");
+}
+
+/// The training minibatch step: zero heap operations *per epoch* on a warm
+/// `TrainScratch`.
+///
+/// A whole `train_one_net` call is not allocation-free — it constructs a
+/// fresh `Sgd` whose velocity buffers are allocated lazily on the first
+/// optimizer step — but that cost is fixed per call.  Differencing two
+/// warmed calls that differ only in epoch count cancels every fixed cost
+/// and isolates the per-epoch/per-batch loop, which must be exactly zero.
+#[test]
+fn train_one_net_epochs_are_allocation_free() {
+    const FEATURES: usize = 22;
+    let mut rng = StdRng::seed_from_u64(3);
+    let samples: Vec<Sample> = (0..256)
+        .map(|_| Sample {
+            features: (0..FEATURES).map(|_| rng.random::<f32>()).collect(),
+            target: rng.random_range(0..N_BINS),
+            weight: 1.0,
+        })
+        .collect();
+    let scaler = Scaler::identity(FEATURES);
+    let mut net = Mlp::new(&[FEATURES, 32, N_BINS], Activation::Relu, &mut rng);
+    let mut scratch = TrainScratch::new();
+    let base = TrainConfig::default();
+    let two = TrainConfig { epochs: 2, ..base };
+    let four = TrainConfig { epochs: 4, ..base };
+
+    // Warm the scratch (and the net's gradient/cache shapes) to steady state.
+    train_one_net(&mut net, &scaler, &samples, &four, &mut StdRng::seed_from_u64(5), &mut scratch);
+
+    let ops_two = heap_ops_in(|| {
+        train_one_net(
+            &mut net,
+            &scaler,
+            &samples,
+            &two,
+            &mut StdRng::seed_from_u64(5),
+            &mut scratch,
+        );
+    });
+    let ops_four = heap_ops_in(|| {
+        train_one_net(
+            &mut net,
+            &scaler,
+            &samples,
+            &four,
+            &mut StdRng::seed_from_u64(5),
+            &mut scratch,
+        );
+    });
+    assert_eq!(
+        ops_four,
+        ops_two,
+        "two extra epochs performed {} heap operation(s): the minibatch loop is \
+         no longer allocation-free",
+        ops_four.saturating_sub(ops_two)
+    );
+}

@@ -20,6 +20,7 @@ fn simulate_archive(seed: u64, sessions: usize) -> (DailyArchive, usize) {
             CongestionControl::Bbr,
             StreamConfig::default(),
             i as u64,
+            // lint: seed-mix — derives the per-session RNG seed for the archive run
             seed.wrapping_add(i as u64),
         );
         for s in &out.streams {
@@ -55,7 +56,7 @@ fn archive_csvs_parse_back() {
     // Parse video_sent back and sanity-check every row.
     let sent_csv = std::fs::read_to_string(&paths[0]).unwrap();
     let mut rows = 0;
-    let mut sent_by_chunk = std::collections::HashMap::new();
+    let mut sent_by_chunk = std::collections::BTreeMap::new();
     for line in sent_csv.lines().skip(1) {
         let fields: Vec<&str> = line.split(',').collect();
         assert_eq!(fields.len(), 11, "schema: {line}");
