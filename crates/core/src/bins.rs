@@ -21,6 +21,25 @@ pub fn bin_index(t: f64) -> usize {
     }
 }
 
+/// Total version of [`bin_index`]: clamps degenerate times instead of
+/// panicking, with the same discipline as
+/// [`crate::ttp::throughput_bin_index`] — NaN and negative inputs land in
+/// the first bin, `+inf` in the last.  Bit-identical to [`bin_index`] on
+/// finite non-negative input, so swapping it in changes no well-formed
+/// result.  The throughput ablation's re-binning needs this: `size /
+/// throughput_bin_center(b)` turns a NaN, infinite, or negative proposed
+/// size into a non-finite time, and a panic there would take down a whole
+/// planning call over one degenerate menu entry.
+pub fn bin_index_total(t: f64) -> usize {
+    if t.is_nan() || t < 0.25 {
+        return 0; // covers all of [-inf, 0.25) and NaN
+    }
+    if t == f64::INFINITY {
+        return N_BINS - 1;
+    }
+    (((t + 0.25) / BIN_WIDTH).floor() as usize).min(N_BINS - 1)
+}
+
 /// Representative time (seconds) for a bin — its midpoint, with the open
 /// last bin represented by a pessimistic 12 s (anything ≥ 9.75 s stalls a
 /// 15-second buffer pipeline badly; the exact value only shifts how much the
@@ -63,6 +82,21 @@ mod tests {
         assert_eq!(bin_index(9.74), 19);
         assert_eq!(bin_index(9.75), 20);
         assert_eq!(bin_index(1000.0), 20);
+    }
+
+    #[test]
+    fn total_bin_index_matches_partial_on_valid_input_and_clamps_the_rest() {
+        let mut t = 0.0;
+        while t < 15.0 {
+            assert_eq!(bin_index_total(t), bin_index(t), "t={t}");
+            t += 0.01;
+        }
+        assert_eq!(bin_index_total(f64::NAN), 0);
+        assert_eq!(bin_index_total(-1.0), 0);
+        assert_eq!(bin_index_total(f64::NEG_INFINITY), 0);
+        assert_eq!(bin_index_total(f64::INFINITY), N_BINS - 1);
+        assert_eq!(bin_index_total(f64::MAX), N_BINS - 1);
+        assert_eq!(bin_index_total(-0.0), 0);
     }
 
     #[test]

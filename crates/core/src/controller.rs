@@ -99,6 +99,17 @@ impl PlanScratch {
         }
         self.table_bins = bins;
     }
+
+    /// Size the per-(step, rung) time-distribution table for a `horizon ×
+    /// n_rungs` plan and return it for external filling — the cross-stream
+    /// batch scheduler scatters batched TTP rows straight into this table
+    /// and then calls [`StochasticMpc::plan_from_dists`].  Layout:
+    /// `(step * n_rungs + rung) * N_BINS + bin`.  Contents are unspecified
+    /// after resize; overwrite every step's block.
+    pub fn dists_for(&mut self, horizon: usize, n_rungs: usize) -> &mut [f64] {
+        self.dists.resize(horizon * n_rungs * N_BINS, 0.0);
+        &mut self.dists
+    }
 }
 
 /// The value-iteration planner.  Stateless; all inputs arrive per decision.
@@ -132,18 +143,20 @@ impl StochasticMpc {
     /// identical decisions, zero heap allocations once the scratch has warmed
     /// up to the (horizon, rungs, bins) shape.
     pub fn plan_with(&self, ctx: &AbrContext, ttp: &Ttp, scratch: &mut PlanScratch) -> usize {
-        const PROB_EPSILON: f64 = 1e-4;
+        self.fill_dists(ctx, ttp, scratch);
+        self.plan_from_dists(ctx, ttp.horizon(), scratch)
+    }
+
+    /// The TTP-query half of [`StochasticMpc::plan_with`]: fill the
+    /// scratch's per-(step, rung) time-distribution table with one
+    /// per-stream batched forward per step.  The cross-stream batch
+    /// scheduler replaces this half — scattering rows from a
+    /// [`Ttp::predict_time_distributions_batched_into`] call into
+    /// [`PlanScratch::dists_for`] — and both halves feed the same
+    /// [`StochasticMpc::plan_from_dists`].
+    pub fn fill_dists(&self, ctx: &AbrContext, ttp: &Ttp, scratch: &mut PlanScratch) {
         let horizon = ttp.horizon().min(ctx.lookahead.len());
         let n_rungs = ctx.n_rungs();
-        let bins = self.config.buffer_bins;
-        let bin_w = MAX_BUFFER_SECONDS / (bins - 1) as f64;
-        let to_bin = |buffer: f64| ((buffer / bin_w).round() as usize).min(bins - 1);
-        let mu = self.config.qoe.mu;
-        let lambda = self.config.qoe.lambda;
-
-        scratch.ensure_tables(bins, bin_w);
-
-        // Time distribution per (step, rung): one batched forward per step.
         let stride = n_rungs * N_BINS;
         scratch.dists.resize(horizon * stride, 0.0);
         for step in 0..horizon {
@@ -158,7 +171,39 @@ impl StochasticMpc {
                 &mut scratch.ttp,
                 out,
             );
-            if self.config.point_estimate {
+        }
+    }
+
+    /// The value-iteration half of [`StochasticMpc::plan_with`]: plan from
+    /// the already-filled distribution table (see
+    /// [`StochasticMpc::fill_dists`] / [`PlanScratch::dists_for`]).
+    /// `ttp_horizon` is the predictor's horizon; the effective plan horizon
+    /// is its minimum with the visible lookahead, exactly as before the
+    /// split.  The point-estimate collapse (§4.6) happens here, per
+    /// (step, rung) — order-independent, so collapsing after the fill is
+    /// bit-identical to collapsing inside the fill loop.
+    pub fn plan_from_dists(
+        &self,
+        ctx: &AbrContext,
+        ttp_horizon: usize,
+        scratch: &mut PlanScratch,
+    ) -> usize {
+        const PROB_EPSILON: f64 = 1e-4;
+        let horizon = ttp_horizon.min(ctx.lookahead.len());
+        let n_rungs = ctx.n_rungs();
+        let bins = self.config.buffer_bins;
+        let bin_w = MAX_BUFFER_SECONDS / (bins - 1) as f64;
+        let to_bin = |buffer: f64| ((buffer / bin_w).round() as usize).min(bins - 1);
+        let mu = self.config.qoe.mu;
+        let lambda = self.config.qoe.lambda;
+        let stride = n_rungs * N_BINS;
+        assert!(scratch.dists.len() >= horizon * stride, "fill dists before planning");
+
+        scratch.ensure_tables(bins, bin_w);
+
+        if self.config.point_estimate {
+            for step in 0..horizon {
+                let out = &mut scratch.dists[step * stride..(step + 1) * stride];
                 for a in 0..n_rungs {
                     let d = &mut out[a * N_BINS..(a + 1) * N_BINS];
                     // Argmax the f64 table directly: round-tripping through

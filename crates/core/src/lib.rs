@@ -41,4 +41,4 @@ pub use controller::{ControllerConfig, PlanScratch, StochasticMpc};
 pub use dataset::{ChunkObservation, Dataset};
 pub use fugu::Fugu;
 pub use training::{train, train_reference, TrainConfig, TrainReport, TrainScratch};
-pub use ttp::{Ttp, TtpConfig, TtpScratch};
+pub use ttp::{Ttp, TtpBatchQuery, TtpConfig, TtpScratch};

@@ -118,6 +118,9 @@ pub struct TtpScratch {
     /// Batched input matrix (throughput ablation only; the transmission-time
     /// path never materializes the batch).
     features: Matrix,
+    /// Hidden-width accumulator for one query's shared-prefix response while
+    /// the staged batch matrix is lent out (cross-stream batching only).
+    partial: Vec<f32>,
     /// Ping/pong activation buffers for the forward pass.
     mlp: MlpScratch,
 }
@@ -129,6 +132,7 @@ impl Default for TtpScratch {
             scaled: Vec::new(),
             lasts: Vec::new(),
             features: Matrix::zeros(0, 0),
+            partial: Vec::new(),
             mlp: MlpScratch::new(),
         }
     }
@@ -138,6 +142,37 @@ impl TtpScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// Spread a throughput distribution over transmission-time bins for one
+/// proposed size: each throughput bin's center implies a transmission time
+/// `size / center`, whose time bin accumulates that bin's probability mass.
+///
+/// Uses [`bins::bin_index_total`] so the loop is total: a degenerate
+/// proposed size (NaN, ±inf, negative) yields a non-finite or negative time
+/// for some centers, which clamps to an edge bin instead of panicking — and
+/// is bit-identical to the partial `bin_index` on every well-formed size.
+fn rebin_throughput_to_time(probs: &[f32], size: f64, time_row: &mut [f64]) {
+    for (b, &p) in probs.iter().enumerate() {
+        let t = size / throughput_bin_center(b);
+        time_row[bins::bin_index_total(t)] += f64::from(p);
+    }
+}
+
+/// One stream's query within a cross-stream batched TTP call
+/// ([`Ttp::predict_time_distributions_batched_into`]): the same
+/// (history, tcp_info, proposed sizes) triple the per-stream
+/// [`Ttp::predict_time_distributions_into`] takes, borrowed so a scheduler
+/// can assemble one query per concurrent stream without copying.
+#[derive(Debug, Clone, Copy)]
+pub struct TtpBatchQuery<'a> {
+    /// Delivered-chunk history, oldest first (zero-padded on the left when
+    /// shorter than the configured window).
+    pub history: &'a [ChunkRecord],
+    /// Kernel TCP statistics at the decision point.
+    pub tcp_info: &'a TcpInfo,
+    /// Candidate chunk sizes — one output row per entry; must be non-empty.
+    pub proposed_sizes: &'a [f64],
 }
 
 /// The predictor: `horizon` networks plus a shared input scaler.
@@ -359,10 +394,104 @@ impl Ttp {
                 out.fill(0.0);
                 for (r, &size) in proposed_sizes.iter().enumerate() {
                     let time_row = &mut out[r * N_BINS..(r + 1) * N_BINS];
-                    for (b, &p) in probs.iter().enumerate() {
-                        let t = size / throughput_bin_center(b);
-                        time_row[bins::bin_index(t)] += f64::from(p);
+                    rebin_throughput_to_time(probs, size, time_row);
+                }
+            }
+        }
+    }
+
+    /// Cross-stream batched variant of
+    /// [`Ttp::predict_time_distributions_into`]: one forward pass per
+    /// step-net over *all* concurrent streams' rungs at once, instead of one
+    /// (rungs × features) micro-batch per stream.  Rows are written to `out`
+    /// contiguously in query order — query `q`'s rung `r` lands at flat row
+    /// `Σ_{i<q} sizes_i.len() + r` — and every row is **bit-identical** to
+    /// what the per-stream call would produce for that query alone:
+    ///
+    /// * each query's first-layer rows are staged with the exact op sequence
+    ///   of the shared-prefix path ([`Mlp::first_layer_shared_last_rows`]);
+    /// * bias, activation, the tail matmuls, and the softmax are all
+    ///   row-wise independent with a fixed per-element operation order, so
+    ///   batch size cannot change any row's value
+    ///   ([`Mlp::forward_staged_into`], `docs/BATCHING.md`).
+    ///
+    /// Zero heap operations once `scratch` has grown to the steady-state
+    /// batch shape (pinned by `tests/alloc_gate.rs`).
+    pub fn predict_time_distributions_batched_into(
+        &self,
+        step: usize,
+        queries: &[TtpBatchQuery<'_>],
+        scratch: &mut TtpScratch,
+        out: &mut [f64],
+    ) {
+        assert!(step < self.config.horizon, "step {step} beyond horizon");
+        assert!(!queries.is_empty());
+        let total: usize = queries.iter().map(|q| q.proposed_sizes.len()).sum();
+        assert!(queries.iter().all(|q| !q.proposed_sizes.is_empty()));
+        assert_eq!(out.len(), total * N_BINS, "output buffer shape mismatch");
+        let f = self.config.n_features();
+        scratch.scaled.resize(f, 0.0);
+        match self.config.target {
+            PredictionTarget::TransmissionTime => {
+                let net = &self.nets[step];
+                let (mean, std) = (self.scaler.mean()[f - 1], self.scaler.std()[f - 1]);
+                let staged = scratch.mlp.staged_rows_mut(total, net.layers()[0].out_dim());
+                let mut row0 = 0;
+                for q in queries {
+                    self.raw_features_into(
+                        q.history,
+                        q.tcp_info,
+                        q.proposed_sizes[0],
+                        &mut scratch.raw,
+                    );
+                    self.scaler.transform_into(&scratch.raw, &mut scratch.scaled);
+                    scratch.lasts.clear();
+                    scratch.lasts.extend(q.proposed_sizes.iter().map(|&s| (s as f32 - mean) / std));
+                    net.first_layer_shared_last_rows(
+                        &scratch.scaled[..f - 1],
+                        &scratch.lasts,
+                        &mut scratch.partial,
+                        staged,
+                        row0,
+                    );
+                    row0 += q.proposed_sizes.len();
+                }
+                let logits = net.forward_staged_into(&mut scratch.mlp);
+                loss::softmax_rows_inplace(logits);
+                for (o, &p) in out.iter_mut().zip(logits.data()) {
+                    *o = f64::from(p);
+                }
+            }
+            PredictionTarget::Throughput => {
+                // The throughput net ignores the proposed size, so one row
+                // per *query* suffices; each query's row is then re-binned
+                // once per rung, exactly like the per-stream path.
+                scratch.features.resize(queries.len(), f);
+                for (i, q) in queries.iter().enumerate() {
+                    self.raw_features_into(
+                        q.history,
+                        q.tcp_info,
+                        q.proposed_sizes[0],
+                        &mut scratch.raw,
+                    );
+                    self.scaler.transform_into(&scratch.raw, &mut scratch.scaled);
+                    scratch.features.row_mut(i).copy_from_slice(&scratch.scaled);
+                }
+                let logits = self.nets[step].forward_into(&scratch.features, &mut scratch.mlp);
+                loss::softmax_rows_inplace(logits);
+                out.fill(0.0);
+                let mut row0 = 0;
+                for (i, q) in queries.iter().enumerate() {
+                    let probs = logits.row(i);
+                    for (r, &size) in q.proposed_sizes.iter().enumerate() {
+                        let row = row0 + r;
+                        rebin_throughput_to_time(
+                            probs,
+                            size,
+                            &mut out[row * N_BINS..(row + 1) * N_BINS],
+                        );
                     }
+                    row0 += q.proposed_sizes.len();
                 }
             }
         }
@@ -568,6 +697,96 @@ mod tests {
                 assert_eq!(one, one_flat);
             }
         }
+    }
+
+    #[test]
+    fn cross_stream_batched_matches_independent_queries() {
+        // The batching contract: one batched call over N streams' queries is
+        // bit-identical to N independent per-stream calls, for both targets
+        // and ragged per-query rung counts.
+        for (seed, target) in
+            [(21, PredictionTarget::TransmissionTime), (22, PredictionTarget::Throughput)]
+        {
+            let ttp = Ttp::new(TtpConfig { target, ..TtpConfig::default() }, seed);
+            let histories: Vec<Vec<ChunkRecord>> = (0..4).map(|i| history(2 + 3 * i)).collect();
+            let infos: Vec<TcpInfo> = (0..4)
+                .map(|i| TcpInfo { delivery_rate: 200_000.0 * (i + 1) as f64, ..tcp() })
+                .collect();
+            let sizes: Vec<Vec<f64>> =
+                (0..4).map(|i| (0..=i).map(|r| 90_000.0 * (r + i + 1) as f64).collect()).collect();
+            let queries: Vec<TtpBatchQuery> = (0..4)
+                .map(|i| TtpBatchQuery {
+                    history: &histories[i],
+                    tcp_info: &infos[i],
+                    proposed_sizes: &sizes[i],
+                })
+                .collect();
+            let total: usize = sizes.iter().map(Vec::len).sum();
+            let mut batched = vec![0.0f64; total * N_BINS];
+            let mut scratch = TtpScratch::new();
+            for step in 0..ttp.horizon() {
+                ttp.predict_time_distributions_batched_into(
+                    step,
+                    &queries,
+                    &mut scratch,
+                    &mut batched,
+                );
+                let mut row0 = 0;
+                for (i, q) in queries.iter().enumerate() {
+                    let mut single = vec![0.0f64; q.proposed_sizes.len() * N_BINS];
+                    let mut single_scratch = TtpScratch::new();
+                    ttp.predict_time_distributions_into(
+                        step,
+                        q.history,
+                        q.tcp_info,
+                        q.proposed_sizes,
+                        &mut single_scratch,
+                        &mut single,
+                    );
+                    assert_eq!(
+                        single[..],
+                        batched[row0 * N_BINS..(row0 + q.proposed_sizes.len()) * N_BINS],
+                        "step {step} query {i}"
+                    );
+                    row0 += q.proposed_sizes.len();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_rebinning_is_total_on_degenerate_sizes() {
+        // A menu carrying a NaN, infinite, or negative size must clamp into
+        // the edge time bins, not panic mid-plan; mass is conserved per row.
+        let ttp =
+            Ttp::new(TtpConfig { target: PredictionTarget::Throughput, ..TtpConfig::default() }, 9);
+        let sizes = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -1.0e9,
+            0.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            800_000.0,
+        ];
+        let mut scratch = TtpScratch::new();
+        let mut out = vec![0.0f64; sizes.len() * N_BINS];
+        let h = history(8);
+        let info = tcp();
+        ttp.predict_time_distributions_into(0, &h, &info, &sizes, &mut scratch, &mut out);
+        for (r, row) in out.chunks(N_BINS).enumerate() {
+            let mass: f64 = row.iter().sum();
+            assert!((mass - 1.0).abs() < 1e-5, "row {r} mass {mass}");
+        }
+        // NaN times clamp low; +inf sizes clamp to the slowest bin.
+        assert!((out[0] - 1.0).abs() < 1e-5, "NaN size concentrates in bin 0");
+        assert!((out[N_BINS + N_BINS - 1] - 1.0).abs() < 1e-5, "inf size in last bin");
+        // Same guarantees through the batched entry point.
+        let q = TtpBatchQuery { history: &h, tcp_info: &info, proposed_sizes: &sizes };
+        let mut batched = vec![0.0f64; sizes.len() * N_BINS];
+        ttp.predict_time_distributions_batched_into(0, &[q], &mut scratch, &mut batched);
+        assert_eq!(out, batched);
     }
 
     #[test]

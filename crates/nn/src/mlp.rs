@@ -238,6 +238,16 @@ impl MlpScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Resize the staged first-layer buffer to `rows × cols` and return it
+    /// for the caller to fill (contents are unspecified; overwrite every row,
+    /// e.g. via [`Mlp::first_layer_shared_last_rows`]).  This is the input to
+    /// [`Mlp::forward_staged_into`], which finishes the pass over all rows at
+    /// once — the cross-stream batching entry point.
+    pub fn staged_rows_mut(&mut self, rows: usize, cols: usize) -> &mut Matrix {
+        self.ping.resize(rows, cols);
+        &mut self.ping
+    }
 }
 
 /// A multi-layer perceptron: dense layers with a shared hidden activation and
@@ -364,6 +374,72 @@ impl Mlp {
                 axpy(a, w_last, row);
             }
         }
+        scratch.ping.add_row_broadcast(&l0.b);
+        if self.layers.len() > 1 {
+            scratch.ping.map_inplace(|v| self.activation.apply(v));
+        }
+        self.forward_tail(scratch)
+    }
+
+    /// Stage the *pre-bias* first-layer rows of one shared-prefix group into
+    /// rows `row0..row0 + last_feature.len()` of `staged` (grown beforehand
+    /// via [`MlpScratch::staged_rows_mut`]).
+    ///
+    /// This is the per-group half of [`Mlp::forward_shared_last_into`],
+    /// decoupled from the tail so that *many* groups — one per concurrent
+    /// stream, each with its own shared feature prefix and per-rung last
+    /// column — can be stacked into a single staged matrix and finished by
+    /// one [`Mlp::forward_staged_into`] pass per step-net.  The op sequence
+    /// per row (zeroed partial accumulated by k-ascending `axpy` with the
+    /// same zero-skip, then the row's own last-feature `axpy`) is exactly the
+    /// single-group path's, so every staged row is bit-identical to what
+    /// `forward_shared_last_into` would have produced for that group alone.
+    ///
+    /// `partial` is a reusable hidden-width accumulator owned by the caller
+    /// (it cannot live in the scratch, whose `ping` is lent out as `staged`).
+    pub fn first_layer_shared_last_rows(
+        &self,
+        shared: &[f32],
+        last_feature: &[f32],
+        partial: &mut Vec<f32>,
+        staged: &mut Matrix,
+        row0: usize,
+    ) {
+        let l0 = &self.layers[0];
+        assert_eq!(shared.len() + 1, l0.in_dim(), "shared prefix + 1 == input dim");
+        let h = l0.out_dim();
+        assert_eq!(staged.cols(), h, "staged width must match the first layer");
+        assert!(row0 + last_feature.len() <= staged.rows(), "staged rows overflow");
+
+        partial.resize(h, 0.0);
+        partial.fill(0.0);
+        for (k, &a) in shared.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            axpy(a, l0.w.row(k), partial);
+        }
+        let w_last = l0.w.row(shared.len());
+        for (i, &a) in last_feature.iter().enumerate() {
+            let row = staged.row_mut(row0 + i);
+            row.copy_from_slice(partial);
+            if a != 0.0 {
+                axpy(a, w_last, row);
+            }
+        }
+    }
+
+    /// Finish a staged batch: add the first layer's bias, apply the hidden
+    /// activation, and run layers 1.. over every staged row at once.
+    ///
+    /// The bias broadcast, activation, and tail matmuls are all row-wise
+    /// independent with a fixed per-element operation order, so each row of
+    /// the result is bit-identical to running its group alone through
+    /// [`Mlp::forward_shared_last_into`] — the argument `docs/BATCHING.md`
+    /// spells out.  Returns the logits (one row per staged row).
+    pub fn forward_staged_into<'a>(&self, scratch: &'a mut MlpScratch) -> &'a mut Matrix {
+        let l0 = &self.layers[0];
+        assert_eq!(scratch.ping.cols(), l0.out_dim(), "stage rows before finishing the batch");
         scratch.ping.add_row_broadcast(&l0.b);
         if self.layers.len() > 1 {
             scratch.ping.map_inplace(|v| self.activation.apply(v));
@@ -677,6 +753,64 @@ mod tests {
             let mut scratch = MlpScratch::new();
             let out = net.forward_shared_last_into(&shared, &lasts, &mut scratch);
             assert_eq!(reference.data(), out.data());
+        }
+    }
+
+    #[test]
+    fn staged_multi_group_batch_is_bit_identical_to_per_group_passes() {
+        // The cross-stream batching contract: stacking several shared-prefix
+        // groups (streams) into one staged matrix and finishing with a single
+        // tail pass must reproduce every group's forward_shared_last_into
+        // output bit-for-bit — including ragged group sizes, zeros in both
+        // the prefix and the last column, and a single-layer (linear) net.
+        let mut r = rng();
+        for dims in [&[6usize, 8, 8, 4][..], &[5, 21][..], &[4, 16, 3][..]] {
+            let net = Mlp::new(dims, Activation::Relu, &mut r);
+            let f = dims[0];
+            let groups: Vec<(Vec<f32>, Vec<f32>)> = (0..4)
+                .map(|g| {
+                    let shared: Vec<f32> =
+                        (0..f - 1)
+                            .map(|i| {
+                                if (i + g) % 3 == 0 {
+                                    0.0
+                                } else {
+                                    ((i + 7 * g) as f32 * 0.37).sin()
+                                }
+                            })
+                            .collect();
+                    let lasts: Vec<f32> = (0..=g)
+                        .map(|i| if i == 2 { 0.0 } else { (i as f32 - 0.8) * 1.3 })
+                        .collect();
+                    (shared, lasts)
+                })
+                .collect();
+            let total: usize = groups.iter().map(|(_, l)| l.len()).sum();
+
+            let mut batch_scratch = MlpScratch::new();
+            let mut partial = Vec::new();
+            let staged = batch_scratch.staged_rows_mut(total, net.layers()[0].out_dim());
+            let mut row0 = 0;
+            for (shared, lasts) in &groups {
+                net.first_layer_shared_last_rows(shared, lasts, &mut partial, staged, row0);
+                row0 += lasts.len();
+            }
+            let out = net.forward_staged_into(&mut batch_scratch);
+            assert_eq!((out.rows(), out.cols()), (total, *dims.last().unwrap()));
+            let flat = out.data().to_vec();
+            let cols = *dims.last().unwrap();
+
+            let mut single = MlpScratch::new();
+            let mut row0 = 0;
+            for (shared, lasts) in &groups {
+                let reference = net.forward_shared_last_into(shared, lasts, &mut single);
+                assert_eq!(
+                    reference.data(),
+                    &flat[row0 * cols..(row0 + lasts.len()) * cols],
+                    "group at staged row {row0} diverged"
+                );
+                row0 += lasts.len();
+            }
         }
     }
 

@@ -8,8 +8,9 @@
 //! started from yesterday's weights (§4.3).  Exclusions are accounted in the
 //! CONSORT style of Fig. A1.
 
+use crate::batch::BatchRunner;
 use crate::scheme::SchemeSpec;
-use crate::session::run_session;
+use crate::session::{run_session, SessionOutcome};
 use crate::stream::{QuitReason, StreamConfig};
 use crate::user::UserModel;
 use crate::MIN_CONSIDERED_WATCH;
@@ -20,6 +21,7 @@ use puffer_stats::StreamSummary;
 use puffer_trace::TraceBank;
 use rand::Rng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// CONSORT-style stream accounting for one arm (Fig. A1).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -85,6 +87,14 @@ pub struct ExperimentConfig {
     /// every stream (pinned by `abr_reuse_matches_fresh_instantiation`).
     /// `false` restores per-session instantiation.
     pub reuse_abrs: bool,
+    /// Batch concurrent Fugu-family sessions' TTP queries: each worker runs
+    /// its sessions as suspended [`crate::session::SessionRun`] state
+    /// machines and answers a whole wave's chunk decisions with one
+    /// `(streams · rungs) × features` forward pass per lookahead step
+    /// ([`crate::batch`]).  Results are bit-identical to the per-stream path
+    /// (pinned by the fingerprint tests in `tests/determinism.rs`); `false`
+    /// restores the one-session-at-a-time inner loop.
+    pub batch_streams: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -100,6 +110,7 @@ impl Default for ExperimentConfig {
             user: UserModel::default(),
             paired: false,
             reuse_abrs: true,
+            batch_streams: true,
         }
     }
 }
@@ -135,14 +146,10 @@ struct SessionResult {
     observations: Vec<Vec<fugu::ChunkObservation>>,
 }
 
-/// One worker's share of a day: (session spec, output slot) pairs whose slot
-/// borrows are disjoint by construction.
-type WorkerShare<'a> = Vec<(&'a (usize, u64, u64), &'a mut Option<SessionResult>)>;
-
 /// Per-arm ABR instances one worker reuses across its share of a day's
 /// sessions.  Instances are built lazily (a worker may never draw some arm)
 /// and rebuilt each day, so a nightly TTP swap (§4.3) reaches every worker.
-struct ArmAbrs<'a> {
+pub(crate) struct ArmAbrs<'a> {
     schemes: &'a [SchemeSpec],
     abrs: Vec<Option<Box<dyn Abr>>>,
 }
@@ -152,10 +159,21 @@ impl<'a> ArmAbrs<'a> {
         ArmAbrs { schemes, abrs: schemes.iter().map(|_| None).collect() }
     }
 
-    fn get(&mut self, arm: usize) -> &mut dyn Abr {
+    pub(crate) fn get(&mut self, arm: usize) -> &mut dyn Abr {
         let schemes = self.schemes;
         self.abrs[arm].get_or_insert_with(|| schemes[arm].instantiate()).as_mut()
     }
+}
+
+/// Collision-free session id: day in the high 32 bits, session index in the
+/// low 32.  The previous `day * 1_000_000 + i` packing silently collided
+/// once `sessions_per_day` reached one million — paper scale is 337,170
+/// sessions over 118 days, so a long bank of simulated days at deployment
+/// rates walks straight into ids that alias across days and corrupt the
+/// telemetry joins keyed on `stream_id` (which embeds the session id).
+fn session_id(day: u32, index: usize) -> u64 {
+    assert!((index as u64) < u64::from(u32::MAX), "session index must fit in 32 bits");
+    (u64::from(day) << 32) | index as u64
 }
 
 fn run_one_session(
@@ -168,7 +186,11 @@ fn run_one_session(
 ) -> SessionResult {
     let stream_cfg = StreamConfig { expt_id: arm as u32, ..StreamConfig::default() };
     let out = run_session(bank, abr, &cfg.user, cfg.cc, stream_cfg, session_id, seed);
+    account_session(arm, out)
+}
 
+/// Fold one session's outcome into the CONSORT accounting (Fig. A1).
+fn account_session(arm: usize, out: SessionOutcome) -> SessionResult {
     let mut consort = ConsortCounts { sessions: 1, ..ConsortCounts::default() };
     let mut summaries = Vec::new();
     let mut observations = Vec::new();
@@ -193,6 +215,66 @@ fn run_one_session(
         }
     }
     SessionResult { arm, summaries, session_duration, consort, observations }
+}
+
+/// One worker's day: claim sessions off the shared counter until it runs
+/// dry.  Fugu-family sessions join the worker's [`BatchRunner`] wave (their
+/// chunk decisions are answered by batched TTP passes); everything else runs
+/// inline.  Returns `(spec index, result)` pairs in completion order — the
+/// caller sorts by index before aggregating.
+fn run_day_worker(
+    specs: &[(usize, u64, u64)],
+    next: &AtomicUsize,
+    schemes: &[SchemeSpec],
+    bank: &TraceBank,
+    cfg: &ExperimentConfig,
+) -> Vec<(usize, SessionResult)> {
+    let mut out: Vec<(usize, SessionResult)> = Vec::new();
+    let mut pool = ArmAbrs::new(schemes);
+    let mut batcher =
+        if cfg.batch_streams { Some(BatchRunner::new(schemes, bank, cfg)) } else { None };
+    let mut finished: Vec<(usize, usize, SessionOutcome)> = Vec::new();
+    let mut exhausted = false;
+    loop {
+        // Claim work: batchable sessions fill the wave, others run inline.
+        while !exhausted && batcher.as_ref().is_none_or(BatchRunner::has_room) {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= specs.len() {
+                exhausted = true;
+                break;
+            }
+            let (arm, id, seed) = specs[i];
+            match batcher.as_mut() {
+                Some(b) if b.is_batchable(arm) => b.admit(i, arm, id, seed),
+                _ => {
+                    let mut fresh;
+                    let abr: &mut dyn Abr = if cfg.reuse_abrs {
+                        pool.get(arm)
+                    } else {
+                        fresh = schemes[arm].instantiate();
+                        fresh.as_mut()
+                    };
+                    out.push((i, run_one_session(abr, arm, bank, cfg, id, seed)));
+                }
+            }
+        }
+        match batcher.as_mut() {
+            None => break, // every claimed session already ran inline
+            Some(b) => {
+                if b.is_empty() {
+                    if exhausted {
+                        break;
+                    }
+                    continue;
+                }
+                b.round(&mut pool, &cfg.user, &mut finished);
+                for (i, arm, outcome) in finished.drain(..) {
+                    out.push((i, account_session(arm, outcome)));
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Run the RCT.  `schemes` defines the arms; Fugu arms flagged
@@ -229,79 +311,53 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
             // Within-subjects: every session under every arm.
             (0..cfg.sessions_per_day)
                 .flat_map(|i| (0..schemes.len()).map(move |arm| (arm, i)))
-                .map(|(arm, i)| {
-                    let session_id = (day as u64) * 1_000_000 + i as u64;
-                    (arm, session_id, mix_seed(cfg.seed, day, i, 0))
-                })
+                .map(|(arm, i)| (arm, session_id(day, i), mix_seed(cfg.seed, day, i, 0)))
                 .collect()
         } else {
             (0..cfg.sessions_per_day)
                 .map(|i| {
                     let arm = assign_rng.random_range(0..schemes.len());
-                    let session_id = (day as u64) * 1_000_000 + i as u64;
-                    (arm, session_id, mix_seed(cfg.seed, day, i, 0))
+                    (arm, session_id(day, i), mix_seed(cfg.seed, day, i, 0))
                 })
                 .collect()
         };
         total_sessions += specs.len();
 
-        // Run the day's sessions (parallel, deterministic by construction).
-        let results: Vec<SessionResult> = if cfg.threads <= 1 {
-            let mut pool = ArmAbrs::new(&schemes);
-            specs
-                .iter()
-                .map(|&(arm, id, seed)| {
-                    let mut fresh;
-                    let abr: &mut dyn Abr = if cfg.reuse_abrs {
-                        pool.get(arm)
-                    } else {
-                        fresh = pool.schemes[arm].instantiate();
-                        fresh.as_mut()
-                    };
-                    run_one_session(abr, arm, &bank, cfg, id, seed)
-                })
-                .collect()
+        // Run the day's sessions.  Workers claim specs dynamically off a
+        // shared counter (heavy-tailed session lengths make pre-dealt shares
+        // badly imbalanced), so which worker runs which session is
+        // scheduling-dependent — but every session is a pure function of its
+        // seed and results are merged back in session-index order, so the
+        // output is deterministic and thread-count-independent.
+        // `cfg.threads` is an upper bound, not a demand: oversubscribing the
+        // machine's cores costs real time on this pure-CPU workload (context
+        // switches, and each extra worker splits the batch wave and carries
+        // its own ABR pool) while results are thread-count-independent, so
+        // capping at the available parallelism is observationally free.
+        let hw = std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZero::get);
+        let n_workers = cfg.threads.min(hw).min(specs.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, SessionResult)> = if n_workers <= 1 {
+            run_day_worker(&specs, &next, &schemes, &bank, cfg)
         } else {
-            // Lock-free fan-out: deal each worker an interleaved set of
-            // (spec, &mut slot) pairs up front.  The mutable slot borrows
-            // are disjoint by construction, so workers write results
-            // straight into their own slots with no synchronization;
-            // results are identical to the sequential path because every
-            // session is fully determined by its seed, and aggregation
-            // below reads the slots back in session-index order.
+            let specs_ref = &specs;
+            let next_ref = &next;
             let schemes_ref = &schemes;
             let bank_ref = &bank;
-            let n = specs.len();
-            let mut slots: Vec<Option<SessionResult>> = Vec::with_capacity(n);
-            slots.resize_with(n, || None);
-            let n_workers = cfg.threads.min(n).max(1);
-            let mut assignments: Vec<WorkerShare<'_>> =
-                (0..n_workers).map(|_| Vec::with_capacity(n / n_workers + 1)).collect();
-            for (i, pair) in specs.iter().zip(slots.iter_mut()).enumerate() {
-                assignments[i % n_workers].push(pair);
-            }
             std::thread::scope(|scope| {
-                for work in assignments {
-                    scope.spawn(move || {
-                        // Worker-local per-arm instances: model clones and
-                        // planner scratch amortize over the worker's whole
-                        // share instead of being paid per session.
-                        let mut pool = ArmAbrs::new(schemes_ref);
-                        for (&(arm, id, seed), slot) in work {
-                            let mut fresh;
-                            let abr: &mut dyn Abr = if cfg.reuse_abrs {
-                                pool.get(arm)
-                            } else {
-                                fresh = schemes_ref[arm].instantiate();
-                                fresh.as_mut()
-                            };
-                            *slot = Some(run_one_session(abr, arm, bank_ref, cfg, id, seed));
-                        }
-                    });
-                }
-            });
-            slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            run_day_worker(specs_ref, next_ref, schemes_ref, bank_ref, cfg)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+            })
         };
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert!(indexed.iter().enumerate().all(|(k, &(i, _))| k == i));
+        let results = indexed.into_iter().map(|(_, r)| r);
 
         // Aggregate in deterministic (session-index) order.
         for r in results {
@@ -506,6 +562,60 @@ mod tests {
             3,
         );
         assert_eq!(ttp.horizon(), 5);
+    }
+
+    #[test]
+    fn session_ids_are_unique_at_paper_scale() {
+        // The old `day * 1_000_000 + i` packing collided exactly here:
+        // (day 0, i = 1_500_000) and (day 1, i = 500_000) both mapped to
+        // 1_500_000 once `sessions_per_day` crossed one million.
+        assert_ne!(session_id(0, 1_500_000), session_id(1, 500_000));
+        // lint: order-insensitive — set only detects duplicate ids
+        let mut seen = std::collections::HashSet::new();
+        for day in [0u32, 1, 2, 117, 4096] {
+            for i in [0usize, 1, 999_999, 1_000_000, 1_500_000, u32::MAX as usize - 1] {
+                assert!(seen.insert(session_id(day, i)), "collision at day {day} i {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fit in 32 bits")]
+    fn session_index_overflow_is_rejected() {
+        session_id(0, u32::MAX as usize);
+    }
+
+    #[test]
+    fn paper_scale_stream_ids_round_trip_through_csv() {
+        // Stream ids embed the session id (`session_id * 1000 + seq`); the
+        // telemetry CSVs and the sent↔acked join must survive ids from the
+        // widened packing (day in the high half) without truncation.
+        use crate::telemetry::video_sent_csv;
+        let bank = TraceBank::puffer();
+        let mut abr = puffer_abr::Bba::default();
+        let id = session_id(117, 1_500_000);
+        let out = run_session(
+            &bank,
+            &mut abr,
+            &UserModel::default(),
+            CongestionControl::Bbr,
+            StreamConfig::default(),
+            id,
+            99,
+        );
+        let sent: Vec<_> =
+            out.streams.iter().flat_map(|s| s.telemetry.video_sent.iter().copied()).collect();
+        assert!(!sent.is_empty(), "session produced no telemetry");
+        let csv = video_sent_csv(&sent);
+        for (row, v) in csv.lines().skip(1).zip(&sent) {
+            let sid: u64 = row.split(',').nth(1).expect("stream_id column").parse().unwrap();
+            assert_eq!(sid, v.stream_id, "stream id must round-trip through the CSV");
+            assert_eq!(sid / 1000, id, "stream id must still embed the session id");
+        }
+        let n_joined: usize =
+            out.streams.iter().map(|s| s.telemetry.transmission_times().len()).sum();
+        let n_acked: usize = out.streams.iter().map(|s| s.telemetry.video_acked.len()).sum();
+        assert_eq!(n_joined, n_acked, "every acked chunk must join back to its sent row");
     }
 
     #[test]

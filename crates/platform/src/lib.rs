@@ -26,6 +26,7 @@
 //!   Pensieve's emulation training environment (§3.3, §5.2).
 
 pub mod archive;
+pub(crate) mod batch;
 pub mod client;
 pub mod experiment;
 pub mod pensieve_env;
@@ -39,8 +40,10 @@ pub use archive::DailyArchive;
 pub use experiment::{run_rct, ConsortCounts, ExperimentConfig, RctResult, SchemeArm};
 pub use pensieve_env::{train_pensieve, PensieveTrainConfig};
 pub use scheme::SchemeSpec;
-pub use session::{run_session, SessionOutcome};
-pub use stream::{run_stream, ChunkLog, QuitReason, StreamClock, StreamConfig, StreamOutcome};
+pub use session::{run_session, SessionOutcome, SessionRun};
+pub use stream::{
+    run_stream, ChunkLog, QuitReason, StreamClock, StreamConfig, StreamOutcome, StreamRun,
+};
 pub use user::UserModel;
 
 /// Minimum watch time for a stream to enter the primary analysis:

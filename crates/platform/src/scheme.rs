@@ -77,13 +77,29 @@ impl SchemeSpec {
                 p.set_stochastic(false); // deployment: greedy
                 Box::new(p)
             }
-            SchemeSpec::Fugu { ttp, variant, label, .. } => {
+            SchemeSpec::Fugu { label, .. } => {
+                let (ttp, config) = self.fugu_planner().expect("Fugu arm has a planner");
+                Box::new(Fugu::with_controller((*ttp).clone(), config, label))
+            }
+        }
+    }
+
+    /// TTP and controller configuration of a Fugu-family arm — what the
+    /// batched scheduler ([`crate::batch`]) needs to answer this arm's chunk
+    /// decisions out-of-band.  [`SchemeSpec::instantiate`] builds its
+    /// [`Fugu`] from the same pair, so the inline and batched planners
+    /// cannot drift.  `None` for arms that are not Fugu-family (their
+    /// decisions cannot be batched).
+    pub fn fugu_planner(&self) -> Option<(Arc<Ttp>, fugu::ControllerConfig)> {
+        match self {
+            SchemeSpec::Fugu { ttp, variant, .. } => {
                 let config = fugu::ControllerConfig {
                     point_estimate: variant.point_estimate_controller(),
                     ..fugu::ControllerConfig::default()
                 };
-                Box::new(Fugu::with_controller((**ttp).clone(), config, label))
+                Some((Arc::clone(ttp), config))
             }
+            _ => None,
         }
     }
 

@@ -106,61 +106,159 @@ impl StreamClock {
     }
 }
 
-/// Run one stream over an existing connection, placed on the timeline by
-/// `clock`.
-pub fn run_stream<R: Rng + ?Sized>(
-    conn: &mut Connection,
-    source: &mut VideoSource,
-    abr: &mut dyn Abr,
-    user: &UserModel,
-    clock: StreamClock,
-    cfg: &StreamConfig,
-    rng: &mut R,
-) -> StreamOutcome {
-    let StreamClock { intent, session_watch_before, start_time } = clock;
-    let intent_secs = match intent {
-        StreamIntent::Zap(d) | StreamIntent::Watch(d) => d,
-    };
-    let deadline = start_time + intent_secs.max(0.05);
+/// A staged chunk decision: everything sampled at the decision point, held
+/// between [`StreamRun::poll_decision`] and [`StreamRun::advance`].
+#[derive(Debug, Clone, Copy)]
+struct PendingDecision {
+    send_t: f64,
+    tcp_info: puffer_net::TcpInfo,
+}
 
-    let mut upcoming: Vec<ChunkMenu> =
-        (0..cfg.lookahead.max(1)).map(|_| source.next_chunk(rng)).collect();
-    let mut client = PlaybackBuffer::new(start_time);
-    let mut history: Vec<ChunkRecord> = Vec::new();
-    let mut telemetry = StreamTelemetry::default();
-    let mut chunk_log: Vec<ChunkLog> = Vec::new();
-    let mut observations: Vec<ChunkObservation> = Vec::new();
-    let mut prev_ssim_db: Option<f64> = None;
-    let mut prev_rung: Option<usize> = None;
-    let mut delivery_rates: Vec<f64> = Vec::new();
-    let mut quit = QuitReason::IntentDone;
-    let mut end_time = deadline;
+/// One stream as a resumable per-chunk state machine.
+///
+/// [`run_stream`] used to be a single loop with the ABR's `choose` call in
+/// the middle; splitting that loop at the decision point lets a scheduler
+/// suspend *many* streams at their decision points simultaneously and answer
+/// all of them with one batched TTP forward pass per step-net
+/// (`crate::batch`, `docs/BATCHING.md`).  The protocol per chunk:
+///
+/// 1. [`StreamRun::poll_decision`] — advance to the next send opportunity
+///    and stage the decision inputs (send time, `tcp_info`); returns `false`
+///    when the stream is over.
+/// 2. [`StreamRun::context`] — the staged [`AbrContext`], identical to what
+///    the in-loop `choose` call saw.
+/// 3. [`StreamRun::advance`] — commit a rung: send the chunk, record
+///    telemetry, slide the lookahead, and run the user-behaviour checks;
+///    returns `false` when the stream ended on this chunk.
+/// 4. [`StreamRun::finish`] — consume the machine into a [`StreamOutcome`].
+///
+/// Every random draw happens in the same order as the original loop, from
+/// the same `rng` handed to each call, so `run_stream` rebuilt on top of
+/// this machine is bit-identical to the old single-loop implementation.
+#[derive(Debug)]
+pub struct StreamRun {
+    cfg: StreamConfig,
+    deadline: f64,
+    start_time: f64,
+    session_watch_before: f64,
+    upcoming: Vec<ChunkMenu>,
+    client: PlaybackBuffer,
+    history: Vec<ChunkRecord>,
+    telemetry: StreamTelemetry,
+    chunk_log: Vec<ChunkLog>,
+    observations: Vec<ChunkObservation>,
+    prev_ssim_db: Option<f64>,
+    prev_rung: Option<usize>,
+    delivery_rates: Vec<f64>,
+    quit: QuitReason,
+    end_time: f64,
+    last_completion: f64,
+    pending: Option<PendingDecision>,
+    finished: bool,
+}
 
-    let mut last_completion = start_time.max(conn.last_completion());
-
-    loop {
-        // Server sends the next chunk as soon as the client has room.
-        let send_t = client.time_with_room(last_completion, MAX_BUFFER_SECONDS);
-        if send_t >= deadline {
-            break; // the user will leave before this chunk matters
-        }
-        let tcp_info = conn.tcp_info(send_t);
-        let ctx = AbrContext {
-            buffer: client.buffer_at(send_t),
-            prev_ssim_db,
-            prev_rung,
-            lookahead: &upcoming,
-            history: &history[history.len().saturating_sub(HISTORY_LEN)..],
-            tcp_info,
+impl StreamRun {
+    /// Start a stream on an existing connection, placed on the timeline by
+    /// `clock`.  Draws the initial lookahead window from `source` (the same
+    /// `rng` consumption as the old loop's prologue).
+    pub fn begin<R: Rng + ?Sized>(
+        conn: &Connection,
+        source: &mut VideoSource,
+        clock: StreamClock,
+        cfg: &StreamConfig,
+        rng: &mut R,
+    ) -> StreamRun {
+        let StreamClock { intent, session_watch_before, start_time } = clock;
+        let intent_secs = match intent {
+            StreamIntent::Zap(d) | StreamIntent::Watch(d) => d,
         };
-        let rung = abr.choose(&ctx).min(upcoming[0].n_rungs() - 1);
-        let opt = upcoming[0].options[rung];
-        let video_ts = upcoming[0].index * VIDEO_TS_PER_CHUNK;
+        let deadline = start_time + intent_secs.max(0.05);
+        let upcoming: Vec<ChunkMenu> =
+            (0..cfg.lookahead.max(1)).map(|_| source.next_chunk(rng)).collect();
+        StreamRun {
+            cfg: *cfg,
+            deadline,
+            start_time,
+            session_watch_before,
+            upcoming,
+            client: PlaybackBuffer::new(start_time),
+            history: Vec::new(),
+            telemetry: StreamTelemetry::default(),
+            chunk_log: Vec::new(),
+            observations: Vec::new(),
+            prev_ssim_db: None,
+            prev_rung: None,
+            delivery_rates: Vec::new(),
+            quit: QuitReason::IntentDone,
+            end_time: deadline,
+            last_completion: start_time.max(conn.last_completion()),
+            pending: None,
+            finished: false,
+        }
+    }
 
-        telemetry.video_sent.push(VideoSent {
+    /// Advance to the next chunk decision.  Returns `true` with the decision
+    /// staged (read it via [`StreamRun::context`], commit it via
+    /// [`StreamRun::advance`]), or `false` when the stream is over.
+    /// Idempotent while a decision is staged.
+    pub fn poll_decision(&mut self, conn: &Connection) -> bool {
+        if self.finished {
+            return false;
+        }
+        if self.pending.is_some() {
+            return true;
+        }
+        // Server sends the next chunk as soon as the client has room.
+        let send_t = self.client.time_with_room(self.last_completion, MAX_BUFFER_SECONDS);
+        if send_t >= self.deadline {
+            // The user will leave before this chunk matters.  `end_time`
+            // stays at the deadline and `quit` at its default; `finish`
+            // downgrades to `NeverBegan` if playback never started.
+            self.finished = true;
+            return false;
+        }
+        self.pending = Some(PendingDecision { send_t, tcp_info: conn.tcp_info(send_t) });
+        true
+    }
+
+    /// The ABR context of the staged decision — identical to what the
+    /// original loop passed to `choose`.
+    pub fn context(&self) -> AbrContext<'_> {
+        let p = self.pending.as_ref().expect("poll_decision must stage a decision first");
+        AbrContext {
+            buffer: self.client.buffer_at(p.send_t),
+            prev_ssim_db: self.prev_ssim_db,
+            prev_rung: self.prev_rung,
+            lookahead: &self.upcoming,
+            history: &self.history[self.history.len().saturating_sub(HISTORY_LEN)..],
+            tcp_info: p.tcp_info,
+        }
+    }
+
+    /// Commit the staged decision: send the chunk at `rung` (clamped to the
+    /// menu, as the original loop clamped `choose`'s answer), deliver or
+    /// abandon it, record telemetry, slide the lookahead window, and apply
+    /// the user-behaviour checks.  Returns `false` when the stream ended on
+    /// this chunk.
+    pub fn advance<R: Rng + ?Sized>(
+        &mut self,
+        rung: usize,
+        conn: &mut Connection,
+        source: &mut VideoSource,
+        abr: &mut dyn Abr,
+        user: &UserModel,
+        rng: &mut R,
+    ) -> bool {
+        let PendingDecision { send_t, tcp_info } =
+            self.pending.take().expect("poll_decision must stage a decision first");
+        let rung = rung.min(self.upcoming[0].n_rungs() - 1);
+        let opt = self.upcoming[0].options[rung];
+        let video_ts = self.upcoming[0].index * VIDEO_TS_PER_CHUNK;
+
+        self.telemetry.video_sent.push(VideoSent {
             time: send_t,
-            stream_id: cfg.stream_id,
-            expt_id: cfg.expt_id,
+            stream_id: self.cfg.stream_id,
+            expt_id: self.cfg.expt_id,
             video_ts,
             size: opt.size,
             ssim_index: ssim::db_to_index(opt.ssim_db),
@@ -170,49 +268,50 @@ pub fn run_stream<R: Rng + ?Sized>(
             rtt: tcp_info.rtt,
             delivery_rate: tcp_info.delivery_rate,
         });
-        delivery_rates.push(tcp_info.delivery_rate);
+        self.delivery_rates.push(tcp_info.delivery_rate);
 
         let transfer = conn.send(send_t, opt.size);
         let arrival = transfer.completion;
-        last_completion = arrival;
+        self.last_completion = arrival;
 
-        if arrival >= deadline {
+        if arrival >= self.deadline {
             // The user leaves while this chunk is still in flight: its last
             // byte is never acknowledged, so no `video_acked` row, no TTP
             // observation, and no history entry exist for it — only the
             // `video_sent` row above (the unacked tail the identity join in
             // [`StreamTelemetry::transmission_times`] drops).
-            if !client.playing() {
-                quit = QuitReason::NeverBegan;
+            if !self.client.playing() {
+                self.quit = QuitReason::NeverBegan;
             }
-            end_time = deadline;
-            break;
+            self.end_time = self.deadline;
+            self.finished = true;
+            return false;
         }
 
-        telemetry.video_acked.push(VideoAcked {
+        self.telemetry.video_acked.push(VideoAcked {
             time: arrival,
-            stream_id: cfg.stream_id,
-            expt_id: cfg.expt_id,
+            stream_id: self.cfg.stream_id,
+            expt_id: self.cfg.expt_id,
             video_ts,
             size: opt.size,
         });
         let record =
             ChunkRecord { size: opt.size, transmission_time: transfer.transmission_time() };
         abr.on_chunk_delivered(record);
-        history.push(record);
-        observations.push(ChunkObservation {
+        self.history.push(record);
+        self.observations.push(ChunkObservation {
             size: opt.size,
             transmission_time: transfer.transmission_time(),
             tcp_info,
         });
 
-        let started = client.playing();
-        client.on_chunk_arrival(arrival);
-        let stall = client.last_gap_stall();
-        telemetry.client_buffer.push(ClientBuffer {
+        let started = self.client.playing();
+        self.client.on_chunk_arrival(arrival);
+        let stall = self.client.last_gap_stall();
+        self.telemetry.client_buffer.push(ClientBuffer {
             time: arrival,
-            stream_id: cfg.stream_id,
-            expt_id: cfg.expt_id,
+            stream_id: self.cfg.stream_id,
+            expt_id: self.cfg.expt_id,
             event: if !started {
                 BufferEvent::Startup
             } else if stall > 0.0 {
@@ -220,33 +319,34 @@ pub fn run_stream<R: Rng + ?Sized>(
             } else {
                 BufferEvent::Periodic
             },
-            buffer: client.buffer_at(arrival),
-            cum_rebuf: client.cum_stall(),
+            buffer: self.client.buffer_at(arrival),
+            cum_rebuf: self.client.cum_stall(),
         });
-        chunk_log.push(ChunkLog {
+        self.chunk_log.push(ChunkLog {
             rung,
             size: opt.size,
             ssim_db: opt.ssim_db,
             transmission_time: transfer.transmission_time(),
             stall,
-            buffer_before: client.buffer_at(send_t.max(arrival - 1e-9)).min(15.0),
+            buffer_before: self.client.buffer_at(send_t.max(arrival - 1e-9)).min(15.0),
             send_time: send_t,
         });
-        prev_ssim_db = Some(opt.ssim_db);
-        prev_rung = Some(rung);
+        self.prev_ssim_db = Some(opt.ssim_db);
+        self.prev_rung = Some(rung);
 
         // Slide the lookahead window.
-        upcoming.remove(0);
-        upcoming.push(source.next_chunk(rng));
+        self.upcoming.remove(0);
+        self.upcoming.push(source.next_chunk(rng));
 
         // --- user behaviour ---
         if stall > 0.0 && user.quits_on_stall(stall, rng) {
-            quit = QuitReason::AbandonedStall;
-            end_time = arrival;
-            break;
+            self.quit = QuitReason::AbandonedStall;
+            self.end_time = arrival;
+            self.finished = true;
+            return false;
         }
-        let session_time = session_watch_before + (arrival - start_time);
-        let recent = &chunk_log[chunk_log.len().saturating_sub(RECENT_WINDOW)..];
+        let session_time = self.session_watch_before + (arrival - self.start_time);
+        let recent = &self.chunk_log[self.chunk_log.len().saturating_sub(RECENT_WINDOW)..];
         let recent_ssim = recent.iter().map(|c| c.ssim_db).sum::<f64>() / recent.len() as f64;
         let recent_var = if recent.len() > 1 {
             recent.windows(2).map(|w| (w[1].ssim_db - w[0].ssim_db).abs()).sum::<f64>()
@@ -261,52 +361,97 @@ pub fn run_stream<R: Rng + ?Sized>(
             0.0
         };
         if user.quits_in_tail(session_time, recent_ssim, recent_var, recent_stall_frac, rng) {
-            quit = QuitReason::AbandonedTail;
-            end_time = arrival;
+            self.quit = QuitReason::AbandonedTail;
+            self.end_time = arrival;
+            self.finished = true;
+            return false;
+        }
+        true
+    }
+
+    /// Whether the stream has ended (no further decisions will be staged).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Consume the machine into a [`StreamOutcome`] — the old loop's
+    /// epilogue, verbatim.
+    pub fn finish(self) -> StreamOutcome {
+        let StreamRun {
+            cfg,
+            start_time,
+            client,
+            telemetry,
+            chunk_log,
+            observations,
+            delivery_rates,
+            quit,
+            end_time,
+            ..
+        } = self;
+        if !client.playing() {
+            return StreamOutcome {
+                summary: None,
+                chunk_log,
+                observations,
+                telemetry,
+                end_time,
+                quit: QuitReason::NeverBegan,
+            };
+        }
+
+        let play_start = client.play_start().expect("playing implies a start");
+        let watch_time = (end_time - play_start).max(0.0);
+        // Stall accounting includes any trailing rebuffer between the final
+        // chunk arrival and the user's departure, but never exceeds the watch.
+        let stall_time = client.cum_stall_at(end_time.max(play_start)).min(watch_time);
+        let ssims: Vec<f64> = chunk_log.iter().map(|c| c.ssim_db).collect();
+        let mean_ssim =
+            if ssims.is_empty() { 0.0 } else { ssims.iter().sum::<f64>() / ssims.len() as f64 };
+        let variation = if ssims.len() > 1 {
+            ssims.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (ssims.len() - 1) as f64
+        } else {
+            0.0
+        };
+        let summary = StreamSummary {
+            startup_delay: (play_start - start_time) + cfg.startup_overhead,
+            watch_time,
+            stall_time,
+            mean_ssim_db: mean_ssim,
+            ssim_variation_db: variation,
+            first_chunk_ssim_db: ssims.first().copied().unwrap_or(0.0),
+            mean_delivery_rate: if delivery_rates.is_empty() {
+                0.0
+            } else {
+                delivery_rates.iter().sum::<f64>() / delivery_rates.len() as f64
+            },
+            total_bytes: chunk_log.iter().map(|c| c.size).sum(),
+            chunks: chunk_log.len(),
+        };
+        StreamOutcome { summary: Some(summary), chunk_log, observations, telemetry, end_time, quit }
+    }
+}
+
+/// Run one stream over an existing connection, placed on the timeline by
+/// `clock` — the synchronous driver over [`StreamRun`] (decision per chunk
+/// answered inline by `abr`).
+pub fn run_stream<R: Rng + ?Sized>(
+    conn: &mut Connection,
+    source: &mut VideoSource,
+    abr: &mut dyn Abr,
+    user: &UserModel,
+    clock: StreamClock,
+    cfg: &StreamConfig,
+    rng: &mut R,
+) -> StreamOutcome {
+    let mut run = StreamRun::begin(conn, source, clock, cfg, rng);
+    while run.poll_decision(conn) {
+        let rung = abr.choose(&run.context());
+        if !run.advance(rung, conn, source, abr, user, rng) {
             break;
         }
     }
-
-    if !client.playing() {
-        return StreamOutcome {
-            summary: None,
-            chunk_log,
-            observations,
-            telemetry,
-            end_time,
-            quit: QuitReason::NeverBegan,
-        };
-    }
-
-    let play_start = client.play_start().expect("playing implies a start");
-    let watch_time = (end_time - play_start).max(0.0);
-    // Stall accounting includes any trailing rebuffer between the final
-    // chunk arrival and the user's departure, but never exceeds the watch.
-    let stall_time = client.cum_stall_at(end_time.max(play_start)).min(watch_time);
-    let ssims: Vec<f64> = chunk_log.iter().map(|c| c.ssim_db).collect();
-    let mean_ssim =
-        if ssims.is_empty() { 0.0 } else { ssims.iter().sum::<f64>() / ssims.len() as f64 };
-    let variation = if ssims.len() > 1 {
-        ssims.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (ssims.len() - 1) as f64
-    } else {
-        0.0
-    };
-    let summary = StreamSummary {
-        startup_delay: (play_start - start_time) + cfg.startup_overhead,
-        watch_time,
-        stall_time,
-        mean_ssim_db: mean_ssim,
-        ssim_variation_db: variation,
-        first_chunk_ssim_db: ssims.first().copied().unwrap_or(0.0),
-        mean_delivery_rate: if delivery_rates.is_empty() {
-            0.0
-        } else {
-            delivery_rates.iter().sum::<f64>() / delivery_rates.len() as f64
-        },
-        total_bytes: chunk_log.iter().map(|c| c.size).sum(),
-        chunks: chunk_log.len(),
-    };
-    StreamOutcome { summary: Some(summary), chunk_log, observations, telemetry, end_time, quit }
+    run.finish()
 }
 
 #[cfg(test)]

@@ -5,22 +5,35 @@
 # Usage:
 #   scripts/bench_hotpath.sh [baseline.json]
 #
-# Runs the Criterion microbenches with the BENCH_JSON shim enabled, then
-# merges the fresh medians with a baseline (default: the "current_ns"
-# column of the existing BENCH_hotpath.json, so repeated runs compare
-# against the last committed snapshot).
+# Runs every Criterion microbench with the BENCH_JSON shim enabled, then
+# merges the fresh medians into BENCH_hotpath.json:
+#
+#   * `current_ns`  — this run's median.
+#   * `baseline_ns` — pinned reference point.  Taken from the optional
+#     baseline argument (a BENCH_JSON-format .jsonl from a reference run,
+#     e.g. one recorded on the pre-change tree on the same machine), else
+#     carried forward unchanged from the existing snapshot, else seeded
+#     from the first recording.  It does NOT drift to last run's current.
+#   * `history_ns`  — trailing medians (oldest first, capped), so a slow
+#     regression across several regenerations stays visible even though
+#     the baseline is pinned.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 fresh=$(mktemp)
 trap 'rm -f "$fresh"' EXIT
 
+# Every [[bench]] target in crates/bench/Cargo.toml must be listed here,
+# or its results silently never reach the snapshot (network_sim was
+# missing for several PRs and recorded an empty trajectory).
 BENCH_JSON="$fresh" cargo bench -p puffer-bench \
-  --bench controller --bench ttp_inference --bench ttp_training --bench stream_sim \
-  --bench rct_day
+  --bench controller --bench ttp_inference --bench ttp_batch --bench ttp_training \
+  --bench network_sim --bench stream_sim --bench rct_day
 
 python3 - "$fresh" "${1:-}" <<'EOF'
 import json, sys
+
+HISTORY_CAP = 8
 
 fresh_path, baseline_path = sys.argv[1], sys.argv[2] or None
 fresh = {}
@@ -31,21 +44,20 @@ with open(fresh_path) as f:
             row = json.loads(line)
             fresh[row["name"]] = row["median_ns"]
 
-baseline = {}
+try:
+    with open("BENCH_hotpath.json") as f:
+        prev = json.load(f)["benches"]
+except FileNotFoundError:
+    prev = {}
+
+explicit_baseline = {}
 if baseline_path:
     with open(baseline_path) as f:
         for line in f:
             line = line.strip()
             if line:
                 row = json.loads(line)
-                baseline[row["name"]] = row["median_ns"]
-else:
-    try:
-        with open("BENCH_hotpath.json") as f:
-            prev = json.load(f)
-        baseline = {k: v["current_ns"] for k, v in prev["benches"].items()}
-    except FileNotFoundError:
-        pass
+                explicit_baseline[row["name"]] = row["median_ns"]
 
 out = {
     "generated_by": "scripts/bench_hotpath.sh",
@@ -54,10 +66,20 @@ out = {
 }
 for name in sorted(fresh):
     entry = {"current_ns": fresh[name]}
-    if name in baseline:
-        entry["baseline_ns"] = baseline[name]
-        entry["speedup"] = round(baseline[name] / fresh[name], 3)
+    old = prev.get(name, {})
+    baseline = explicit_baseline.get(name, old.get("baseline_ns", old.get("current_ns")))
+    if baseline is not None:
+        entry["baseline_ns"] = baseline
+        entry["speedup"] = round(baseline / fresh[name], 3)
+    history = old.get("history_ns", [])
+    if not history and "current_ns" in old:
+        history = [old["current_ns"]]
+    entry["history_ns"] = (history + [fresh[name]])[-HISTORY_CAP:]
     out["benches"][name] = entry
+
+dropped = sorted(set(prev) - set(fresh))
+if dropped:
+    print("note: dropped stale benches:", ", ".join(dropped))
 
 with open("BENCH_hotpath.json", "w") as f:
     json.dump(out, f, indent=2)

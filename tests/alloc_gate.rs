@@ -179,6 +179,48 @@ fn ttp_predict_into_is_allocation_free() {
     assert_eq!(ops, 0, "predict_time_distributions_into allocated on a warm scratch");
 }
 
+/// The batched cross-stream TTP query ([`crate::batch`]'s kernel): zero heap
+/// operations once the scratch has seen the wave's shape — the staging
+/// matrix, partial-row buffer, and output all live in `TtpScratch` or the
+/// caller's flat buffer, so growing the wave is the only thing that may ever
+/// allocate.  Both prediction targets are gated: the transmission-time path
+/// (shared-prefix staged rows) and the throughput ablation (plain batch +
+/// re-binning).
+#[test]
+fn ttp_batched_predict_into_is_allocation_free() {
+    use fugu::ttp::TtpBatchQuery;
+    use fugu::TtpVariant;
+    for ttp in [
+        Ttp::new(TtpConfig::default(), 7),
+        Ttp::new(TtpVariant::ThroughputPredictor.ttp_config(), 8),
+    ] {
+        let histories: Vec<Vec<ChunkRecord>> =
+            (0..6).map(|i| history(400_000.0 + 250_000.0 * i as f64)).collect();
+        let infos: Vec<TcpInfo> = (0..6).map(|i| tcp(400_000.0 + 250_000.0 * i as f64)).collect();
+        let sizes = [50_000.0, 250_000.0, 750_000.0, 1_375_000.0];
+        let queries: Vec<TtpBatchQuery<'_>> = (0..6)
+            .map(|i| TtpBatchQuery {
+                history: &histories[i],
+                tcp_info: &infos[i],
+                proposed_sizes: &sizes,
+            })
+            .collect();
+        let mut scratch = TtpScratch::new();
+        let mut out = vec![0.0f64; 6 * sizes.len() * N_BINS];
+
+        ttp.predict_time_distributions_batched_into(0, &queries, &mut scratch, &mut out); // warm
+        for step in 0..ttp.horizon() {
+            let ops = heap_ops_in(|| {
+                ttp.predict_time_distributions_batched_into(step, &queries, &mut scratch, &mut out);
+            });
+            assert_eq!(
+                ops, 0,
+                "predict_time_distributions_batched_into allocated on a warm scratch (step {step})"
+            );
+        }
+    }
+}
+
 /// The training minibatch step: zero heap operations *per epoch* on a warm
 /// `TrainScratch`.
 ///

@@ -157,3 +157,90 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Batching N streams' TTP queries into one forward pass is bit-identical
+    /// to answering each stream alone — for both prediction targets, ragged
+    /// per-query rung counts, and partial histories.  This is the contract
+    /// the batched RCT day loop rests on (`docs/BATCHING.md`).
+    #[test]
+    fn batched_ttp_queries_match_independent_queries(
+        seed in 0u64..10_000,
+        n_queries in 1usize..6,
+        throughput_target in 0u8..2,
+        step in 0usize..5,
+    ) {
+        use fugu::ttp::{Ttp, TtpBatchQuery, TtpConfig, TtpScratch};
+        use fugu::{TtpVariant, N_BINS};
+        use puffer_repro::abr::ChunkRecord;
+        use puffer_repro::net::TcpInfo;
+        use rand::Rng;
+
+        let config = if throughput_target == 1 {
+            TtpVariant::ThroughputPredictor.ttp_config()
+        } else {
+            TtpConfig::default()
+        };
+        let ttp = Ttp::new(config, seed ^ 0x5eed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let histories: Vec<Vec<ChunkRecord>> = (0..n_queries)
+            .map(|_| {
+                let len = rng.random_range(0usize..9);
+                (0..len)
+                    .map(|_| ChunkRecord {
+                        size: rng.random_range(10_000.0..2.0e6),
+                        transmission_time: rng.random_range(0.01..8.0),
+                    })
+                    .collect()
+            })
+            .collect();
+        let infos: Vec<TcpInfo> = (0..n_queries)
+            .map(|_| TcpInfo {
+                cwnd: rng.random_range(4.0..80.0),
+                in_flight: rng.random_range(0.0..40.0),
+                min_rtt: rng.random_range(0.005..0.2),
+                rtt: rng.random_range(0.005..0.3),
+                delivery_rate: rng.random_range(20_000.0..4.0e6),
+            })
+            .collect();
+        let sizes: Vec<Vec<f64>> = (0..n_queries)
+            .map(|_| {
+                let n = rng.random_range(1usize..6);
+                (0..n).map(|_| rng.random_range(5_000.0..3.0e6)).collect()
+            })
+            .collect();
+        let queries: Vec<TtpBatchQuery<'_>> = (0..n_queries)
+            .map(|i| TtpBatchQuery {
+                history: &histories[i],
+                tcp_info: &infos[i],
+                proposed_sizes: &sizes[i],
+            })
+            .collect();
+        let total: usize = sizes.iter().map(Vec::len).sum();
+        let mut batched = vec![0.0f64; total * N_BINS];
+        let mut scratch = TtpScratch::new();
+        ttp.predict_time_distributions_batched_into(step, &queries, &mut scratch, &mut batched);
+
+        let mut single_scratch = TtpScratch::new();
+        let mut row0 = 0;
+        for i in 0..n_queries {
+            let mut single = vec![0.0f64; sizes[i].len() * N_BINS];
+            ttp.predict_time_distributions_into(
+                step,
+                &histories[i],
+                &infos[i],
+                &sizes[i],
+                &mut single_scratch,
+                &mut single,
+            );
+            let rows = &batched[row0 * N_BINS..(row0 + sizes[i].len()) * N_BINS];
+            prop_assert_eq!(
+                rows, &single[..],
+                "query {} (throughput {}, step {}) must be bit-identical", i, throughput_target, step
+            );
+            row0 += sizes[i].len();
+        }
+    }
+}
