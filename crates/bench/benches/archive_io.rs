@@ -1,0 +1,101 @@
+//! `.puf` telemetry archive I/O microbenchmarks: encode (write), decode
+//! (read) and the CSV rendering they replace, all per 4096-row block of
+//! realistic mixed telemetry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puffer_platform::telemetry::{
+    write_client_buffer_row, write_video_acked_row, write_video_sent_row, BufferEvent,
+    ClientBuffer, StreamTelemetry, VideoAcked, VideoSent,
+};
+use puffer_platform::{ArchiveReader, ArchiveWriter};
+use std::hint::black_box;
+
+/// A realistic block's worth of telemetry: monotone times, repeated ids,
+/// slowly varying floats — the shape the XOR-delta codec is built for.
+fn fixture(rows: usize) -> StreamTelemetry {
+    let mut t = StreamTelemetry::default();
+    for i in 0..rows {
+        let time = i as f64 * 2.002;
+        let size = 320_000.0 + 997.0 * (i % 37) as f64;
+        t.video_sent.push(VideoSent {
+            time,
+            stream_id: 12_345_000 + (i / 400) as u64,
+            expt_id: 7,
+            video_ts: i as u64 * 180_180,
+            size,
+            ssim_index: 0.93 + 0.0001 * (i % 50) as f64,
+            cwnd: 40.0 + (i % 13) as f64,
+            in_flight: 6.0 + (i % 5) as f64,
+            min_rtt: 0.043,
+            rtt: 0.05 + 0.001 * (i % 9) as f64,
+            delivery_rate: 1.2e6 + 5_000.0 * (i % 21) as f64,
+        });
+        t.video_acked.push(VideoAcked {
+            time: time + 0.08,
+            stream_id: 12_345_000 + (i / 400) as u64,
+            expt_id: 7,
+            video_ts: i as u64 * 180_180,
+            size,
+        });
+        t.client_buffer.push(ClientBuffer {
+            time: time + 0.1,
+            stream_id: 12_345_000 + (i / 400) as u64,
+            expt_id: 7,
+            event: BufferEvent::Periodic,
+            buffer: 8.0 + 0.1 * (i % 60) as f64,
+            cum_rebuf: 0.25,
+        });
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    const ROWS: usize = 4096;
+    let data = fixture(ROWS);
+
+    c.bench_function("archive_write_puf_block", |b| {
+        let mut out = Vec::with_capacity(1 << 20);
+        b.iter(|| {
+            out.clear();
+            let mut w = ArchiveWriter::new(&mut out).unwrap();
+            w.add_stream(black_box(&data)).unwrap();
+            black_box(w.finish().unwrap().len())
+        })
+    });
+
+    let mut encoded = Vec::new();
+    let mut w = ArchiveWriter::new(&mut encoded).unwrap();
+    w.add_stream(&data).unwrap();
+    w.finish().unwrap();
+    c.bench_function("archive_read_puf_block", |b| {
+        b.iter(|| {
+            let mut reader = ArchiveReader::new(black_box(encoded.as_slice())).unwrap();
+            let mut rows = 0usize;
+            while let Some(block) = reader.next_block().unwrap() {
+                rows +=
+                    block.video_sent.len() + block.video_acked.len() + block.client_buffer.len();
+            }
+            black_box(rows)
+        })
+    });
+
+    c.bench_function("archive_write_csv_block", |b| {
+        let mut out = Vec::with_capacity(1 << 21);
+        b.iter(|| {
+            out.clear();
+            for d in &data.video_sent {
+                write_video_sent_row(&mut out, black_box(d)).unwrap();
+            }
+            for d in &data.video_acked {
+                write_video_acked_row(&mut out, black_box(d)).unwrap();
+            }
+            for d in &data.client_buffer {
+                write_client_buffer_row(&mut out, black_box(d)).unwrap();
+            }
+            black_box(out.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

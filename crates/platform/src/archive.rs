@@ -6,9 +6,12 @@
 //! `client_buffer`, with sensitive fields redacted.  [`DailyArchive`]
 //! accumulates a day's telemetry and writes the same three CSV files.
 
+use crate::archive_format::{ArchiveWriter, DEFAULT_BLOCK_ROWS};
 use crate::telemetry::{
-    write_client_buffer_csv, write_video_sent_csv, StreamTelemetry, VideoAcked,
+    write_client_buffer_csv, write_video_acked_csv, write_video_sent_csv, StreamTelemetry,
+    VideoAcked,
 };
+use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 
@@ -37,23 +40,9 @@ impl DailyArchive {
         (self.video_sent.len(), self.video_acked.len(), self.client_buffer.len())
     }
 
-    fn write_video_acked_csv<W: std::io::Write>(&self, out: &mut W) -> std::io::Result<()> {
-        out.write_all(b"time,stream_id,expt_id,video_ts,size\n")?;
-        for d in &self.video_acked {
-            writeln!(
-                out,
-                "{:.3},{},{},{},{:.0}",
-                d.time, d.stream_id, d.expt_id, d.video_ts, d.size
-            )?;
-        }
-        Ok(())
-    }
-
     /// In-memory `video_acked` CSV (same bytes the streamed write produces).
     pub fn video_acked_csv(&self) -> String {
-        let mut out = Vec::new();
-        self.write_video_acked_csv(&mut out).expect("writing to memory cannot fail");
-        String::from_utf8(out).expect("CSV is ASCII")
+        crate::telemetry::video_acked_csv(&self.video_acked)
     }
 
     /// Write `video_sent_<day>.csv`, `video_acked_<day>.csv`, and
@@ -80,13 +69,91 @@ impl DailyArchive {
             write_video_sent_csv(out, &self.video_sent)
         })?);
         paths.push(stream_to(format!("video_acked_{day}.csv"), &|out| {
-            self.write_video_acked_csv(out)
+            write_video_acked_csv(out, &self.video_acked)
         })?);
         paths.push(stream_to(format!("client_buffer_{day}.csv"), &|out| {
             write_client_buffer_csv(out, &self.client_buffer)
         })?);
         Ok(paths)
     }
+
+    /// Write the day as one compacted binary archive, `telemetry_<day>.puf`
+    /// (`docs/ARCHIVE.md`), holding the same rows as the three CSVs.
+    ///
+    /// Rows stream through the fixed-size block buffers of
+    /// [`ArchiveWriter`]; nothing day-sized is rendered in memory.
+    pub fn write_binary(&self, dir: &Path, day: u32) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("telemetry_{day}.puf"));
+        let mut w = ArchiveWriter::new(BufWriter::new(File::create(&path)?))?;
+        for d in &self.video_sent {
+            w.push_sent(d)?;
+        }
+        for d in &self.video_acked {
+            w.push_acked(d)?;
+        }
+        for d in &self.client_buffer {
+            w.push_buffer(d)?;
+        }
+        w.finish()?.flush()?;
+        Ok(path)
+    }
+}
+
+/// Incremental per-worker `.puf` spool used by the RCT's `archive_sink`.
+///
+/// Each simulation worker owns one spool and appends every finished
+/// session's telemetry as it completes, tagged with the session's spec index
+/// so the end-of-day merge (`merge_spools`) can order blocks independently
+/// of which worker simulated which session.  Peak memory is one partially
+/// filled block per measurement kind, never a day's worth of rows.
+#[derive(Debug)]
+pub struct TelemetrySpool {
+    writer: ArchiveWriter<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl TelemetrySpool {
+    /// Create `dir/<name>` and write the archive header.
+    pub fn create(dir: &Path, name: &str) -> std::io::Result<TelemetrySpool> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        let writer = ArchiveWriter::with_block_rows(
+            BufWriter::new(File::create(&path)?),
+            DEFAULT_BLOCK_ROWS,
+        )?;
+        Ok(TelemetrySpool { writer, path })
+    }
+
+    /// Append one session's telemetry under `tag` (its spec index).  Flushes
+    /// the pending blocks of the previous tag first, so no block ever spans
+    /// two sessions and the merge can reorder whole blocks by tag.
+    pub fn add_session<'a, I>(&mut self, tag: u64, streams: I) -> std::io::Result<()>
+    where
+        I: IntoIterator<Item = &'a StreamTelemetry>,
+    {
+        self.writer.set_tag(tag)?;
+        for t in streams {
+            self.writer.add_stream(t)?;
+        }
+        Ok(())
+    }
+
+    /// Flush everything and return the spool's path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        self.writer.finish()?.flush()?;
+        Ok(self.path)
+    }
+}
+
+/// Merge per-worker spools into one deterministic day archive at `out`.
+///
+/// Blocks are ordered by `(tag, kind, offset)` — tag is the session's spec
+/// index and offsets preserve each session's internal block order — so the
+/// merged bytes depend only on the experiment, not on worker count or
+/// scheduling (the same invariant `run_rct` keeps for its statistics).
+pub fn merge_spools(spools: &[PathBuf], out: &Path) -> std::io::Result<()> {
+    crate::archive_format::merge_archives(spools, out)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! started from yesterday's weights (§4.3).  Exclusions are accounted in the
 //! CONSORT style of Fig. A1.
 
+use crate::archive::TelemetrySpool;
 use crate::batch::BatchRunner;
 use crate::scheme::SchemeSpec;
 use crate::session::{run_session, SessionOutcome};
@@ -91,10 +92,18 @@ pub struct ExperimentConfig {
     /// its sessions as suspended [`crate::session::SessionRun`] state
     /// machines and answers a whole wave's chunk decisions with one
     /// `(streams · rungs) × features` forward pass per lookahead step
-    /// ([`crate::batch`]).  Results are bit-identical to the per-stream path
+    /// (`crate::batch`).  Results are bit-identical to the per-stream path
     /// (pinned by the fingerprint tests in `tests/determinism.rs`); `false`
     /// restores the one-session-at-a-time inner loop.
     pub batch_streams: bool,
+    /// Spill telemetry to compacted `.puf` archives under this directory as
+    /// sessions finish, one `telemetry_day<d>.puf` per simulated day
+    /// (`docs/ARCHIVE.md`).  Workers write private spool files incrementally
+    /// — a multi-month RCT never holds a day's telemetry rows in RAM — and
+    /// the end-of-day merge orders blocks by session index, so the archives
+    /// are byte-identical at any thread count.  `None` (the default) keeps
+    /// telemetry out of the RCT entirely, as before.
+    pub archive_sink: Option<std::path::PathBuf>,
 }
 
 impl Default for ExperimentConfig {
@@ -111,6 +120,7 @@ impl Default for ExperimentConfig {
             paired: false,
             reuse_abrs: true,
             batch_streams: true,
+            archive_sink: None,
         }
     }
 }
@@ -123,6 +133,10 @@ pub struct RctResult {
     pub dataset: Dataset,
     /// Total sessions randomized (CONSORT headline).
     pub total_sessions: usize,
+    /// Per-day `.puf` archives written when
+    /// [`ExperimentConfig::archive_sink`] is set (empty otherwise), in day
+    /// order.
+    pub archive_paths: Vec<std::path::PathBuf>,
 }
 
 /// SplitMix64 — derive independent per-session seeds from the master seed.
@@ -183,10 +197,21 @@ fn run_one_session(
     cfg: &ExperimentConfig,
     session_id: u64,
     seed: u64,
-) -> SessionResult {
+) -> SessionOutcome {
     let stream_cfg = StreamConfig { expt_id: arm as u32, ..StreamConfig::default() };
-    let out = run_session(bank, abr, &cfg.user, cfg.cc, stream_cfg, session_id, seed);
-    account_session(arm, out)
+    run_session(bank, abr, &cfg.user, cfg.cc, stream_cfg, session_id, seed)
+}
+
+/// Spill one finished session's telemetry to the worker's spool, tagged
+/// with the session's spec index — must run before [`account_session`]
+/// consumes the streams.  Archive IO failure aborts the experiment: a
+/// silently incomplete archive would corrupt every analysis done on it.
+fn spill_session(spool: &mut Option<TelemetrySpool>, tag: usize, out: &SessionOutcome) {
+    if let Some(spool) = spool.as_mut() {
+        spool
+            .add_session(tag as u64, out.streams.iter().map(|s| &s.telemetry))
+            .expect("archive sink write failed");
+    }
 }
 
 /// Fold one session's outcome into the CONSORT accounting (Fig. A1).
@@ -228,11 +253,19 @@ fn run_day_worker(
     schemes: &[SchemeSpec],
     bank: &TraceBank,
     cfg: &ExperimentConfig,
-) -> Vec<(usize, SessionResult)> {
+    day: u32,
+    worker: usize,
+) -> (Vec<(usize, SessionResult)>, Option<std::path::PathBuf>) {
     let mut out: Vec<(usize, SessionResult)> = Vec::new();
     let mut pool = ArmAbrs::new(schemes);
     let mut batcher =
         if cfg.batch_streams { Some(BatchRunner::new(schemes, bank, cfg)) } else { None };
+    // Each worker spools telemetry to its own `.puf` file as sessions
+    // finish; the per-day merge in `run_rct` restores session order.
+    let mut spool = cfg.archive_sink.as_ref().map(|dir| {
+        TelemetrySpool::create(dir, &format!(".spool_day{day}_worker{worker}.puf"))
+            .expect("archive sink spool creation failed")
+    });
     let mut finished: Vec<(usize, usize, SessionOutcome)> = Vec::new();
     let mut exhausted = false;
     loop {
@@ -254,7 +287,9 @@ fn run_day_worker(
                         fresh = schemes[arm].instantiate();
                         fresh.as_mut()
                     };
-                    out.push((i, run_one_session(abr, arm, bank, cfg, id, seed)));
+                    let outcome = run_one_session(abr, arm, bank, cfg, id, seed);
+                    spill_session(&mut spool, i, &outcome);
+                    out.push((i, account_session(arm, outcome)));
                 }
             }
         }
@@ -269,12 +304,14 @@ fn run_day_worker(
                 }
                 b.round(&mut pool, &cfg.user, &mut finished);
                 for (i, arm, outcome) in finished.drain(..) {
+                    spill_session(&mut spool, i, &outcome);
                     out.push((i, account_session(arm, outcome)));
                 }
             }
         }
     }
-    out
+    let spool_path = spool.map(|s| s.finish().expect("archive sink spool flush failed"));
+    (out, spool_path)
 }
 
 /// Run the RCT.  `schemes` defines the arms; Fugu arms flagged
@@ -298,6 +335,7 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
         .collect();
     let mut dataset = Dataset::new();
     let mut total_sessions = 0usize;
+    let mut archive_paths = Vec::new();
 
     for day in 0..cfg.days {
         // Blinded randomization: arm assignment depends only on the seed
@@ -337,24 +375,53 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
         let hw = std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZero::get);
         let n_workers = cfg.threads.min(hw).min(specs.len()).max(1);
         let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, SessionResult)> = if n_workers <= 1 {
-            run_day_worker(&specs, &next, &schemes, &bank, cfg)
-        } else {
-            let specs_ref = &specs;
-            let next_ref = &next;
-            let schemes_ref = &schemes;
-            let bank_ref = &bank;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..n_workers)
-                    .map(|_| {
-                        scope.spawn(move || {
-                            run_day_worker(specs_ref, next_ref, schemes_ref, bank_ref, cfg)
+        let (mut indexed, spools): (Vec<(usize, SessionResult)>, Vec<std::path::PathBuf>) =
+            if n_workers <= 1 {
+                let (results, spool) = run_day_worker(&specs, &next, &schemes, &bank, cfg, day, 0);
+                (results, spool.into_iter().collect())
+            } else {
+                let specs_ref = &specs;
+                let next_ref = &next;
+                let schemes_ref = &schemes;
+                let bank_ref = &bank;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..n_workers)
+                        .map(|w| {
+                            scope.spawn(move || {
+                                run_day_worker(
+                                    specs_ref,
+                                    next_ref,
+                                    schemes_ref,
+                                    bank_ref,
+                                    cfg,
+                                    day,
+                                    w,
+                                )
+                            })
                         })
-                    })
-                    .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-            })
-        };
+                        .collect();
+                    let mut results = Vec::new();
+                    let mut spools = Vec::new();
+                    for h in handles {
+                        let (r, spool) = h.join().expect("worker panicked");
+                        results.extend(r);
+                        spools.extend(spool);
+                    }
+                    (results, spools)
+                })
+            };
+        // Merge per-worker spools into the day's archive.  Blocks are
+        // reordered by session index during the merge, so the merged bytes
+        // are independent of which worker ran which session.
+        if let Some(dir) = &cfg.archive_sink {
+            let day_path = dir.join(format!("telemetry_day{day}.puf"));
+            crate::archive::merge_spools(&spools, &day_path)
+                .expect("archive sink day merge failed");
+            for s in spools {
+                std::fs::remove_file(s).expect("archive sink spool cleanup failed");
+            }
+            archive_paths.push(day_path);
+        }
         indexed.sort_unstable_by_key(|&(i, _)| i);
         debug_assert!(indexed.iter().enumerate().all(|(k, &(i, _))| k == i));
         let results = indexed.into_iter().map(|(_, r)| r);
@@ -390,7 +457,7 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
         }
     }
 
-    RctResult { arms, dataset, total_sessions }
+    RctResult { arms, dataset, total_sessions, archive_paths }
 }
 
 /// Collect a TTP training dataset by running `sessions_per_day × days`

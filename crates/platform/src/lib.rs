@@ -18,6 +18,10 @@
 //!   (the Fig. 10 phenomenon);
 //! * [`telemetry`] — the `video_sent` / `video_acked` / `client_buffer`
 //!   measurements of Appendix B, plus the daily-archive writer;
+//! * [`archive_format`] — the `.puf` compacted binary telemetry archive
+//!   (streaming writer/reader, deterministic multi-spool merge) that lets a
+//!   multi-month RCT spill telemetry to disk instead of holding days of
+//!   rows in RAM;
 //! * [`scheme`] — the scheme registry mapping experiment arms to algorithms
 //!   (Fig. 5);
 //! * [`experiment`] — the day-by-day RCT driver: blinded randomization,
@@ -26,6 +30,7 @@
 //!   Pensieve's emulation training environment (§3.3, §5.2).
 
 pub mod archive;
+pub mod archive_format;
 pub(crate) mod batch;
 pub mod client;
 pub mod experiment;
@@ -36,7 +41,8 @@ pub mod stream;
 pub mod telemetry;
 pub mod user;
 
-pub use archive::DailyArchive;
+pub use archive::{merge_spools, DailyArchive, TelemetrySpool};
+pub use archive_format::{ArchiveReader, ArchiveWriter, BlockKind, DecodedBlock};
 pub use experiment::{run_rct, ConsortCounts, ExperimentConfig, RctResult, SchemeArm};
 pub use pensieve_env::{train_pensieve, PensieveTrainConfig};
 pub use scheme::SchemeSpec;

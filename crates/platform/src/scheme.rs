@@ -85,7 +85,7 @@ impl SchemeSpec {
     }
 
     /// TTP and controller configuration of a Fugu-family arm — what the
-    /// batched scheduler ([`crate::batch`]) needs to answer this arm's chunk
+    /// batched scheduler (`crate::batch`) needs to answer this arm's chunk
     /// decisions out-of-band.  [`SchemeSpec::instantiate`] builds its
     /// [`Fugu`] from the same pair, so the inline and batched planners
     /// cannot drift.  `None` for arms that are not Fugu-family (their

@@ -78,6 +78,29 @@ impl BufferEvent {
             BufferEvent::Play => "play",
         }
     }
+
+    /// Stable wire code used by the binary archive (`docs/ARCHIVE.md`).
+    /// Codes are part of the `.puf` v1 format and must never be renumbered.
+    pub fn code(self) -> u8 {
+        match self {
+            BufferEvent::Periodic => 0,
+            BufferEvent::Startup => 1,
+            BufferEvent::Rebuffer => 2,
+            BufferEvent::Play => 3,
+        }
+    }
+
+    /// Inverse of [`BufferEvent::code`]; `None` for codes outside the v1
+    /// format (the archive reader turns that into a decode error).
+    pub fn from_code(code: u8) -> Option<BufferEvent> {
+        match code {
+            0 => Some(BufferEvent::Periodic),
+            1 => Some(BufferEvent::Startup),
+            2 => Some(BufferEvent::Rebuffer),
+            3 => Some(BufferEvent::Play),
+            _ => None,
+        }
+    }
 }
 
 /// One datum of `client_buffer`.
@@ -127,6 +150,62 @@ impl StreamTelemetry {
     }
 }
 
+/// Schema header line of the `video_sent` daily CSV.
+pub const VIDEO_SENT_CSV_HEADER: &[u8] =
+    b"time,stream_id,expt_id,video_ts,size,ssim_index,cwnd,in_flight,min_rtt,rtt,delivery_rate\n";
+
+/// Schema header line of the `video_acked` daily CSV.
+pub const VIDEO_ACKED_CSV_HEADER: &[u8] = b"time,stream_id,expt_id,video_ts,size\n";
+
+/// Schema header line of the `client_buffer` daily CSV.
+pub const CLIENT_BUFFER_CSV_HEADER: &[u8] = b"time,stream_id,expt_id,event,buffer,cum_rebuf\n";
+
+/// Write one `video_sent` CSV row (no header).  The single definition of the
+/// row rendering: the batch writer below and the streaming `.puf`→CSV export
+/// both call it, so their bytes cannot drift apart.
+pub fn write_video_sent_row<W: std::io::Write>(out: &mut W, d: &VideoSent) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{:.3},{},{},{},{:.0},{:.5},{:.1},{:.1},{:.6},{:.6},{:.0}",
+        d.time,
+        d.stream_id,
+        d.expt_id,
+        d.video_ts,
+        d.size,
+        d.ssim_index,
+        d.cwnd,
+        d.in_flight,
+        d.min_rtt,
+        d.rtt,
+        d.delivery_rate
+    )
+}
+
+/// Write one `video_acked` CSV row (no header).
+pub fn write_video_acked_row<W: std::io::Write>(
+    out: &mut W,
+    d: &VideoAcked,
+) -> std::io::Result<()> {
+    writeln!(out, "{:.3},{},{},{},{:.0}", d.time, d.stream_id, d.expt_id, d.video_ts, d.size)
+}
+
+/// Write one `client_buffer` CSV row (no header).
+pub fn write_client_buffer_row<W: std::io::Write>(
+    out: &mut W,
+    d: &ClientBuffer,
+) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{:.3},{},{},{},{:.3},{:.3}",
+        d.time,
+        d.stream_id,
+        d.expt_id,
+        d.event.name(),
+        d.buffer,
+        d.cum_rebuf
+    )
+}
+
 /// Stream `video_sent` data as the daily CSV dump, row by row.
 ///
 /// Writer-based so [`crate::DailyArchive::write`] can stream a day straight
@@ -135,27 +214,31 @@ pub fn write_video_sent_csv<W: std::io::Write>(
     out: &mut W,
     data: &[VideoSent],
 ) -> std::io::Result<()> {
-    out.write_all(
-        b"time,stream_id,expt_id,video_ts,size,ssim_index,cwnd,in_flight,min_rtt,rtt,delivery_rate\n",
-    )?;
+    out.write_all(VIDEO_SENT_CSV_HEADER)?;
     for d in data {
-        writeln!(
-            out,
-            "{:.3},{},{},{},{:.0},{:.5},{:.1},{:.1},{:.6},{:.6},{:.0}",
-            d.time,
-            d.stream_id,
-            d.expt_id,
-            d.video_ts,
-            d.size,
-            d.ssim_index,
-            d.cwnd,
-            d.in_flight,
-            d.min_rtt,
-            d.rtt,
-            d.delivery_rate
-        )?;
+        write_video_sent_row(out, d)?;
     }
     Ok(())
+}
+
+/// Stream `video_acked` data as the daily CSV dump, row by row.
+pub fn write_video_acked_csv<W: std::io::Write>(
+    out: &mut W,
+    data: &[VideoAcked],
+) -> std::io::Result<()> {
+    out.write_all(VIDEO_ACKED_CSV_HEADER)?;
+    for d in data {
+        write_video_acked_row(out, d)?;
+    }
+    Ok(())
+}
+
+/// Render `video_acked` data as an in-memory CSV (same bytes as
+/// [`write_video_acked_csv`]).
+pub fn video_acked_csv(data: &[VideoAcked]) -> String {
+    let mut out = Vec::new();
+    write_video_acked_csv(&mut out, data).expect("writing to memory cannot fail");
+    String::from_utf8(out).expect("CSV is ASCII")
 }
 
 /// Render `video_sent` data as an in-memory CSV (same bytes as
@@ -171,18 +254,9 @@ pub fn write_client_buffer_csv<W: std::io::Write>(
     out: &mut W,
     data: &[ClientBuffer],
 ) -> std::io::Result<()> {
-    out.write_all(b"time,stream_id,expt_id,event,buffer,cum_rebuf\n")?;
+    out.write_all(CLIENT_BUFFER_CSV_HEADER)?;
     for d in data {
-        writeln!(
-            out,
-            "{:.3},{},{},{},{:.3},{:.3}",
-            d.time,
-            d.stream_id,
-            d.expt_id,
-            d.event.name(),
-            d.buffer,
-            d.cum_rebuf
-        )?;
+        write_client_buffer_row(out, d)?;
     }
     Ok(())
 }

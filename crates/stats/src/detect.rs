@@ -12,7 +12,8 @@
 //! of streams at which separation happens in ≥ `power` of simulated
 //! experiments.
 
-use crate::bootstrap::bootstrap_ratio_ci;
+use crate::bootstrap::{bootstrap_ratio_ci, ConfidenceInterval};
+use crate::streaming::PoissonBootstrap;
 use crate::SECONDS_PER_YEAR;
 use rand::Rng;
 
@@ -96,6 +97,120 @@ pub fn stream_years_to_distinguish<R: Rng + ?Sized>(
     None
 }
 
+/// One row of a CI-width-vs-N curve: both arms' intervals at a data cut.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerPoint {
+    /// Streams per arm at this cut.
+    pub streams_per_arm: u64,
+    /// Stream-hours of watch time per arm at this cut (the smaller arm's).
+    pub hours_per_arm: f64,
+    /// Control arm's stall-ratio CI.
+    pub ci_a: ConfidenceInterval,
+    /// Treatment arm's stall-ratio CI (stalls scaled by 1 − improvement).
+    pub ci_b: ConfidenceInterval,
+}
+
+impl PowerPoint {
+    /// Whether the two arms' intervals are disjoint at this cut — the
+    /// separation criterion of the detectability analysis.
+    pub fn separated(&self) -> bool {
+        self.ci_a.disjoint_from(&self.ci_b)
+    }
+}
+
+/// Push-based CI-width-vs-N curve over a single streaming pass (§3.4).
+///
+/// Streams arrive one at a time (e.g. read back from a `.puf` archive);
+/// each is assigned to an arm by the caller, the treatment arm's stalls are
+/// scaled by `1 − improvement` (the synthetic "truly better" scheme of the
+/// paper's calculation), and both arms' Poisson-bootstrap states advance.
+/// Whenever *both* arms' accumulated watch time reaches the next requested
+/// cut, the current CIs are snapshotted — so one pass over N stream-hours
+/// yields the whole curve up to N, in bounded memory.
+#[derive(Debug)]
+pub struct PowerCurve {
+    cuts_hours: Vec<f64>,
+    next_cut: usize,
+    improvement: f64,
+    confidence: f64,
+    boot_a: PoissonBootstrap,
+    boot_b: PoissonBootstrap,
+    points: Vec<PowerPoint>,
+}
+
+impl PowerCurve {
+    /// A curve snapshotting at each of `cuts_hours` (ascending, per-arm
+    /// stream-hours).  `improvement` and `confidence` as in
+    /// [`DetectConfig`]; `n_boot` bootstrap replicates per arm.
+    pub fn new(
+        cuts_hours: Vec<f64>,
+        improvement: f64,
+        confidence: f64,
+        n_boot: usize,
+    ) -> PowerCurve {
+        assert!(cuts_hours.windows(2).all(|w| w[0] < w[1]), "cuts must be ascending");
+        assert!((0.0..1.0).contains(&improvement));
+        PowerCurve {
+            cuts_hours,
+            next_cut: 0,
+            improvement,
+            confidence,
+            boot_a: PoissonBootstrap::new(n_boot),
+            boot_b: PoissonBootstrap::new(n_boot),
+            points: Vec::new(),
+        }
+    }
+
+    /// Feed one stream's `(stall, watch)` seconds into an arm
+    /// (`treatment = true` scales the stall by `1 − improvement`), then
+    /// snapshot any cuts both arms have now reached.
+    pub fn push_stream<R: Rng + ?Sized>(
+        &mut self,
+        treatment: bool,
+        stall: f64,
+        watch: f64,
+        rng: &mut R,
+    ) {
+        if treatment {
+            self.boot_b.push(stall * (1.0 - self.improvement), watch, rng);
+        } else {
+            self.boot_a.push(stall, watch, rng);
+        }
+        while self.next_cut < self.cuts_hours.len() {
+            let cut_seconds = self.cuts_hours[self.next_cut] * 3600.0;
+            if self.boot_a.den_total() < cut_seconds || self.boot_b.den_total() < cut_seconds {
+                break;
+            }
+            self.points.push(PowerPoint {
+                streams_per_arm: self.boot_a.n().min(self.boot_b.n()),
+                hours_per_arm: self.boot_a.den_total().min(self.boot_b.den_total()) / 3600.0,
+                ci_a: self.boot_a.ci(self.confidence),
+                ci_b: self.boot_b.ci(self.confidence),
+            });
+            self.next_cut += 1;
+        }
+    }
+
+    /// Cuts snapshotted so far (in ascending cut order).
+    pub fn points(&self) -> &[PowerPoint] {
+        &self.points
+    }
+
+    /// Finish the pass: also snapshot the final state if data ran out
+    /// before the last cut was reached, then return all points.
+    pub fn finish(mut self) -> Vec<PowerPoint> {
+        if self.next_cut < self.cuts_hours.len() && self.boot_a.n() > 0 && self.boot_b.n() > 0 {
+            self.points.push(PowerPoint {
+                streams_per_arm: self.boot_a.n().min(self.boot_b.n()),
+                hours_per_arm: self.boot_a.den_total().min(self.boot_b.den_total()) / 3600.0,
+                ci_a: self.boot_a.ci(self.confidence),
+                ci_b: self.boot_b.ci(self.confidence),
+            });
+        }
+        self.points
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +273,42 @@ mod tests {
         if let Some(small) = small {
             assert!(big <= small, "big {big} vs small {small}");
         }
+    }
+
+    #[test]
+    fn power_curve_snapshots_each_cut_and_narrows() {
+        let pop = population(60_000, 20);
+        let mut curve = PowerCurve::new(vec![10.0, 100.0, 1000.0], 0.15, 0.95, 200);
+        let mut r = rng(21);
+        for (i, &(stall, watch)) in pop.iter().enumerate() {
+            curve.push_stream(i % 2 == 1, stall, watch, &mut r);
+        }
+        let points = curve.finish();
+        assert!(points.len() >= 3, "population too small for the cuts: {}", points.len());
+        for w in points.windows(2) {
+            assert!(w[0].hours_per_arm < w[1].hours_per_arm);
+            assert!(w[0].streams_per_arm < w[1].streams_per_arm);
+        }
+        let first = points.first().unwrap().ci_a.relative_half_width();
+        let last = points.last().unwrap().ci_a.relative_half_width();
+        assert!(last < first, "CI must narrow along the curve: {first} → {last}");
+    }
+
+    #[test]
+    fn power_curve_small_cuts_overlap() {
+        // A 15% difference is invisible at tens of stream-hours — the §3.4
+        // phenomenon, now as a streaming assertion.
+        let pop = population(20_000, 22);
+        let mut curve = PowerCurve::new(vec![20.0], 0.15, 0.95, 200);
+        let mut r = rng(23);
+        for (i, &(stall, watch)) in pop.iter().enumerate() {
+            if curve.points().len() == 1 {
+                break;
+            }
+            curve.push_stream(i % 2 == 1, stall, watch, &mut r);
+        }
+        let points = curve.finish();
+        assert!(!points[0].separated(), "20 stream-hours must not separate a 15% delta");
     }
 
     #[test]

@@ -16,17 +16,22 @@
 //! * CCDFs for the time-on-site analysis of Fig. 10 ([`ccdf`]);
 //! * the detectability analysis ([`detect`]) behind "it takes about 2
 //!   stream-years of data to reliably distinguish two ABR schemes whose
-//!   innate 'true' performance differs by 15%" (§5.3).
+//!   innate 'true' performance differs by 15%" (§5.3);
+//! * mergeable streaming accumulators ([`streaming`]) so the same
+//!   statistics run out-of-core over `.puf` telemetry archives at paper
+//!   scale (≥1M stream-hours) in one bounded-memory pass.
 
 pub mod bootstrap;
 pub mod ccdf;
 pub mod detect;
+pub mod streaming;
 pub mod summary;
 pub mod weighted;
 
 pub use bootstrap::{bootstrap_ratio_ci, ConfidenceInterval};
 pub use ccdf::ccdf_points;
-pub use detect::stream_years_to_distinguish;
+pub use detect::{stream_years_to_distinguish, PowerCurve, PowerPoint};
+pub use streaming::{PoissonBootstrap, RatioAccumulator, Reservoir, WeightedMeanAccumulator};
 pub use summary::{SchemeSummary, StreamSummary};
 pub use weighted::{weighted_mean, weighted_mean_ci};
 

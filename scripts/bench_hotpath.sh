@@ -28,7 +28,7 @@ trap 'rm -f "$fresh"' EXIT
 # missing for several PRs and recorded an empty trajectory).
 BENCH_JSON="$fresh" cargo bench -p puffer-bench \
   --bench controller --bench ttp_inference --bench ttp_batch --bench ttp_training \
-  --bench network_sim --bench stream_sim --bench rct_day
+  --bench network_sim --bench stream_sim --bench rct_day --bench archive_io
 
 python3 - "$fresh" "${1:-}" <<'EOF'
 import json, sys

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run the §3.4 power analysis at paper scale and record its resource
+# envelope (wall-clock and peak RSS) externally, since the repo's lint
+# forbids wall-clock reads inside the binaries themselves.
+#
+# Usage:
+#   scripts/power_analysis.sh [outdir] [extra puffer power-analysis flags...]
+#
+# Defaults reproduce the EXPERIMENTS.md §3.4 table: per-arm cuts from 250
+# to 500 000 stream-hours (up to 1M total), a 15% true rebuffering-ratio
+# difference, and 200 bootstrap replicates.  Writes the table to
+# $outdir/table.txt, the phase log to $outdir/log.txt, and
+# "wall_clock_s" / "peak_rss_kb" to $outdir/resources.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-results/power_analysis}"
+shift || true
+mkdir -p "$outdir"
+
+cargo build --release --bin puffer
+
+start=$(date +%s)
+./target/release/puffer power-analysis --out "$outdir" "$@" \
+  > "$outdir/table.txt" 2> "$outdir/log.txt" &
+pid=$!
+
+# Track peak RSS via VmHWM; GNU time is not available everywhere.
+peak=0
+while kill -0 "$pid" 2>/dev/null; do
+  cur=$(awk '/^VmHWM/{print $2}' "/proc/$pid/status" 2>/dev/null || true)
+  if [ -n "${cur:-}" ] && [ "$cur" -gt "$peak" ]; then peak=$cur; fi
+  sleep 0.2
+done
+wait "$pid"
+end=$(date +%s)
+
+{
+  echo "wall_clock_s $((end - start))"
+  echo "peak_rss_kb $peak"
+} > "$outdir/resources.txt"
+
+cat "$outdir/log.txt" "$outdir/table.txt" "$outdir/resources.txt"

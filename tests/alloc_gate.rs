@@ -22,6 +22,8 @@ use puffer_repro::abr::{AbrContext, ChunkRecord};
 use puffer_repro::media::{ChunkMenu, ChunkOption, CHUNK_SECONDS};
 use puffer_repro::net::TcpInfo;
 use puffer_repro::nn::{Activation, Mlp, Scaler};
+use puffer_repro::platform::telemetry::{BufferEvent, ClientBuffer, VideoAcked, VideoSent};
+use puffer_repro::platform::ArchiveWriter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -219,6 +221,62 @@ fn ttp_batched_predict_into_is_allocation_free() {
             );
         }
     }
+}
+
+/// The `.puf` archive writer's steady state: zero heap operations to push a
+/// full block of every measurement kind — including the implicit flush that
+/// encodes the columns and emits the block.  All scratch (pending rows and
+/// per-column varint buffers) is sized up-front in `with_block_rows`, so
+/// spilling a day of telemetry costs the RCT loop no allocations per row.
+#[test]
+fn archive_writer_steady_state_is_allocation_free() {
+    const BLOCK_ROWS: usize = 256;
+    let mut w = ArchiveWriter::with_block_rows(std::io::sink(), BLOCK_ROWS).unwrap();
+    let sent = |i: usize| VideoSent {
+        time: i as f64 * 2.002,
+        stream_id: 41_000,
+        expt_id: 3,
+        video_ts: i as u64 * 180_180,
+        size: 350_000.0 + 11.0 * i as f64,
+        ssim_index: 0.96,
+        cwnd: 42.0,
+        in_flight: 7.0,
+        min_rtt: 0.043,
+        rtt: 0.051,
+        delivery_rate: 1.4e6,
+    };
+    let acked = |i: usize| VideoAcked {
+        time: i as f64 * 2.002 + 0.08,
+        stream_id: 41_000,
+        expt_id: 3,
+        video_ts: i as u64 * 180_180,
+        size: 350_000.0 + 11.0 * i as f64,
+    };
+    let buffer = |i: usize| ClientBuffer {
+        time: i as f64 * 2.002 + 0.1,
+        stream_id: 41_000,
+        expt_id: 3,
+        event: BufferEvent::Periodic,
+        buffer: 8.5,
+        cum_rebuf: 0.25,
+    };
+
+    // Warm: one full block of each kind, flushed on the wrap-around push.
+    for i in 0..=BLOCK_ROWS {
+        w.push_sent(&sent(i)).unwrap();
+        w.push_acked(&acked(i)).unwrap();
+        w.push_buffer(&buffer(i)).unwrap();
+    }
+
+    let ops = heap_ops_in(|| {
+        for i in 0..BLOCK_ROWS {
+            w.push_sent(&sent(i)).unwrap();
+            w.push_acked(&acked(i)).unwrap();
+            w.push_buffer(&buffer(i)).unwrap();
+        }
+    });
+    assert_eq!(ops, 0, "ArchiveWriter allocated in steady state");
+    assert!(w.written().1 >= 3 * BLOCK_ROWS as u64, "blocks actually flushed");
 }
 
 /// The training minibatch step: zero heap operations *per epoch* on a warm
