@@ -92,6 +92,59 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Cross-arm batching: two arms (e.g. Full and PointEstimate over one
+    // trained network) whose waves share a TTP snapshot.  Merged, their
+    // 2 × 16 streams are one 32-query pass per step-net; unmerged, the same
+    // arithmetic runs as two 16-query passes, cycling each step-net's
+    // weights through cache twice.
+    group.bench_function("2arms_shared_ttp_batched", |b| {
+        let queries: Vec<TtpBatchQuery<'_>> = (0..2 * N_STREAMS)
+            .map(|i| TtpBatchQuery {
+                history: &histories[i % N_STREAMS],
+                tcp_info: &infos[i % N_STREAMS],
+                proposed_sizes: &sizes,
+            })
+            .collect();
+        let mut scratch = TtpScratch::new();
+        let mut out = vec![0.0; 2 * N_STREAMS * N_RUNGS * N_BINS];
+        b.iter(|| {
+            for step in 0..ttp.horizon() {
+                ttp.predict_time_distributions_batched_into(
+                    step,
+                    black_box(&queries),
+                    &mut scratch,
+                    &mut out,
+                );
+                black_box(&mut out);
+            }
+        })
+    });
+
+    group.bench_function("2arms_shared_ttp_per_arm", |b| {
+        let queries: Vec<TtpBatchQuery<'_>> = (0..N_STREAMS)
+            .map(|i| TtpBatchQuery {
+                history: &histories[i],
+                tcp_info: &infos[i],
+                proposed_sizes: &sizes,
+            })
+            .collect();
+        let mut scratch = TtpScratch::new();
+        let mut out = vec![0.0; N_STREAMS * N_RUNGS * N_BINS];
+        b.iter(|| {
+            for _arm in 0..2 {
+                for step in 0..ttp.horizon() {
+                    ttp.predict_time_distributions_batched_into(
+                        step,
+                        black_box(&queries),
+                        &mut scratch,
+                        &mut out,
+                    );
+                    black_box(&mut out);
+                }
+            }
+        })
+    });
+
     group.finish();
 }
 

@@ -17,9 +17,15 @@
 //!   without a serialization framework ([`serialize`]).
 //!
 //! The networks involved are tiny (the TTP is 2 hidden layers of 64 units,
-//! §4.5), so the implementation favours clarity and exact reproducibility over
-//! raw speed: matrices are row-major `Vec<f32>`, the matmul is a cache-friendly
-//! triple loop, and all randomness comes from caller-provided seeded RNGs.
+//! §4.5), but the batched RCT day loop feeds them `(streams · rungs)`-row
+//! batches, so the matmul family dispatches at runtime over a small fused
+//! kernel hierarchy — a 4×16 register-blocked AVX2+FMA microkernel, a
+//! row-at-a-time AVX+FMA kernel, and portable `f32::mul_add` loops — that is
+//! **bit-identical across tiers** (see [`matrix::Tier`] and the module docs
+//! of [`matrix`]): every element sees the same sequence of correctly-rounded
+//! fused multiply-adds no matter which kernel ran.  Matrices are row-major
+//! `Vec<f32>` and all randomness comes from caller-provided seeded RNGs, so
+//! results stay exactly reproducible across machines and thread counts.
 //!
 //! ## Example
 //!
@@ -51,7 +57,7 @@ pub mod optim;
 pub mod scaler;
 pub mod serialize;
 
-pub use matrix::Matrix;
+pub use matrix::{cpu_features, CpuFeatures, Matrix, Tier};
 pub use mlp::{Activation, BackwardScratch, ForwardCache, Linear, Mlp, MlpScratch, TrainCache};
 pub use scaler::Scaler;
 

@@ -1,69 +1,193 @@
 //! Row-major `f32` matrices sized for small dense networks.
 //!
 //! The TTP and Pensieve policy networks are at most a few hundred units wide,
-//! so a straightforward owned-`Vec` matrix with a loop-order-optimized matmul
-//! is plenty — no BLAS.  The one concession to the hardware is `axpy`, the
-//! shared `out += a · b` inner loop, which runs 8 lanes wide under AVX when
-//! the CPU has it; every element still sees exactly one multiply rounding
-//! and one add rounding in the same accumulation order as the scalar loop,
-//! so results are bit-identical with and without it.
+//! but the batched RCT day loop feeds them `(streams · rungs)`-row batches —
+//! hundreds of rows per forward pass — so the matmul family dispatches over a
+//! small kernel hierarchy at runtime:
+//!
+//! * [`Tier::Avx2Fma`] — shape-aware: ragged column counts (the TTP's
+//!   21-wide output layer) go to a register-blocked 4×16 microkernel — four
+//!   output rows × two YMM accumulators each (8 live accumulators), every
+//!   `B` row chunk loaded once and fused-multiply-added into all four rows,
+//!   with an AVX2 *masked* column tail instead of the row kernel's scalar
+//!   one; whole-8-lane column counts stay on the row-at-a-time kernel,
+//!   whose 64-wide tile already runs near FMA peak when `B` is L1-resident.
+//! * [`Tier::Avx`] — the row-at-a-time 8-lane FMA kernel (AVX + FMA without
+//!   AVX2: the Piledriver/Ivy-Bridge-era hardware class).
+//! * [`Tier::Scalar`] — portable `f32::mul_add` loops; also what Miri
+//!   interprets unless CI enables the vector features at compile time.
+//!
+//! All tiers are **bit-identical**: every output element sees exactly one
+//! *fused* multiply-add per accumulation step (`f32::mul_add` and the
+//! hardware `vfmadd` are both the correctly-rounded IEEE 754 fusedMultiplyAdd,
+//! so they agree to the last bit), in ascending-`k` order, with the same
+//! per-`(row, k)` zero skip.  Register blocking only changes *which* elements
+//! are in flight together, never any element's own operation sequence.
+//! CPUs with AVX but no FMA fall back to [`Tier::Scalar`] — a non-fused
+//! vector path (separate multiply and add roundings) could not stay
+//! bit-identical to the fused tiers.
+//!
+//! Feature detection runs once per process and is cached in a [`OnceLock`]
+//! ([`cpu_features`]); the per-call cost of [`Tier::detect`] is two relaxed
+//! atomic loads, cheap enough for every kernel entry point to re-read it.
 
-/// Whether [`axpy_with`] may take the AVX path.  Callers issuing many axpy
-/// calls hoist this out of their loops: the cached feature test is cheap but
-/// not free at inner-loop frequency.
-#[inline]
-pub(crate) fn have_avx() -> bool {
-    // Miri has no model of the AVX intrinsics; report the feature absent so
-    // it interprets the portable scalar loops instead (which are bit-identical
-    // to the AVX path by construction, so coverage is not lost).
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Runtime-detected SIMD capabilities, detected once and cached for the
+/// lifetime of the process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuFeatures {
+    pub avx: bool,
+    pub avx2: bool,
+    pub fma: bool,
+}
+
+static CPU_FEATURES: OnceLock<CpuFeatures> = OnceLock::new();
+
+/// The process-wide cached CPU feature set (one `OnceLock` load per call —
+/// detection itself runs exactly once).
+pub fn cpu_features() -> CpuFeatures {
+    *CPU_FEATURES.get_or_init(detect_features)
+}
+
+fn detect_features() -> CpuFeatures {
+    // Miri cannot execute `cpuid`; report the *compile-time* target features
+    // instead, so `cargo miri test` with
+    // `RUSTFLAGS="-C target-feature=+avx2,+fma"` interprets the real vector
+    // kernels (the CI Miri job does exactly this) while a plain Miri run
+    // interprets the portable scalar tier.
     if cfg!(miri) {
-        return false;
+        return CpuFeatures {
+            avx: cfg!(target_feature = "avx"),
+            avx2: cfg!(target_feature = "avx2"),
+            fma: cfg!(target_feature = "fma"),
+        };
     }
     #[cfg(target_arch = "x86_64")]
     {
-        std::arch::is_x86_feature_detected!("avx")
+        CpuFeatures {
+            avx: std::arch::is_x86_feature_detected!("avx"),
+            avx2: std::arch::is_x86_feature_detected!("avx2"),
+            fma: std::arch::is_x86_feature_detected!("fma"),
+        }
     }
     #[cfg(not(target_arch = "x86_64"))]
-    {
-        false
+    CpuFeatures::default()
+}
+
+/// Kernel dispatch tier.  All tiers produce bit-identical results (module
+/// docs); the tier only decides how fast they arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Tier {
+    /// Portable `f32::mul_add` loops — correct everywhere, and the only
+    /// tier on x86-64 without FMA (a fused scalar op is required to match
+    /// the vector tiers bitwise).
+    Scalar = 0,
+    /// Row-at-a-time 8-lane AVX kernels using FMA (requires AVX *and* FMA).
+    Avx = 1,
+    /// The 4×16 register-blocked microkernel with masked column tails for
+    /// ragged column counts; whole-8-lane shapes use the row kernel, which
+    /// is already load-bound-free there (requires AVX2 and FMA).
+    Avx2Fma = 2,
+}
+
+/// Test/bench override for [`Tier::detect`]: 0 = auto, else `tier as u8 + 1`.
+static TIER_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Force every auto-dispatched kernel onto one tier (`None` restores runtime
+/// detection).  For tests and benches that pin cross-tier bit-identity at
+/// the experiment level.  Forcing any supported tier is unobservable in
+/// results — the tiers are bit-identical — so a concurrently running test
+/// can only be made slower, never wrong.
+///
+/// # Panics
+/// Panics if the CPU does not support `tier` (running an AVX2 kernel on a
+/// CPU without AVX2 would be undefined behaviour, so it is refused here).
+pub fn force_tier(tier: Option<Tier>) {
+    let v = match tier {
+        None => 0,
+        Some(t) => {
+            assert!(t.supported(), "cannot force unsupported kernel tier {t:?}");
+            t as u8 + 1
+        }
+    };
+    TIER_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+impl Tier {
+    /// Every tier, slowest first.
+    pub const ALL: [Tier; 3] = [Tier::Scalar, Tier::Avx, Tier::Avx2Fma];
+
+    /// The best tier this CPU supports (cached detection), unless a test
+    /// override ([`force_tier`]) is active.
+    #[inline]
+    pub fn detect() -> Tier {
+        match TIER_OVERRIDE.load(Ordering::Relaxed) {
+            1 => Tier::Scalar,
+            2 => Tier::Avx,
+            3 => Tier::Avx2Fma,
+            _ => {
+                let f = cpu_features();
+                if f.avx2 && f.fma {
+                    Tier::Avx2Fma
+                } else if f.avx && f.fma {
+                    Tier::Avx
+                } else {
+                    Tier::Scalar
+                }
+            }
+        }
+    }
+
+    /// Whether this CPU can run this tier's kernels.
+    pub fn supported(self) -> bool {
+        let f = cpu_features();
+        match self {
+            Tier::Scalar => true,
+            Tier::Avx => f.avx && f.fma,
+            Tier::Avx2Fma => f.avx2 && f.fma,
+        }
+    }
+
+    /// Label for bench/test output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Scalar => "scalar",
+            Tier::Avx => "avx",
+            Tier::Avx2Fma => "avx2fma",
+        }
     }
 }
 
-/// `out[j] += a * b[j]` over the overlapping prefix — the accumulating inner
-/// loop shared by the matmuls and the MLP's shared-prefix forward.
+/// `out[j] = a.mul_add(b[j], out[j])` over the overlapping prefix — the
+/// fused accumulating inner loop shared by the matmuls and the MLP's
+/// shared-prefix forward.  The tier decision is the caller's (hoist one
+/// [`Tier::detect`] out of the loop; the tier must be supported).
 #[inline]
-pub(crate) fn axpy(a: f32, b: &[f32], out: &mut [f32]) {
-    axpy_with(have_avx(), a, b, out)
-}
-
-/// [`axpy`] with the AVX decision hoisted to the caller (`wide` must come
-/// from [`have_avx`]).
-#[inline]
-pub(crate) fn axpy_with(wide: bool, a: f32, b: &[f32], out: &mut [f32]) {
+pub(crate) fn axpy_with(tier: Tier, a: f32, b: &[f32], out: &mut [f32]) {
     #[cfg(target_arch = "x86_64")]
-    if wide {
-        // SAFETY: `wide` is only true when runtime detection found AVX.
-        unsafe { axpy_avx(a, b, out) };
+    if tier != Tier::Scalar {
+        // SAFETY: non-scalar tiers are only constructed when runtime
+        // detection (or the asserting `force_tier`) found AVX and FMA.
+        unsafe { axpy_fma(a, b, out) };
         return;
     }
-    #[cfg(not(target_arch = "x86_64"))]
-    let _ = wide;
+    let _ = tier;
     for (o, &bv) in out.iter_mut().zip(b) {
-        *o += a * bv;
+        *o = a.mul_add(bv, *o);
     }
 }
 
-/// AVX body of [`axpy`]: 8-lane `vmulps` + `vaddps` (deliberately not FMA —
-/// fused rounding would diverge from the scalar mul-then-add).
-///
-/// # Safety
-/// The CPU must support AVX — callers gate on [`have_avx`].
+/// AVX body of [`axpy_with`]: 8-lane `vfmadd`.  Per element this is the same
+/// single correctly-rounded fused multiply-add as the scalar `mul_add`
+/// loop, so results are bit-identical.
 #[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx")]
-unsafe fn axpy_avx(a: f32, b: &[f32], out: &mut [f32]) {
+#[target_feature(enable = "avx,fma")]
+fn axpy_fma(a: f32, b: &[f32], out: &mut [f32]) {
     use std::arch::x86_64::*;
     let n = out.len().min(b.len());
-    debug_assert!(n <= b.len() && n <= out.len());
     let av = _mm256_set1_ps(a);
     let mut j = 0;
     while j + 8 <= n {
@@ -73,33 +197,33 @@ unsafe fn axpy_avx(a: f32, b: &[f32], out: &mut [f32]) {
         unsafe {
             let bv = _mm256_loadu_ps(b.as_ptr().add(j));
             let ov = _mm256_loadu_ps(out.as_ptr().add(j));
-            _mm256_storeu_ps(out.as_mut_ptr().add(j), _mm256_add_ps(ov, _mm256_mul_ps(av, bv)));
+            _mm256_storeu_ps(out.as_mut_ptr().add(j), _mm256_fmadd_ps(av, bv, ov));
         }
         j += 8;
     }
     while j < n {
         // SAFETY: `j < n <= b.len()` and `n <= out.len()`, so both
         // unchecked accesses are in bounds.
-        unsafe { *out.get_unchecked_mut(j) += a * *b.get_unchecked(j) };
+        unsafe {
+            let o = out.get_unchecked_mut(j);
+            *o = a.mul_add(*b.get_unchecked(j), *o);
+        }
         j += 1;
     }
 }
 
-/// AVX fast path of one [`Matrix::matmul_into`] output row:
-/// `out_row[j] += Σ_k a_row[k] · w[k*cols + j]`, with the output row held in
-/// registers across the whole `k` loop (the scalar loop re-loads and
-/// re-stores it for every `k`).  Per-element arithmetic — one multiply
-/// rounding, one add rounding, `k` ascending — matches the scalar loop
-/// exactly, so results are bit-identical.
+/// Row-at-a-time FMA kernel for one [`Matrix::matmul_into`] output row:
+/// `out_row[j] = Σ_k fma(a_row[k], w[k*cols + j])`, with the output row held
+/// in registers across the whole `k` loop.  Per element: one fused
+/// multiply-add per nonzero `a_row[k]`, `k` ascending — exactly the scalar
+/// tier's sequence, so results are bit-identical.
 ///
-/// # Safety
-/// The CPU must support AVX — callers gate on [`have_avx`].  The slice
-/// bounds the pointer arithmetic relies on (`out_row.len() == cols`,
-/// `w.len() >= a_row.len() * cols`) are asserted on entry in debug builds
-/// and guaranteed by `matmul_into`'s shape checks in release builds.
+/// The slice bounds the pointer arithmetic relies on (`out_row.len() ==
+/// cols`, `w.len() >= a_row.len() * cols`) are asserted on entry in debug
+/// builds and guaranteed by `matmul_into`'s shape checks in release builds.
 #[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx")]
-unsafe fn accum_row_avx(a_row: &[f32], w: &[f32], cols: usize, out_row: &mut [f32]) {
+#[target_feature(enable = "avx,fma")]
+fn accum_row_fma(a_row: &[f32], w: &[f32], cols: usize, out_row: &mut [f32]) {
     use std::arch::x86_64::*;
     debug_assert!(w.len() >= a_row.len() * cols);
     debug_assert_eq!(out_row.len(), cols);
@@ -133,7 +257,7 @@ unsafe fn accum_row_avx(a_row: &[f32], w: &[f32], cols: usize, out_row: &mut [f3
                 // `k*cols + j0 + t*8 + 8 <= a_row.len()*cols <= w.len()`
                 // keeps every lane of the load inside `w`.
                 let bv = unsafe { _mm256_loadu_ps(w.as_ptr().add(k * cols + j0 + t * 8)) };
-                *accv = _mm256_add_ps(*accv, _mm256_mul_ps(av, bv));
+                *accv = _mm256_fmadd_ps(av, bv, *accv);
             }
         }
         for (t, accv) in acc.iter().enumerate() {
@@ -157,13 +281,13 @@ unsafe fn accum_row_avx(a_row: &[f32], w: &[f32], cols: usize, out_row: &mut [f3
             // SAFETY: `k < a_row.len()` and `j0 + 8 <= cols`, so the 8-lane
             // load ends at `k*cols + j0 + 8 <= a_row.len()*cols <= w.len()`.
             let bv = unsafe { _mm256_loadu_ps(w.as_ptr().add(k * cols + j0)) };
-            acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(a), bv));
+            acc = _mm256_fmadd_ps(_mm256_set1_ps(a), bv, acc);
         }
         // SAFETY: same bound as the load of this tile.
         unsafe { _mm256_storeu_ps(p.add(j0), acc) };
         j0 += 8;
     }
-    // Remaining columns, scalar.
+    // Remaining columns, scalar `mul_add` (same fused op as the lanes).
     if j0 < cols {
         for (k, &a) in a_row.iter().enumerate() {
             if a == 0.0 {
@@ -174,11 +298,177 @@ unsafe fn accum_row_avx(a_row: &[f32], w: &[f32], cols: usize, out_row: &mut [f3
                 // SAFETY: `j < cols == out_row.len()`, and `k*cols + j <
                 // a_row.len()*cols <= w.len()`.
                 unsafe {
-                    *out_row.get_unchecked_mut(j) += a * *w.get_unchecked(k * cols + j);
+                    let o = out_row.get_unchecked_mut(j);
+                    *o = a.mul_add(*w.get_unchecked(k * cols + j), *o);
                 }
             }
         }
     }
+}
+
+/// The 4×16 register-blocked AVX2+FMA microkernel: four output rows × 16
+/// columns (two YMM accumulators per row, 8 live accumulators) per tile.
+/// Each 16-wide chunk of a `B` row is loaded *once* per `k` and fused into
+/// all four output rows, and a column remainder below 8 lanes is handled
+/// with AVX masked loads/stores — no scalar cleanup loop, no out-of-bounds
+/// lanes.  That masked tail is where this kernel wins (2–3× on the TTP's
+/// 21-wide output layer, where [`accum_row_fma`] falls into a scalar tail);
+/// [`Matrix::matmul_into_with`] dispatches between the two by column shape.
+///
+/// `a4` holds four consecutive rows of `A` (`4 * k` values), `out4` the four
+/// matching rows of the output (`4 * cols`, contiguous in the row-major
+/// output).  Per element the operation sequence is identical to the scalar
+/// tier: one fused multiply-add per nonzero `a` in ascending-`k` order with
+/// the per-`(row, k)` zero skip, so blocking is invisible bitwise.
+///
+/// The slice geometry the pointer arithmetic relies on (`a4.len() == 4*k`,
+/// `out4.len() == 4*cols`, `w.len() >= k*cols`) is asserted in debug builds
+/// and guaranteed by `matmul_into`'s shape checks in release builds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+fn accum_rows4_fma(a4: &[f32], k: usize, w: &[f32], cols: usize, out4: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a4.len(), 4 * k);
+    debug_assert_eq!(out4.len(), 4 * cols);
+    debug_assert!(w.len() >= k * cols);
+    let op = out4.as_mut_ptr();
+    let wp = w.as_ptr();
+    let mut j0 = 0usize;
+    // 16-column register tiles: 4 rows × 2 YMM accumulators.
+    while j0 + 16 <= cols {
+        let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            for (t, accv) in accr.iter_mut().enumerate() {
+                // SAFETY: `r < 4`, `t < 2`, and `j0 + 16 <= cols`, so
+                // `r*cols + j0 + t*8 + 8 <= 4*cols == out4.len()`.
+                *accv = unsafe { _mm256_loadu_ps(op.add(r * cols + j0 + t * 8)) };
+            }
+        }
+        for kk in 0..k {
+            let a = [a4[kk], a4[k + kk], a4[2 * k + kk], a4[3 * k + kk]];
+            if a == [0.0; 4] {
+                continue; // no row wants this B chunk — skip the loads too
+            }
+            // SAFETY: `kk < k` and `j0 + 16 <= cols`, so both 8-lane loads
+            // end at `kk*cols + j0 + 16 <= k*cols <= w.len()`.
+            let (b0, b1) = unsafe {
+                (
+                    _mm256_loadu_ps(wp.add(kk * cols + j0)),
+                    _mm256_loadu_ps(wp.add(kk * cols + j0 + 8)),
+                )
+            };
+            for (r, accr) in acc.iter_mut().enumerate() {
+                if a[r] == 0.0 {
+                    continue; // matches the scalar loop's ReLU skip, per row
+                }
+                let av = _mm256_set1_ps(a[r]);
+                accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            for (t, accv) in accr.iter().enumerate() {
+                // SAFETY: same tile bound as the accumulator loads above.
+                unsafe { _mm256_storeu_ps(op.add(r * cols + j0 + t * 8), *accv) };
+            }
+        }
+        j0 += 16;
+    }
+    // One 8-column tile if at least 8 columns remain.
+    if j0 + 8 <= cols {
+        let mut acc = [_mm256_setzero_ps(); 4];
+        for (r, accv) in acc.iter_mut().enumerate() {
+            // SAFETY: `j0 + 8 <= cols` bounds the lane span inside row `r`
+            // of `out4` (`r*cols + j0 + 8 <= 4*cols == out4.len()`).
+            *accv = unsafe { _mm256_loadu_ps(op.add(r * cols + j0)) };
+        }
+        for kk in 0..k {
+            let a = [a4[kk], a4[k + kk], a4[2 * k + kk], a4[3 * k + kk]];
+            if a == [0.0; 4] {
+                continue;
+            }
+            // SAFETY: `kk < k` and `j0 + 8 <= cols` bound the load inside `w`.
+            let bv = unsafe { _mm256_loadu_ps(wp.add(kk * cols + j0)) };
+            for (r, accv) in acc.iter_mut().enumerate() {
+                if a[r] == 0.0 {
+                    continue;
+                }
+                *accv = _mm256_fmadd_ps(_mm256_set1_ps(a[r]), bv, *accv);
+            }
+        }
+        for (r, accv) in acc.iter().enumerate() {
+            // SAFETY: same bound as this tile's loads.
+            unsafe { _mm256_storeu_ps(op.add(r * cols + j0), *accv) };
+        }
+        j0 += 8;
+    }
+    // Masked column tail (1–7 columns): lanes `>= rem` are disabled in both
+    // the loads and the stores, so no lane ever touches memory past the row.
+    if j0 < cols {
+        let rem = (cols - j0) as i32;
+        debug_assert!((1..8).contains(&rem));
+        let mask =
+            _mm256_cmpgt_epi32(_mm256_set1_epi32(rem), _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+        let mut acc = [_mm256_setzero_ps(); 4];
+        for (r, accv) in acc.iter_mut().enumerate() {
+            // SAFETY: enabled lanes are `j0..j0+rem == cols`, inside row `r`
+            // of `out4`; masked lanes perform no memory access.
+            *accv = unsafe { _mm256_maskload_ps(op.add(r * cols + j0), mask) };
+        }
+        for kk in 0..k {
+            let a = [a4[kk], a4[k + kk], a4[2 * k + kk], a4[3 * k + kk]];
+            if a == [0.0; 4] {
+                continue;
+            }
+            // SAFETY: enabled lanes end at `kk*cols + cols <= k*cols <=
+            // w.len()`; masked lanes perform no memory access.
+            let bv = unsafe { _mm256_maskload_ps(wp.add(kk * cols + j0), mask) };
+            for (r, accv) in acc.iter_mut().enumerate() {
+                if a[r] == 0.0 {
+                    continue;
+                }
+                *accv = _mm256_fmadd_ps(_mm256_set1_ps(a[r]), bv, *accv);
+            }
+        }
+        for (r, accv) in acc.iter().enumerate() {
+            // SAFETY: same enabled-lane bound as the masked loads.
+            unsafe { _mm256_maskstore_ps(op.add(r * cols + j0), mask, *accv) };
+        }
+    }
+}
+
+/// Scalar (`mul_add`) body of [`Matrix::matmul_t_into`]: `out = a · bᵀ` with
+/// each output element a sequential fused dot product.  `#[inline(always)]`
+/// so [`matmul_t_rows_fma`] can compile the *same* loop with the FMA feature
+/// enabled (one `vfmadd` instruction per step instead of a libm `fmaf`
+/// call) — the arithmetic, and therefore every bit of the result, is
+/// identical either way.
+#[inline(always)]
+fn matmul_t_rows(a: &[f32], cols: usize, b: &[f32], b_rows: usize, out: &mut [f32]) {
+    if b_rows == 0 {
+        return; // `out` is m×0 (empty); chunks_exact_mut(0) would panic
+    }
+    for (i, out_row) in out.chunks_exact_mut(b_rows).enumerate() {
+        let a_row = &a[i * cols..(i + 1) * cols];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * cols..(j + 1) * cols];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc = x.mul_add(y, acc);
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// [`matmul_t_rows`] compiled with FMA enabled, for CPUs that have it.  The
+/// dot products stay sequential scalar chains — vectorizing a reduction
+/// would reorder the accumulation and break cross-tier bit-identity — but
+/// `mul_add` lowers to a single `vfmadd` here instead of a libm call.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+fn matmul_t_rows_fma(a: &[f32], cols: usize, b: &[f32], b_rows: usize, out: &mut [f32]) {
+    matmul_t_rows(a, cols, b, b_rows, out)
 }
 
 /// A dense row-major matrix of `f32`.
@@ -287,28 +577,95 @@ impl Matrix {
     }
 
     /// [`Matrix::matmul`] writing into a caller-owned matrix (resized to fit)
-    /// so steady-state inference performs no allocations.
+    /// so steady-state inference performs no allocations.  Dispatches to the
+    /// best kernel tier the CPU supports ([`Tier::detect`]).
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_into_with(Tier::detect(), other, out)
+    }
+
+    /// [`Matrix::matmul_into`] on an explicit kernel tier — how tests and
+    /// benches pin the tiers bit-identical against each other.
+    ///
+    /// # Panics
+    /// Panics if the CPU does not support `tier` (see [`Tier::supported`]).
+    pub fn matmul_into_with(&self, tier: Tier, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        assert!(tier.supported(), "kernel tier {tier:?} not supported by this CPU");
         out.resize(self.rows, other.cols);
         out.data.fill(0.0);
-        let wide = have_avx();
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            #[cfg(target_arch = "x86_64")]
-            if wide {
-                // SAFETY: `wide` is only true when runtime detection found AVX.
-                unsafe { accum_row_avx(a_row, &other.data, other.cols, out_row) };
-                continue;
+        let k = self.cols;
+        let n = other.cols;
+        #[cfg(target_arch = "x86_64")]
+        {
+            // The Avx2Fma tier is shape-aware (bit-identity makes the kernel
+            // choice free): when the columns split into whole 8-lane tiles,
+            // the row-at-a-time kernel's 64-wide tile already runs near FMA
+            // peak — `B` loads are L1 hits at these sizes, so the 4-row
+            // block's load amortization can't pay for its strided `A` gather
+            // and its 4× re-branching of the per-row zero skips.  The block
+            // earns its keep on ragged column counts (the TTP's 21-wide
+            // output layer), where the row kernel would fall into a scalar
+            // tail but the masked-lane tail stays vectorized — measured
+            // 2–3× there (`nn_kernels` bench, dense and ReLU-sparse).
+            if tier == Tier::Avx2Fma && !n.is_multiple_of(8) {
+                let mut i = 0;
+                // 4-row register blocks...
+                while i + 4 <= self.rows {
+                    // SAFETY: `Avx2Fma` only passes the `supported` assert
+                    // above when runtime detection found AVX2 and FMA.
+                    unsafe {
+                        accum_rows4_fma(
+                            &self.data[i * k..(i + 4) * k],
+                            k,
+                            &other.data,
+                            n,
+                            &mut out.data[i * n..(i + 4) * n],
+                        )
+                    };
+                    i += 4;
+                }
+                // ... and the row-at-a-time kernel for the 1–3 row tail
+                // (bit-identical: same per-element op sequence).
+                while i < self.rows {
+                    // SAFETY: AVX2+FMA support implies the AVX+FMA this
+                    // kernel requires.
+                    unsafe {
+                        accum_row_fma(
+                            &self.data[i * k..(i + 1) * k],
+                            &other.data,
+                            n,
+                            &mut out.data[i * n..(i + 1) * n],
+                        )
+                    };
+                    i += 1;
+                }
+                return;
             }
-            #[cfg(not(target_arch = "x86_64"))]
-            let _ = wide;
-            for (k, &a) in a_row.iter().enumerate() {
+            if tier == Tier::Avx || tier == Tier::Avx2Fma {
+                for i in 0..self.rows {
+                    // SAFETY: both tiers only pass the `supported` assert
+                    // above when runtime detection found the AVX and FMA
+                    // this kernel requires.
+                    unsafe {
+                        accum_row_fma(
+                            &self.data[i * k..(i + 1) * k],
+                            &other.data,
+                            n,
+                            &mut out.data[i * n..(i + 1) * n],
+                        )
+                    };
+                }
+                return;
+            }
+        }
+        for i in 0..self.rows {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue; // common after ReLU
                 }
-                axpy_with(false, a, other.row(k), out_row);
+                axpy_with(Tier::Scalar, a, other.row(kk), out_row);
             }
         }
     }
@@ -327,9 +684,17 @@ impl Matrix {
     /// is identical to [`Matrix::t_matmul`], so accumulating into a zeroed
     /// `out` produces the same values.
     pub fn t_matmul_acc(&self, other: &Matrix, out: &mut Matrix) {
+        self.t_matmul_acc_with(Tier::detect(), other, out)
+    }
+
+    /// [`Matrix::t_matmul_acc`] on an explicit kernel tier.
+    ///
+    /// # Panics
+    /// Panics if the CPU does not support `tier` (see [`Tier::supported`]).
+    pub fn t_matmul_acc_with(&self, tier: Tier, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "row counts must agree");
         assert_eq!((out.rows, out.cols), (self.cols, other.cols), "output shape mismatch");
-        let wide = have_avx();
+        assert!(tier.supported(), "kernel tier {tier:?} not supported by this CPU");
         for r in 0..self.rows {
             let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
             let b_row = other.row(r);
@@ -337,7 +702,7 @@ impl Matrix {
                 if a == 0.0 {
                     continue;
                 }
-                axpy_with(wide, a, b_row, &mut out.data[i * other.cols..(i + 1) * other.cols]);
+                axpy_with(tier, a, b_row, &mut out.data[i * other.cols..(i + 1) * other.cols]);
             }
         }
     }
@@ -353,20 +718,31 @@ impl Matrix {
     /// fit) — the backpropagated-gradient kernel (`dx = dy·Wᵀ`) of the
     /// allocation-free training backward pass.
     pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_t_into_with(Tier::detect(), other, out)
+    }
+
+    /// [`Matrix::matmul_t_into`] on an explicit kernel tier.  Every tier
+    /// runs the same sequential fused dot products (a vector reduction
+    /// would reorder the accumulation); non-scalar tiers merely compile the
+    /// loop with the FMA instruction available.
+    ///
+    /// # Panics
+    /// Panics if the CPU does not support `tier` (see [`Tier::supported`]).
+    pub fn matmul_t_into_with(&self, tier: Tier, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "column counts must agree");
+        assert!(tier.supported(), "kernel tier {tier:?} not supported by this CPU");
         out.resize(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        #[cfg(target_arch = "x86_64")]
+        if tier != Tier::Scalar {
+            // SAFETY: non-scalar tiers only pass the `supported` assert
+            // above when runtime detection found FMA.
+            unsafe {
+                matmul_t_rows_fma(&self.data, self.cols, &other.data, other.rows, &mut out.data)
+            };
+            return;
         }
+        let _ = tier;
+        matmul_t_rows(&self.data, self.cols, &other.data, other.rows, &mut out.data);
     }
 
     /// Explicit transpose (used rarely; prefer the fused variants above).
@@ -426,6 +802,11 @@ impl Matrix {
 mod tests {
     use super::*;
 
+    /// The tiers this CPU can actually run (always includes `Scalar`).
+    fn supported_tiers() -> Vec<Tier> {
+        Tier::ALL.into_iter().filter(|t| t.supported()).collect()
+    }
+
     #[test]
     fn matmul_small_known() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
@@ -477,24 +858,59 @@ mod tests {
     }
 
     #[test]
-    fn axpy_avx_is_bit_identical_to_scalar() {
-        // Odd length exercises both the 8-lane body and the scalar tail.
-        for n in [1usize, 7, 8, 21, 64, 67] {
-            let b: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.61).sin() * 1e3).collect();
-            let mut wide: Vec<f32> = (0..n).map(|i| (i as f32) * 0.25 - 3.0).collect();
-            let mut narrow = wide.clone();
-            axpy_with(have_avx(), 1.37, &b, &mut wide);
-            axpy_with(false, 1.37, &b, &mut narrow);
-            assert_eq!(wide, narrow, "n = {n}");
+    fn detection_is_cached_and_consistent() {
+        let f = cpu_features();
+        assert_eq!(f, cpu_features(), "cached detection must be stable");
+        let t = Tier::detect();
+        assert!(t.supported());
+        // AVX2+FMA implies the lower vector tier is also runnable.
+        if Tier::Avx2Fma.supported() {
+            assert!(Tier::Avx.supported());
         }
     }
 
     #[test]
-    fn matmul_avx_is_bit_identical_to_scalar() {
-        // Shapes cover the 64-wide tile, the 8-wide tile, the scalar column
-        // tail, and combinations (64 + 8 + tail at cols = 77); zeros in the
-        // left matrix exercise the sparsity skip on both paths.
-        for (m, k, n) in [(1usize, 5usize, 3usize), (4, 21, 64), (10, 64, 21), (3, 7, 77)] {
+    fn force_tier_overrides_detection() {
+        // Scalar is supported everywhere, so this test is portable.  It
+        // restores auto-detection before returning (other tests in this
+        // binary only ever observe a *supported* tier either way).
+        force_tier(Some(Tier::Scalar));
+        assert_eq!(Tier::detect(), Tier::Scalar);
+        force_tier(None);
+        assert!(Tier::detect().supported());
+    }
+
+    #[test]
+    fn axpy_tiers_are_bit_identical() {
+        // Odd length exercises the 8-lane body and the scalar tail.
+        for n in [1usize, 7, 8, 21, 64, 67] {
+            let b: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.61).sin() * 1e3).collect();
+            let init: Vec<f32> = (0..n).map(|i| (i as f32) * 0.25 - 3.0).collect();
+            let mut reference = init.clone();
+            axpy_with(Tier::Scalar, 1.37, &b, &mut reference);
+            for tier in supported_tiers() {
+                let mut out = init.clone();
+                axpy_with(tier, 1.37, &b, &mut out);
+                assert_eq!(out, reference, "n = {n}, tier {tier:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_tiers_are_bit_identical() {
+        // Shapes cover the 4×16 register block, the 1–3 row tail, the
+        // 8-wide column tile, the masked column tail, and combinations
+        // (16 + 8 + masked tail at cols = 29); zeros in the left matrix
+        // exercise the per-(row, k) sparsity skip on every path.
+        for (m, k, n) in [
+            (1usize, 5usize, 3usize),
+            (4, 21, 64),
+            (10, 64, 21),
+            (3, 7, 77),
+            (8, 16, 16),
+            (5, 3, 29),
+            (12, 22, 8),
+        ] {
             let a = Matrix::from_vec(
                 m,
                 k,
@@ -507,22 +923,13 @@ mod tests {
                 n,
                 (0..k * n).map(|i| ((i as f32) * 0.11).cos() * 5.0).collect(),
             );
-            let mut fast = Matrix::zeros(0, 0);
-            a.matmul_into(&b, &mut fast);
-            // Scalar reference: the exact loop `matmul_into` runs without AVX.
-            let mut reference = Matrix::zeros(m, n);
-            reference.data.fill(0.0);
-            for i in 0..m {
-                let a_row = &a.data[i * k..(i + 1) * k];
-                let out_row = &mut reference.data[i * n..(i + 1) * n];
-                for (kk, &av) in a_row.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    axpy_with(false, av, b.row(kk), out_row);
-                }
+            let mut reference = Matrix::zeros(0, 0);
+            a.matmul_into_with(Tier::Scalar, &b, &mut reference);
+            for tier in supported_tiers() {
+                let mut out = Matrix::zeros(0, 0);
+                a.matmul_into_with(tier, &b, &mut out);
+                assert_eq!(out.data(), reference.data(), "shape {m}x{k}x{n}, tier {tier:?}");
             }
-            assert_eq!(fast.data(), reference.data(), "shape {m}x{k}x{n}");
         }
     }
 
@@ -531,28 +938,33 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, -2.0, 0.0], vec![0.5, 3.0, 4.0]]);
         let b = Matrix::from_rows(&[vec![2.0, 1.0], vec![-1.0, 0.25]]);
         let reference = a.t_matmul(&b);
-        let mut acc = Matrix::zeros(3, 2);
-        a.t_matmul_acc(&b, &mut acc);
-        assert_eq!(reference.data(), acc.data());
-        // A second accumulation doubles every element.
-        a.t_matmul_acc(&b, &mut acc);
-        for (x, r) in acc.data().iter().zip(reference.data()) {
-            assert_eq!(*x, 2.0 * r);
+        for tier in supported_tiers() {
+            let mut acc = Matrix::zeros(3, 2);
+            a.t_matmul_acc_with(tier, &b, &mut acc);
+            assert_eq!(reference.data(), acc.data(), "tier {tier:?}");
+            // A second accumulation doubles every element.
+            a.t_matmul_acc_with(tier, &b, &mut acc);
+            for (x, r) in acc.data().iter().zip(reference.data()) {
+                assert_eq!(*x, 2.0 * r, "tier {tier:?}");
+            }
         }
     }
 
     #[test]
-    fn matmul_t_into_matches_matmul_t_across_reuses() {
+    fn matmul_t_tiers_are_bit_identical_across_reuses() {
         let a = Matrix::from_rows(&[vec![1.0, -2.0, 0.5], vec![0.0, 3.0, 4.0]]);
         let b = Matrix::from_rows(&[vec![2.0, 1.0, -0.5], vec![1.5, 0.0, 3.0]]);
-        let mut out = Matrix::zeros(0, 0);
-        a.matmul_t_into(&b, &mut out);
-        assert_eq!(out, a.matmul_t(&b));
-        // Reuse with a different shape: stale contents must not leak.
-        let c = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
-        c.matmul_t_into(&b, &mut out);
-        assert_eq!(out, c.matmul_t(&b));
-        assert_eq!((out.rows(), out.cols()), (1, 2));
+        let reference = a.matmul_t(&b);
+        for tier in supported_tiers() {
+            let mut out = Matrix::zeros(0, 0);
+            a.matmul_t_into_with(tier, &b, &mut out);
+            assert_eq!(out, reference, "tier {tier:?}");
+            // Reuse with a different shape: stale contents must not leak.
+            let c = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+            c.matmul_t_into_with(tier, &b, &mut out);
+            assert_eq!(out, c.matmul_t(&b), "tier {tier:?}");
+            assert_eq!((out.rows(), out.cols()), (1, 2));
+        }
     }
 
     #[test]

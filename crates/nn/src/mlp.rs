@@ -5,7 +5,7 @@
 //! the same network with zero hidden layers.  [`Mlp`] covers both, plus the
 //! somewhat larger Pensieve policy/value networks.
 
-use crate::matrix::{axpy, Matrix};
+use crate::matrix::{axpy_with, Matrix, Tier};
 use crate::optim::Optimizer;
 
 /// Hidden-layer nonlinearity.
@@ -355,14 +355,16 @@ impl Mlp {
         let n = last_feature.len();
 
         // partial = shared · W[..f-1, :], same k-order and zero-skip as
-        // `matmul_into`.
+        // `matmul_into`.  The kernel tier is hoisted out of the loops (one
+        // detection per call, not per k).
+        let tier = Tier::detect();
         scratch.pong.resize(1, h);
         scratch.pong.data_mut().fill(0.0);
         for (k, &a) in shared.iter().enumerate() {
             if a == 0.0 {
                 continue;
             }
-            axpy(a, l0.w.row(k), scratch.pong.data_mut());
+            axpy_with(tier, a, l0.w.row(k), scratch.pong.data_mut());
         }
 
         scratch.ping.resize(n, h);
@@ -371,7 +373,7 @@ impl Mlp {
             let row = scratch.ping.row_mut(i);
             row.copy_from_slice(scratch.pong.row(0));
             if a != 0.0 {
-                axpy(a, w_last, row);
+                axpy_with(tier, a, w_last, row);
             }
         }
         scratch.ping.add_row_broadcast(&l0.b);
@@ -411,20 +413,21 @@ impl Mlp {
         assert_eq!(staged.cols(), h, "staged width must match the first layer");
         assert!(row0 + last_feature.len() <= staged.rows(), "staged rows overflow");
 
+        let tier = Tier::detect();
         partial.resize(h, 0.0);
         partial.fill(0.0);
         for (k, &a) in shared.iter().enumerate() {
             if a == 0.0 {
                 continue;
             }
-            axpy(a, l0.w.row(k), partial);
+            axpy_with(tier, a, l0.w.row(k), partial);
         }
         let w_last = l0.w.row(shared.len());
         for (i, &a) in last_feature.iter().enumerate() {
             let row = staged.row_mut(row0 + i);
             row.copy_from_slice(partial);
             if a != 0.0 {
-                axpy(a, w_last, row);
+                axpy_with(tier, a, w_last, row);
             }
         }
     }

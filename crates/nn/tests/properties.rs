@@ -9,12 +9,44 @@
 
 use proptest::prelude::*;
 use puffer_nn::serialize::{load_from_str, save_to_string, Checkpoint};
-use puffer_nn::{loss, Activation, Matrix, Mlp, Scaler};
+use puffer_nn::{loss, Activation, Matrix, Mlp, Scaler, Tier};
 use rand::SeedableRng;
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-10.0f32..10.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// The kernel tiers this CPU can run (always at least `Scalar`).
+fn supported_tiers() -> Vec<Tier> {
+    Tier::ALL.into_iter().filter(|t| t.supported()).collect()
+}
+
+/// Arbitrary `(A: m×k, B: k×n)` pair over shapes that sweep every microkernel
+/// path: rows not a multiple of the 4-row block (including the 0-row empty
+/// and 1-row cases), columns crossing the 64/16/8-wide tiles and the masked
+/// 1–7-column tail (including tail-only and empty widths), and a zero mask on
+/// `A` so the per-`(row, k)` sparsity skip fires on every path.
+fn arb_matmul_operands() -> impl Strategy<Value = (Matrix, Matrix)> {
+    // Element vectors are drawn at the maximum size and truncated to the
+    // sampled shape (the vendored proptest shim has no `prop_flat_map`).
+    const MAX_M: usize = 13;
+    const MAX_K: usize = 18;
+    const MAX_N: usize = 40;
+    (
+        0usize..MAX_M,
+        0usize..MAX_K,
+        0usize..MAX_N,
+        prop::collection::vec(-10.0f32..10.0, MAX_M * MAX_K),
+        prop::collection::vec(any::<bool>(), MAX_M * MAX_K),
+        prop::collection::vec(-10.0f32..10.0, MAX_K * MAX_N),
+    )
+        .prop_map(|(m, k, n, a, mask, b)| {
+            let a: Vec<f32> =
+                a.iter().zip(&mask).take(m * k).map(|(&v, &z)| if z { 0.0 } else { v }).collect();
+            let b: Vec<f32> = b[..k * n].to_vec();
+            (Matrix::from_vec(m, k, a), Matrix::from_vec(k, n, b))
+        })
 }
 
 proptest! {
@@ -111,6 +143,54 @@ proptest! {
         let a = ckpt.net.forward(&x);
         let b = loaded.net.forward(&x);
         prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn matmul_tiers_bit_identical_over_odd_shapes(ab in arb_matmul_operands()) {
+        let (a, b) = ab;
+        // The cross-tier contract of the kernel family: the scalar-mul_add,
+        // AVX+FMA, and register-blocked AVX2+FMA tiers must agree to the
+        // last bit on every shape — non-tile-multiple rows and columns,
+        // single-row, empty, and tail-only matrices included.
+        let mut reference = Matrix::zeros(0, 0);
+        a.matmul_into_with(Tier::Scalar, &b, &mut reference);
+        for tier in supported_tiers() {
+            let mut out = Matrix::zeros(0, 0);
+            a.matmul_into_with(tier, &b, &mut out);
+            prop_assert_eq!(out.data(), reference.data(), "tier {:?}", tier);
+        }
+    }
+
+    #[test]
+    fn matmul_t_tiers_bit_identical_over_odd_shapes(ab in arb_matmul_operands()) {
+        let (a, b) = ab;
+        // dy·Wᵀ (the backprop kernel): reuse the operand generator with `b`
+        // transposed so the column counts agree.
+        let bt = b.transpose();
+        let mut reference = Matrix::zeros(0, 0);
+        a.matmul_t_into_with(Tier::Scalar, &bt, &mut reference);
+        for tier in supported_tiers() {
+            let mut out = Matrix::zeros(0, 0);
+            a.matmul_t_into_with(tier, &bt, &mut out);
+            prop_assert_eq!(out.data(), reference.data(), "tier {:?}", tier);
+        }
+    }
+
+    #[test]
+    fn t_matmul_acc_tiers_bit_identical_over_odd_shapes(ab in arb_matmul_operands()) {
+        let (a, b) = ab;
+        // xᵀ·dy (the weight-gradient kernel): `a` is m×k, so pair it with an
+        // m-row right-hand side built from `b`'s data when shapes permit.
+        let m = a.rows();
+        let n = b.cols();
+        let rhs = Matrix::from_vec(m, n, (0..m * n).map(|i| ((i as f32) * 0.29).sin()).collect());
+        let mut reference = Matrix::zeros(a.cols(), n);
+        a.t_matmul_acc_with(Tier::Scalar, &rhs, &mut reference);
+        for tier in supported_tiers() {
+            let mut out = Matrix::zeros(a.cols(), n);
+            a.t_matmul_acc_with(tier, &rhs, &mut out);
+            prop_assert_eq!(out.data(), reference.data(), "tier {:?}", tier);
+        }
     }
 
     #[test]

@@ -11,13 +11,23 @@
 //! ([`Ttp::predict_time_distributions_batched_into`]), so each weight matrix
 //! is streamed through cache once per round instead of once per stream.
 //!
+//! Arms that share the same TTP snapshot (`Arc` identity — e.g. ablation
+//! arms built with [`SchemeSpec::fugu_frozen_shared`]) are merged into one
+//! *TTP group*: their sessions' staged decisions join the same batched pass
+//! per step-net, growing the effective batch the blocked kernels were built
+//! for.  Planning stays per-arm — each session's value iteration runs with
+//! its own arm's controller configuration — only the network forward is
+//! shared.  `ExperimentConfig::batch_across_arms` turns the merging off
+//! (every batchable arm becomes a singleton group, reproducing per-arm
+//! passes exactly).
+//!
 //! Results are bit-identical to the per-stream path (`docs/BATCHING.md`):
 //! every kernel in the forward pass is row-independent with a fixed
 //! per-element operation order, and the batched entry point replays the
 //! exact shared-prefix first-layer sequence of the single-stream path, so
-//! co-batching cannot change any session's distributions — pinned by the
-//! fingerprint tests in `tests/determinism.rs` and the property test in
-//! `tests/invariants.rs`.
+//! co-batching — across streams or across arms — cannot change any
+//! session's distributions — pinned by the fingerprint tests in
+//! `tests/determinism.rs` and the property test in `tests/invariants.rs`.
 
 use crate::experiment::{ArmAbrs, ExperimentConfig};
 use crate::scheme::SchemeSpec;
@@ -67,6 +77,43 @@ struct Span {
     sizes: (usize, usize),
 }
 
+/// Group arms sharing the *same* TTP snapshot (`Arc` identity — the batching
+/// key `SchemeSpec::fugu_planner` documents) so their staged decisions merge
+/// into one batched pass; with `batch_across_arms` off, every batchable arm
+/// is its own singleton group.  Returns `(groups, arm → group index)`.
+/// Workers build a fresh runner every day, after any nightly retraining has
+/// swapped an arm's `Arc`, so the groups always reflect the snapshots
+/// actually in play.
+fn ttp_groups_for(
+    planners: &[Option<ArmPlanner>],
+    batch_across_arms: bool,
+) -> (Vec<Vec<usize>>, Vec<Option<usize>>) {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of: Vec<Option<usize>> = vec![None; planners.len()];
+    for arm in 0..planners.len() {
+        let Some(ap) = planners[arm].as_ref() else { continue };
+        let joined = if batch_across_arms {
+            groups.iter().position(|grp| {
+                let lead = planners[grp[0]].as_ref().expect("groups hold batchable arms");
+                Arc::ptr_eq(&lead.ttp, &ap.ttp)
+            })
+        } else {
+            None
+        };
+        match joined {
+            Some(g) => {
+                groups[g].push(arm);
+                group_of[arm] = Some(g);
+            }
+            None => {
+                group_of[arm] = Some(groups.len());
+                groups.push(vec![arm]);
+            }
+        }
+    }
+    (groups, group_of)
+}
+
 /// Per-worker scheduler: admits sessions, runs decision rounds, retires
 /// finished sessions.  No synchronization — each worker owns one.
 pub(crate) struct BatchRunner<'a> {
@@ -74,6 +121,12 @@ pub(crate) struct BatchRunner<'a> {
     cfg: &'a ExperimentConfig,
     /// Per arm: `Some` iff the arm is Fugu-family (batchable).
     planners: Vec<Option<ArmPlanner>>,
+    /// Arms whose staged decisions merge into one batched pass: each inner
+    /// vec holds the arm indices of one TTP-sharing group (`Arc::ptr_eq` on
+    /// the arms' TTPs; singletons when cross-arm batching is off).
+    ttp_groups: Vec<Vec<usize>>,
+    /// Arm index → its TTP group (`None` for non-batchable arms).
+    group_of: Vec<Option<usize>>,
     active: Vec<ActiveSession>,
     /// Retired sessions' planner scratch, reused by later admissions.
     spare: Vec<PlanScratch>,
@@ -94,17 +147,20 @@ impl<'a> BatchRunner<'a> {
         bank: &'a TraceBank,
         cfg: &'a ExperimentConfig,
     ) -> Self {
-        let planners = schemes
+        let planners: Vec<Option<ArmPlanner>> = schemes
             .iter()
             .map(|s| {
                 s.fugu_planner()
                     .map(|(ttp, config)| ArmPlanner { ttp, planner: StochasticMpc::new(config) })
             })
             .collect();
+        let (ttp_groups, group_of) = ttp_groups_for(&planners, cfg.batch_across_arms);
         BatchRunner {
             bank,
             cfg,
             planners,
+            ttp_groups,
+            group_of,
             active: Vec::new(),
             spare: Vec::new(),
             ttp_scratch: TtpScratch::default(),
@@ -164,19 +220,24 @@ impl<'a> BatchRunner<'a> {
             }
         }
 
-        // --- batched TTP fill + plan + advance, arm by arm ---
-        for arm in 0..self.planners.len() {
-            if self.planners[arm].is_none() {
-                continue;
-            }
+        // --- batched TTP fill + plan + advance, TTP group by TTP group ---
+        // Sessions of every arm in a group stage into the same flat buffers
+        // and are answered by one batched pass per step-net.  Within each
+        // arm the sessions keep their `active`-order relative order (the
+        // same order the old per-arm loop used), and different arms touch
+        // disjoint pooled ABRs, per-session scratch, and a read-only shared
+        // TTP — so the merge only changes how many rows each forward pass
+        // carries, never what any row computes.
+        for g in 0..self.ttp_groups.len() {
             self.group.clear();
             for s in 0..self.active.len() {
-                if self.active[s].arm != arm {
+                let arm = self.active[s].arm;
+                if self.group_of[arm] != Some(g) {
                     continue;
                 }
                 let (h, nr) = {
                     let ctx = self.active[s].run.context();
-                    let ttp = &self.planners[arm].as_ref().expect("checked above").ttp;
+                    let ttp = &self.planners[arm].as_ref().expect("grouped arms are batchable").ttp;
                     (ttp.horizon().min(ctx.lookahead.len()), ctx.n_rungs())
                 };
                 self.group.push((s, h, nr));
@@ -228,7 +289,10 @@ impl<'a> BatchRunner<'a> {
                         proposed_sizes: &self.sizes_flat[sp.sizes.0..sp.sizes.1],
                     })
                     .collect();
-                let ttp = &self.planners[arm].as_ref().expect("checked above").ttp;
+                // Any group member's TTP is *the* group TTP (same `Arc`);
+                // use the lead arm's.
+                let lead = self.ttp_groups[g][0];
+                let ttp = &self.planners[lead].as_ref().expect("grouped arms are batchable").ttp;
                 ttp.predict_time_distributions_batched_into(
                     step,
                     &queries,
@@ -251,10 +315,13 @@ impl<'a> BatchRunner<'a> {
             }
 
             // Every session's distributions are in place: run the value
-            // iteration per session and commit the chosen rung.
+            // iteration per session — with the session's *own* arm's
+            // controller configuration (the ablation arms in a group differ
+            // exactly here) — and commit the chosen rung.
             for gi in 0..self.group.len() {
                 let (s, _, _) = self.group[gi];
-                let planner = self.planners[arm].as_ref().expect("checked above");
+                let arm = self.active[s].arm;
+                let planner = self.planners[arm].as_ref().expect("grouped arms are batchable");
                 let a = &mut self.active[s];
                 let rung = {
                     let ctx = a.run.context();
@@ -263,5 +330,43 @@ impl<'a> BatchRunner<'a> {
                 a.run.advance(rung, pool.get(arm), user);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fugu::{Ttp, TtpConfig, TtpVariant};
+
+    fn planners_for(schemes: &[SchemeSpec]) -> Vec<Option<ArmPlanner>> {
+        schemes
+            .iter()
+            .map(|s| {
+                s.fugu_planner()
+                    .map(|(ttp, config)| ArmPlanner { ttp, planner: StochasticMpc::new(config) })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ttp_groups_follow_arc_identity() {
+        let shared = Arc::new(Ttp::new(TtpConfig::default(), 1));
+        let schemes = vec![
+            SchemeSpec::Bba,
+            SchemeSpec::fugu_frozen_shared(&shared, TtpVariant::Full, "Fugu"),
+            SchemeSpec::fugu_frozen_shared(&shared, TtpVariant::PointEstimate, "Point Estimate"),
+            // Bit-equal weights but a fresh `Arc`: must NOT merge.
+            SchemeSpec::fugu_frozen(Ttp::new(TtpConfig::default(), 1), TtpVariant::Full, "Copy"),
+        ];
+        let planners = planners_for(&schemes);
+
+        let (groups, group_of) = ttp_groups_for(&planners, true);
+        assert_eq!(groups, vec![vec![1, 2], vec![3]]);
+        assert_eq!(group_of, vec![None, Some(0), Some(0), Some(1)]);
+
+        // Cross-arm batching off: singleton groups, same membership.
+        let (groups, group_of) = ttp_groups_for(&planners, false);
+        assert_eq!(groups, vec![vec![1], vec![2], vec![3]]);
+        assert_eq!(group_of, vec![None, Some(0), Some(1), Some(2)]);
     }
 }

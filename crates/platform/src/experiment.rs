@@ -96,6 +96,14 @@ pub struct ExperimentConfig {
     /// (pinned by the fingerprint tests in `tests/determinism.rs`); `false`
     /// restores the one-session-at-a-time inner loop.
     pub batch_streams: bool,
+    /// Merge arms sharing the same TTP snapshot (`Arc` identity, e.g. arms
+    /// built with [`SchemeSpec::fugu_frozen_shared`]) into one batched pass
+    /// per step-net instead of one per arm (`crate::batch`).  Planning stays
+    /// per-arm; only the network forward is shared, so results are
+    /// bit-identical either way (pinned in `tests/determinism.rs` and
+    /// `tests/tier_identity.rs`).  Only meaningful when `batch_streams` is
+    /// on; `false` keeps every arm in its own singleton group.
+    pub batch_across_arms: bool,
     /// Spill telemetry to compacted `.puf` archives under this directory as
     /// sessions finish, one `telemetry_day<d>.puf` per simulated day
     /// (`docs/ARCHIVE.md`).  Workers write private spool files incrementally
@@ -120,6 +128,7 @@ impl Default for ExperimentConfig {
             paired: false,
             reuse_abrs: true,
             batch_streams: true,
+            batch_across_arms: true,
             archive_sink: None,
         }
     }

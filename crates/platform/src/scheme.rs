@@ -53,6 +53,20 @@ impl SchemeSpec {
         SchemeSpec::Fugu { ttp: Arc::new(ttp), variant, label, retrain_daily: false }
     }
 
+    /// A frozen Fugu variant that *shares* an existing TTP snapshot instead
+    /// of wrapping its own copy.  Arms built from the same `Arc` are merged
+    /// by the batched scheduler into one TTP group — their staged decisions
+    /// join a single batched forward pass per step-net (see `crate::batch`)
+    /// — which [`SchemeSpec::fugu_frozen`] can never get: it creates a fresh
+    /// `Arc`, so even bit-equal weights run as separate passes.
+    ///
+    /// The canonical use is ablations that differ only in the controller
+    /// (e.g. Full vs PointEstimate over one trained network): the network
+    /// forward is shared, the per-arm value iteration is not.
+    pub fn fugu_frozen_shared(ttp: &Arc<Ttp>, variant: TtpVariant, label: &'static str) -> Self {
+        SchemeSpec::Fugu { ttp: Arc::clone(ttp), variant, label, retrain_daily: false }
+    }
+
     /// Arm name as shown in the paper's tables.
     pub fn name(&self) -> &'static str {
         match self {
@@ -90,6 +104,13 @@ impl SchemeSpec {
     /// [`Fugu`] from the same pair, so the inline and batched planners
     /// cannot drift.  `None` for arms that are not Fugu-family (their
     /// decisions cannot be batched).
+    ///
+    /// The returned `Arc`'s *identity* is the cross-arm batching key: the
+    /// batched scheduler groups arms whose planners return pointer-equal
+    /// TTPs (`Arc::ptr_eq`) into one batched pass per step-net.  Arms
+    /// created via [`SchemeSpec::fugu_frozen_shared`] share that identity;
+    /// nightly retraining (`update_ttp`) replaces the `Arc` and thereby
+    /// splits a retrained arm out of its group from the next day on.
     pub fn fugu_planner(&self) -> Option<(Arc<Ttp>, fugu::ControllerConfig)> {
         match self {
             SchemeSpec::Fugu { ttp, variant, .. } => {

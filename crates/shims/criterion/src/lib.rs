@@ -5,9 +5,13 @@
 //!
 //! Measurement model: calibrate the per-sample iteration count to
 //! `TARGET_SAMPLE_MS`, take `sample_size` samples after a warmup, and report
-//! the median and mean ns/iteration.  When the `BENCH_JSON` environment
-//! variable names a file, one JSON line per benchmark is appended to it —
-//! `scripts/bench_hotpath.sh` uses this to build `BENCH_hotpath.json`.
+//! the median, mean, min, and interquartile range in ns/iteration.  The min
+//! and IQR are the dispersion record: a run whose IQR is a large fraction of
+//! its median is noise, not signal, and `scripts/bench_hotpath.sh` flags it
+//! instead of letting a drifted median masquerade as a regression (or an
+//! improvement).  When the `BENCH_JSON` environment variable names a file,
+//! one JSON line per benchmark is appended to it — `scripts/bench_hotpath.sh`
+//! uses this to build `BENCH_hotpath.json`.
 
 use std::fmt::Display;
 use std::io::Write as _;
@@ -137,11 +141,18 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
     samples.sort_by(|a, b| a.total_cmp(b));
     let median = samples[samples.len() / 2];
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    // Index quartiles on the sorted samples: exact enough for a noise gauge,
+    // and stable for the small sample counts benches use.
+    let min = samples[0];
+    let q1 = samples[samples.len() / 4];
+    let q3 = samples[(3 * samples.len()) / 4];
 
     println!(
-        "bench: {name:<40} median {} mean {} ({} samples x {} iters)",
+        "bench: {name:<40} median {} mean {} min {} iqr {:5.1}% ({} samples x {} iters)",
         format_ns(median),
         format_ns(mean),
+        format_ns(min),
+        100.0 * (q3 - q1) / median,
         samples.len(),
         b.iters
     );
@@ -150,7 +161,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
         if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
             let _ = writeln!(
                 file,
-                "{{\"name\":\"{name}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+                "{{\"name\":\"{name}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\"q1_ns\":{q1:.1},\"q3_ns\":{q3:.1},\"samples\":{},\"iters_per_sample\":{}}}",
                 samples.len(),
                 b.iters
             );

@@ -165,6 +165,8 @@ tuple_strategy! {
     (A, B, C)
     (A, B, C, D)
     (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
 }
 
 /// A strategy that always yields a clone of one value.

@@ -17,6 +17,12 @@
 #   * `history_ns`  — trailing medians (oldest first, capped), so a slow
 #     regression across several regenerations stays visible even though
 #     the baseline is pinned.
+#   * `min_ns` / `iqr_ns` — this run's dispersion (fastest sample and
+#     interquartile range).  When the IQR exceeds 10% of the median the
+#     entry is marked `"noisy": true` and a warning is printed: a median
+#     from a run that noisy is weather, not climate, and must not be read
+#     as a regression or an improvement (`mpc_plan_reference` once drifted
+#     to 0.90x on an untouched path and nothing caught it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,12 +34,15 @@ trap 'rm -f "$fresh"' EXIT
 # missing for several PRs and recorded an empty trajectory).
 BENCH_JSON="$fresh" cargo bench -p puffer-bench \
   --bench controller --bench ttp_inference --bench ttp_batch --bench ttp_training \
-  --bench network_sim --bench stream_sim --bench rct_day --bench archive_io
+  --bench network_sim --bench stream_sim --bench rct_day --bench archive_io \
+  --bench nn_kernels
 
 python3 - "$fresh" "${1:-}" <<'EOF'
 import json, sys
 
 HISTORY_CAP = 8
+
+NOISE_FRACTION = 0.10  # IQR above this fraction of the median => flagged
 
 fresh_path, baseline_path = sys.argv[1], sys.argv[2] or None
 fresh = {}
@@ -42,7 +51,7 @@ with open(fresh_path) as f:
         line = line.strip()
         if line:
             row = json.loads(line)
-            fresh[row["name"]] = row["median_ns"]
+            fresh[row["name"]] = row
 
 try:
     with open("BENCH_hotpath.json") as f:
@@ -64,22 +73,37 @@ out = {
     "units": "nanoseconds, median per iteration",
     "benches": {},
 }
+noisy = []
 for name in sorted(fresh):
-    entry = {"current_ns": fresh[name]}
+    row = fresh[name]
+    median = row["median_ns"]
+    entry = {"current_ns": median}
     old = prev.get(name, {})
     baseline = explicit_baseline.get(name, old.get("baseline_ns", old.get("current_ns")))
     if baseline is not None:
         entry["baseline_ns"] = baseline
-        entry["speedup"] = round(baseline / fresh[name], 3)
+        entry["speedup"] = round(baseline / median, 3)
+    # Dispersion of this run (older shim output may predate the fields).
+    if "min_ns" in row:
+        entry["min_ns"] = row["min_ns"]
+    if "q1_ns" in row and "q3_ns" in row:
+        iqr = round(row["q3_ns"] - row["q1_ns"], 1)
+        entry["iqr_ns"] = iqr
+        if median > 0 and iqr / median > NOISE_FRACTION:
+            entry["noisy"] = True
+            noisy.append((name, 100.0 * iqr / median))
     history = old.get("history_ns", [])
     if not history and "current_ns" in old:
         history = [old["current_ns"]]
-    entry["history_ns"] = (history + [fresh[name]])[-HISTORY_CAP:]
+    entry["history_ns"] = (history + [median])[-HISTORY_CAP:]
     out["benches"][name] = entry
 
 dropped = sorted(set(prev) - set(fresh))
 if dropped:
     print("note: dropped stale benches:", ", ".join(dropped))
+for name, pct in noisy:
+    print(f"WARNING: {name} is noisy (IQR {pct:.1f}% of median, threshold "
+          f"{100 * NOISE_FRACTION:.0f}%); treat its median and speedup as unreliable")
 
 with open("BENCH_hotpath.json", "w") as f:
     json.dump(out, f, indent=2)

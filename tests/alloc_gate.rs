@@ -336,3 +336,66 @@ fn train_one_net_epochs_are_allocation_free() {
         ops_four.saturating_sub(ops_two)
     );
 }
+
+/// The register-blocked matmul family: zero heap operations on a warm output
+/// matrix, on every kernel tier this CPU supports.  The shape is the batched
+/// RCT staged pass — `(streams · rungs)` rows through a 64-wide hidden layer
+/// — so the 4×16 register blocks, the row tail, and the dispatch itself are
+/// all inside the measured region.
+#[test]
+fn blocked_matmul_is_allocation_free() {
+    use puffer_repro::nn::{Matrix, Tier};
+    // 2 arms × 16 streams × 10 rungs = 320 rows, 64-wide hidden layer; an
+    // odd column count (21 = N_BINS) exercises the masked tail too.
+    for (m, k, n) in [(320usize, 64usize, 64usize), (320, 64, 21)] {
+        let a = Matrix::from_vec(m, k, (0..m * k).map(|i| ((i as f32) * 0.37).sin()).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|i| ((i as f32) * 0.11).cos()).collect());
+        for tier in Tier::ALL.into_iter().filter(|t| t.supported()) {
+            let mut out = Matrix::zeros(0, 0);
+            a.matmul_into_with(tier, &b, &mut out); // warm to steady-state shape
+            let ops = heap_ops_in(|| {
+                a.matmul_into_with(tier, &b, &mut out);
+            });
+            assert_eq!(
+                ops, 0,
+                "matmul_into_with({tier:?}) allocated on a warm output ({m}x{k}x{n})"
+            );
+        }
+    }
+}
+
+/// The cross-arm batched TTP pass: zero heap operations at *merged* query
+/// counts.  When two arms share a TTP snapshot their waves stage into one
+/// pass, so the query count doubles relative to the per-arm gate above —
+/// the scratch must absorb that growth once and then stay flat.
+#[test]
+fn cross_arm_sized_batched_predict_is_allocation_free() {
+    use fugu::ttp::TtpBatchQuery;
+    const N_QUERIES: usize = 12; // two arms' 6-stream waves merged
+    let ttp = Ttp::new(TtpConfig::default(), 9);
+    let histories: Vec<Vec<ChunkRecord>> =
+        (0..N_QUERIES).map(|i| history(400_000.0 + 120_000.0 * i as f64)).collect();
+    let infos: Vec<TcpInfo> =
+        (0..N_QUERIES).map(|i| tcp(400_000.0 + 120_000.0 * i as f64)).collect();
+    let sizes = [50_000.0, 250_000.0, 750_000.0, 1_375_000.0];
+    let queries: Vec<TtpBatchQuery<'_>> = (0..N_QUERIES)
+        .map(|i| TtpBatchQuery {
+            history: &histories[i],
+            tcp_info: &infos[i],
+            proposed_sizes: &sizes,
+        })
+        .collect();
+    let mut scratch = TtpScratch::new();
+    let mut out = vec![0.0f64; N_QUERIES * sizes.len() * N_BINS];
+
+    ttp.predict_time_distributions_batched_into(0, &queries, &mut scratch, &mut out); // warm
+    for step in 0..ttp.horizon() {
+        let ops = heap_ops_in(|| {
+            ttp.predict_time_distributions_batched_into(step, &queries, &mut scratch, &mut out);
+        });
+        assert_eq!(
+            ops, 0,
+            "merged cross-arm batched predict allocated on a warm scratch (step {step})"
+        );
+    }
+}
