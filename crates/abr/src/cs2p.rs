@@ -57,7 +57,7 @@ fn kmeans_1d(values: &[f64], k: usize) -> Vec<f64> {
             centers[i] = if counts[i] > 0 { sums[i] / counts[i] as f64 } else { mean };
         }
     }
-    centers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    centers.sort_by(|a, b| a.total_cmp(b));
     centers
 }
 
@@ -209,7 +209,7 @@ impl Cs2pModel {
             .min_by(|a, b| {
                 let da = (a.1.session_center - mean).abs();
                 let db = (b.1.session_center - mean).abs();
-                da.partial_cmp(&db).unwrap()
+                da.total_cmp(&db)
             })
             .map(|(i, _)| i)
             .unwrap_or(0);

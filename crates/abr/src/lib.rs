@@ -82,6 +82,7 @@ pub struct AbrContext<'a> {
 
 impl AbrContext<'_> {
     /// Number of rungs on the menu being decided.
+    // lint: panic-free — lookahead is never empty: the platform builds a context only when a next chunk exists
     pub fn n_rungs(&self) -> usize {
         self.lookahead[0].n_rungs()
     }

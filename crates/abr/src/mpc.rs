@@ -247,6 +247,9 @@ impl Mpc {
     /// order with the same strict `>` (first max wins), and the chosen rung
     /// matches the reference on ties too.  Pinned by the property tests
     /// below.
+    // lint-root: panic-free, alloc-free
+    // lint: panic-free — DP indices are bounded by the horizon*bins dims that size the tables at the top of the fn
+    // lint: alloc-free — scratch tables grow once to horizon*bins; warm calls are allocation-free per tests/alloc_gate.rs
     pub fn plan_with(&self, ctx: &AbrContext, throughput: f64, scratch: &mut MpcScratch) -> usize {
         if ctx.lookahead.is_empty() {
             return 0;

@@ -44,6 +44,7 @@ pub fn bin_index_total(t: f64) -> usize {
 /// last bin represented by a pessimistic 12 s (anything ≥ 9.75 s stalls a
 /// 15-second buffer pipeline badly; the exact value only shifts how much the
 /// controller fears the tail).
+// lint: panic-free — the entry assert is the bin-index contract; callers iterate 0..N_BINS
 pub fn bin_midpoint(bin: usize) -> f64 {
     assert!(bin < N_BINS, "bin {bin} out of range");
     match bin {

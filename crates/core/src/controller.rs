@@ -80,6 +80,8 @@ impl PlanScratch {
     /// `bin_w` is a function of `bins`, so keying on `bins` alone suffices.
     /// The entries use the exact expressions the planner previously evaluated
     /// inline, keeping decisions bit-identical.
+    // lint: panic-free — table indices come from the same 0..N_BINS*bins loops that size the tables
+    // lint: alloc-free — tables are rebuilt only when the bin count changes; warm plans reuse them (tests/alloc_gate.rs)
     fn ensure_tables(&mut self, bins: usize, bin_w: f64) {
         if self.table_bins == bins {
             return;
@@ -142,6 +144,7 @@ impl StochasticMpc {
     /// [`StochasticMpc::plan`] through caller-owned [`PlanScratch`] tables:
     /// identical decisions, zero heap allocations once the scratch has warmed
     /// up to the (horizon, rungs, bins) shape.
+    // lint-root: panic-free, alloc-free
     pub fn plan_with(&self, ctx: &AbrContext, ttp: &Ttp, scratch: &mut PlanScratch) -> usize {
         self.fill_dists(ctx, ttp, scratch);
         self.plan_from_dists(ctx, ttp.horizon(), scratch)
@@ -154,6 +157,8 @@ impl StochasticMpc {
     /// [`Ttp::predict_time_distributions_batched_into`] call into
     /// [`PlanScratch::dists_for`] — and both halves feed the same
     /// [`StochasticMpc::plan_from_dists`].
+    // lint: panic-free — step/rung offsets are multiples of the same stride that sizes scratch.dists
+    // lint: alloc-free — dists/sizes grow once to horizon*stride; warm calls only overwrite (tests/alloc_gate.rs)
     pub fn fill_dists(&self, ctx: &AbrContext, ttp: &Ttp, scratch: &mut PlanScratch) {
         let horizon = ttp.horizon().min(ctx.lookahead.len());
         let n_rungs = ctx.n_rungs();
@@ -182,6 +187,8 @@ impl StochasticMpc {
     /// split.  The point-estimate collapse (§4.6) happens here, per
     /// (step, rung) — order-independent, so collapsing after the fill is
     /// bit-identical to collapsing inside the fill loop.
+    // lint: panic-free — value/choice tables are sized by ensure_tables for exactly the indices the DP visits
+    // lint: alloc-free — value tables grow once per bin-count change; warm plans are allocation-free per tests/alloc_gate.rs
     pub fn plan_from_dists(
         &self,
         ctx: &AbrContext,

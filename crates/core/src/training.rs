@@ -156,6 +156,9 @@ fn effective_threads(requested: usize, horizon: usize) -> usize {
 /// is exactly zero, which `tests/alloc_gate.rs` asserts by differencing two
 /// warmed calls that differ only in epoch count.  Public primarily for that
 /// gate; [`train`]/[`train_reference`] are the intended entry points.
+// lint-root: panic-free, alloc-free
+// lint: panic-free — shuffle/batch indices are ranges over the dataset length computed in the same loop
+// lint: alloc-free — scratch and shuffle buffers grow once; the per-epoch allocation delta is asserted zero by tests/alloc_gate.rs
 pub fn train_one_net(
     net: &mut puffer_nn::Mlp,
     scaler: &Scaler,

@@ -38,6 +38,7 @@ pub enum PredictionTarget {
 
 /// Geometric throughput-bin centers for the throughput ablation, bytes/s.
 /// 21 bins spanning ≈ 0.2–120 Mbit/s.
+// lint: panic-free — the entry assert is the bin-index contract; callers iterate 0..N_BINS
 pub fn throughput_bin_center(bin: usize) -> f64 {
     assert!(bin < N_BINS);
     25_000.0 * 1.45f64.powi(bin as i32)
@@ -152,6 +153,7 @@ impl TtpScratch {
 /// proposed size (NaN, ±inf, negative) yields a non-finite or negative time
 /// for some centers, which clamps to an edge bin instead of panicking — and
 /// is bit-identical to the partial `bin_index` on every well-formed size.
+// lint: panic-free — f64 division is total and bin_index_total clamps into time_row's fixed N_BINS range
 fn rebin_throughput_to_time(probs: &[f32], size: f64, time_row: &mut [f64]) {
     for (b, &p) in probs.iter().enumerate() {
         let t = size / throughput_bin_center(b);
@@ -258,6 +260,8 @@ impl Ttp {
     }
 
     /// [`Ttp::raw_features`] into a reusable buffer (cleared first).
+    // lint: panic-free — the history slice start is clamped with saturating_sub before slicing
+    // lint: alloc-free — pushes refill the caller's reused feature buffer (cleared, never shrunk); capacity is steady after the first call
     pub fn raw_features_into(
         &self,
         history: &[ChunkRecord],
@@ -346,6 +350,9 @@ impl Ttp {
     /// size (the last feature column) varies across rungs, so one row is
     /// standardized and that column patched per rung; the per-element math is
     /// unchanged.
+    // lint-root: panic-free, alloc-free
+    // lint: panic-free — entry asserts pin history/sizes/out dims; interior indexing is relative to those
+    // lint: alloc-free — feature/probability scratch grows once to the net dims; warm calls are allocation-free per tests/alloc_gate.rs
     pub fn predict_time_distributions_into(
         &self,
         step: usize,
@@ -417,6 +424,9 @@ impl Ttp {
     ///
     /// Zero heap operations once `scratch` has grown to the steady-state
     /// batch shape (pinned by `tests/alloc_gate.rs`).
+    // lint-root: panic-free, alloc-free
+    // lint: panic-free — entry asserts pin per-query dims; batch row offsets are multiples of the asserted strides
+    // lint: alloc-free — the batched input matrix grows once to the max batch shape; warm calls are allocation-free per tests/alloc_gate.rs
     pub fn predict_time_distributions_batched_into(
         &self,
         step: usize,

@@ -1,0 +1,11 @@
+//! Violating fixture for `alloc-reach`: a `push` one call below an annotated
+//! allocation-free root.
+
+// lint-root: alloc-free
+pub fn plan_with(out: &mut Vec<f64>) {
+    fill(out);
+}
+
+fn fill(out: &mut Vec<f64>) {
+    out.push(1.0);
+}

@@ -1,0 +1,13 @@
+//! Passing counterpart for `alloc-reach`: the steady-state shape — write
+//! into a caller-owned slice instead of growing a vector.
+
+// lint-root: alloc-free
+pub fn plan_with(out: &mut [f64]) {
+    fill(out);
+}
+
+fn fill(out: &mut [f64]) {
+    for o in out.iter_mut() {
+        *o = 1.0;
+    }
+}

@@ -1,0 +1,10 @@
+//! Violating fixture for `atomic-ordering`: a memory ordering with no
+//! justification comment.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+
+pub fn publish() {
+    FLAG.store(true, Ordering::Relaxed);
+}

@@ -1,0 +1,11 @@
+//! Passing counterpart for `atomic-ordering`: the same store with the
+//! ordering choice justified.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+
+pub fn publish() {
+    // lint: atomic-ordering — standalone flag; no other data is published with it
+    FLAG.store(true, Ordering::Relaxed);
+}

@@ -1,0 +1,10 @@
+//! Violating fixture for `float-ord`: `partial_cmp` in a result-affecting
+//! crate must route through a total comparison instead.
+
+pub fn pick(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}

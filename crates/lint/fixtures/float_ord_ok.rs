@@ -1,0 +1,6 @@
+//! Passing counterpart for `float-ord`: `total_cmp` gives NaN and signed
+//! zero a fixed place in the order, so results cannot depend on them.
+
+pub fn rank(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,15 @@
+//! Seeded regression for `panic-reach`: an `unwrap()` two calls below an
+//! annotated planner root must be reported with a root→sink witness chain.
+
+// lint-root: panic-free
+pub fn plan_with(xs: &[f64]) -> f64 {
+    helper(xs)
+}
+
+fn helper(xs: &[f64]) -> f64 {
+    lookup(xs)
+}
+
+fn lookup(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,13 @@
+//! Passing counterpart for `panic-reach`: the same call shape, with the one
+//! partial operation waived at its site with a reason.
+
+// lint-root: panic-free
+pub fn plan_with(xs: &[f64]) -> f64 {
+    helper(xs)
+}
+
+fn helper(xs: &[f64]) -> f64 {
+    // lint: panic-free — entry contract: callers never pass an empty plan
+    let first = xs[0];
+    first.max(0.0)
+}

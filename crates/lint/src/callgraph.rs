@@ -1,0 +1,395 @@
+//! Intra-workspace call graph with conservative name-based resolution.
+//!
+//! For every function body in the symbol table, a scan over its token span
+//! extracts call sites — bare calls `f(...)`, method calls `.f(...)`
+//! (turbofish tolerated), path calls `Qual::f(...)`, and macro invocations
+//! `m!(...)` — and resolves each to workspace definitions *by name*:
+//!
+//! - `Qual::f(...)` restricts to impls of `Qual` when any exist (`Self::`
+//!   uses the caller's own type).  A capitalized qualifier with no
+//!   workspace impl names a foreign type (`Vec::new`, `Box::new`) and
+//!   resolves to nothing; a lowercase qualifier is a module path and
+//!   resolves to the free fns of that name.
+//! - `.f(...)` and `f(...)` link to every same-named non-test definition —
+//!   **except** method calls whose name is in the panic/alloc effect tables
+//!   (`.push(`, `.resize(`, `.unwrap(`, ...): those are std-container
+//!   shadows, classified as sinks at the call site itself, so edge-linking
+//!   them to coincidentally same-named workspace methods would only
+//!   fabricate cross-module chains.
+//! - Every edge must be possible under the crate dependency graph
+//!   ([`crate::DepGraph`]): `platform` code cannot call into `bench`.
+//!
+//! Within those constraints, over-approximation is the point: an edge too
+//! many costs a reviewer an audited waiver, an edge too few would let a
+//! panicking path hide from the reachability rules.  Calls that resolve to
+//! nothing are classified by the effect tables in [`crate::rules`] (std
+//! `Vec::push` allocates, std `unwrap` panics, ...).  Indirect calls
+//! through function pointers or closures passed as values are not tracked —
+//! the dynamic gates (`tests/alloc_gate.rs`, Miri) back that blind spot.
+
+use crate::symbols::SymbolTable;
+use crate::tokens::{Kind, Tok};
+use crate::Corpus;
+use std::collections::BTreeMap;
+
+/// How a call site is spelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `f(...)`
+    Bare,
+    /// `.f(...)` — receiver type unknown.
+    Method,
+    /// `Qual::f(...)`.
+    Path,
+    /// `m!(...)` — macros never resolve to workspace fns.
+    Macro,
+}
+
+/// One extracted call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (last path segment / method name / macro name).
+    pub name: String,
+    /// Immediate qualifier for [`CallKind::Path`] (`Box` in `Box::new`).
+    pub qual: Option<String>,
+    /// 0-based line of the callee token.
+    pub line: usize,
+    pub kind: CallKind,
+}
+
+/// Call sites and resolved edges for every function in the symbol table.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Per-fn extracted call sites (parallel to `SymbolTable::fns`).
+    pub calls: Vec<Vec<CallSite>>,
+    /// Per-fn resolved edges: `(callee fn index, call line)`.
+    pub edges: Vec<Vec<(usize, usize)>>,
+}
+
+impl CallGraph {
+    pub fn build(corpus: &Corpus, symbols: &SymbolTable) -> CallGraph {
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in symbols.fns.iter().enumerate() {
+            if !f.is_test {
+                by_name.entry(&f.name).or_default().push(i);
+            }
+        }
+
+        let mut graph = CallGraph::default();
+        for (fn_idx, f) in symbols.fns.iter().enumerate() {
+            let Some((start, end)) = f.body else {
+                graph.calls.push(Vec::new());
+                graph.edges.push(Vec::new());
+                continue;
+            };
+            let toks = &corpus.files[f.file].tokens;
+            let children = child_spans(symbols, fn_idx);
+            let sites = extract_calls(toks, start, end, &children);
+            let caller_crate = crate::crate_of(&corpus.files[f.file].relpath);
+            let mut edges = Vec::new();
+            for site in &sites {
+                for callee in resolve_site(site, f.self_type.as_deref(), symbols, &by_name) {
+                    let callee_crate =
+                        crate::crate_of(&corpus.files[symbols.fns[callee].file].relpath);
+                    if let (Some(from), Some(to)) = (caller_crate, callee_crate) {
+                        if !corpus.deps.allows(from, to) {
+                            continue;
+                        }
+                    }
+                    edges.push((callee, site.line));
+                }
+            }
+            graph.calls.push(sites);
+            graph.edges.push(edges);
+        }
+        graph
+    }
+}
+
+/// Token spans of `fn` items nested inside `fn_idx`'s body (from each
+/// child's `fn` keyword through its closing brace).  Nested items own their
+/// tokens: both call extraction and the reachability sink scans skip them.
+pub(crate) fn child_spans(symbols: &SymbolTable, fn_idx: usize) -> Vec<(usize, usize)> {
+    let f = &symbols.fns[fn_idx];
+    let Some((start, end)) = f.body else { return Vec::new() };
+    symbols
+        .fns
+        .iter()
+        .filter(|c| c.file == f.file && c.intro_tok > start && c.intro_tok < end)
+        .map(|c| (c.intro_tok, c.body.map_or(c.intro_tok, |(_, e)| e)))
+        .collect()
+}
+
+/// Candidate fn indices a call site resolves to (empty ⇒ std/shim call,
+/// classified by the effect tables).  Path calls whose qualifier names a
+/// workspace type with same-named methods restrict to that type's impls
+/// (`Self::` uses the caller's own type); a capitalized qualifier with no
+/// workspace impl is a foreign type and resolves to nothing; a lowercase
+/// qualifier is a module path and resolves to free fns only.  Method calls
+/// whose name appears in the effect tables are std-container shadows and
+/// resolve to nothing — the sink fires at the call site itself.
+fn resolve_site(
+    site: &CallSite,
+    caller_self: Option<&str>,
+    symbols: &SymbolTable,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    if site.kind == CallKind::Macro {
+        return Vec::new();
+    }
+    if site.kind == CallKind::Method
+        && (crate::rules::ALLOC_CALLS.contains(&site.name.as_str())
+            || crate::rules::PANIC_CALLS.contains(&site.name.as_str()))
+    {
+        return Vec::new();
+    }
+    let Some(all) = by_name.get(site.name.as_str()) else { return Vec::new() };
+    if site.kind == CallKind::Path {
+        let qual = match site.qual.as_deref() {
+            Some("Self") => caller_self,
+            q => q,
+        };
+        if let Some(qual) = qual {
+            let restricted: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| symbols.fns[i].self_type.as_deref() == Some(qual))
+                .collect();
+            if !restricted.is_empty() {
+                return restricted;
+            }
+            if qual.starts_with(|c: char| c.is_ascii_uppercase()) {
+                // Foreign type (`Vec::new`, `Box::new`): effect tables cover it.
+                return Vec::new();
+            }
+            // Module path: only free fns are addressable this way.
+            return all.iter().copied().filter(|&i| symbols.fns[i].self_type.is_none()).collect();
+        }
+    }
+    all.clone()
+}
+
+/// Extract every call site in `toks[start..=end]`, skipping nested-item
+/// spans.
+fn extract_calls(toks: &[Tok], start: usize, end: usize, skip: &[(usize, usize)]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = start;
+    while i <= end && i < toks.len() {
+        if let Some(&(_, child_end)) = skip.iter().find(|&&(s, e)| i >= s && i <= e) {
+            i = child_end + 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        // Macro invocation: `name!`.
+        if toks.get(i + 1).is_some_and(|n| n.text == "!") {
+            out.push(CallSite {
+                name: t.text.clone(),
+                qual: None,
+                line: t.line,
+                kind: CallKind::Macro,
+            });
+            i += 2;
+            continue;
+        }
+        // Call shapes: `name(` directly, or `name::<T>(` with a turbofish.
+        let mut open = i + 1;
+        if toks.get(open).is_some_and(|n| n.text == "::")
+            && toks.get(open + 1).is_some_and(|n| n.text == "<")
+        {
+            let mut depth = 0i32;
+            let mut j = open + 1;
+            while j <= end && j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            open = j;
+        }
+        if toks.get(open).is_none_or(|n| n.text != "(") {
+            i += 1;
+            continue;
+        }
+        let prev = if i == 0 { None } else { Some(&toks[i - 1]) };
+        let site = match prev.map(|p| p.text.as_str()) {
+            Some(".") => {
+                CallSite { name: t.text.clone(), qual: None, line: t.line, kind: CallKind::Method }
+            }
+            Some("::") => {
+                let qual = toks
+                    .get(i.wrapping_sub(2))
+                    .filter(|q| q.kind == Kind::Ident)
+                    .map(|q| q.text.clone());
+                CallSite { name: t.text.clone(), qual, line: t.line, kind: CallKind::Path }
+            }
+            _ => CallSite { name: t.text.clone(), qual: None, line: t.line, kind: CallKind::Bare },
+        };
+        out.push(site);
+        i += 1;
+    }
+    out
+}
+
+/// Multi-source BFS over the call graph; returns, for every reachable fn,
+/// the edge it was first discovered through: `(parent fn, call line)` —
+/// `None` for the roots themselves.  Traversal order is by fn index at each
+/// frontier, so witnesses are deterministic.
+pub fn reach(graph: &CallGraph, roots: &[usize]) -> BTreeMap<usize, Option<(usize, usize)>> {
+    let mut parent: BTreeMap<usize, Option<(usize, usize)>> = BTreeMap::new();
+    let mut frontier: Vec<usize> = Vec::new();
+    for &r in roots {
+        if parent.insert(r, None).is_none() {
+            frontier.push(r);
+        }
+    }
+    while !frontier.is_empty() {
+        frontier.sort_unstable();
+        let mut next = Vec::new();
+        for &f in &frontier {
+            for &(callee, line) in &graph.edges[f] {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(callee) {
+                    e.insert(Some((f, line)));
+                    next.push(callee);
+                }
+            }
+        }
+        frontier = next;
+    }
+    parent
+}
+
+/// Render the call chain from a root down to `target` as
+/// `root (file:line) → ... → target (file:line)`, using 1-based lines.
+pub fn witness_chain(
+    symbols: &SymbolTable,
+    corpus: &Corpus,
+    parents: &BTreeMap<usize, Option<(usize, usize)>>,
+    target: usize,
+) -> Vec<String> {
+    let mut rev = Vec::new();
+    let mut cur = target;
+    loop {
+        let f = &symbols.fns[cur];
+        rev.push(format!(
+            "{} ({}:{})",
+            f.qualified(),
+            corpus.files[f.file].relpath,
+            f.decl_line + 1
+        ));
+        match parents.get(&cur) {
+            Some(Some((p, _line))) => cur = *p,
+            _ => break,
+        }
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(src: &str) -> (Corpus, SymbolTable, CallGraph) {
+        let corpus =
+            Corpus::from_sources(vec![("crates/core/src/controller.rs".into(), src.into())]);
+        let symbols = SymbolTable::build(&corpus);
+        let graph = CallGraph::build(&corpus, &symbols);
+        (corpus, symbols, graph)
+    }
+
+    #[test]
+    fn extracts_call_shapes() {
+        let (_, symbols, graph) = setup(
+            "fn caller(m: &Matrix) {\n\
+                 helper(1);\n\
+                 m.method(2);\n\
+                 Matrix::zeros(3, 4);\n\
+                 vals.iter().collect::<Vec<_>>();\n\
+                 panic!(\"boom\");\n\
+             }\n",
+        );
+        assert_eq!(symbols.fns.len(), 1);
+        let kinds: Vec<(String, CallKind)> =
+            graph.calls[0].iter().map(|c| (c.name.clone(), c.kind)).collect();
+        assert!(kinds.contains(&("helper".into(), CallKind::Bare)));
+        assert!(kinds.contains(&("method".into(), CallKind::Method)));
+        assert!(kinds.contains(&("zeros".into(), CallKind::Path)));
+        assert!(kinds.contains(&("collect".into(), CallKind::Method)), "turbofish method");
+        assert!(kinds.contains(&("panic".into(), CallKind::Macro)));
+    }
+
+    #[test]
+    fn name_resolution_links_same_named_fns() {
+        let (_, symbols, graph) = setup(
+            "fn a() { b(); }\n\
+             fn b() { c.helper(); }\n\
+             struct S;\n\
+             impl S { fn helper(&self) {} }\n",
+        );
+        let a = symbols.fns.iter().position(|f| f.name == "a").unwrap();
+        let b = symbols.fns.iter().position(|f| f.name == "b").unwrap();
+        let helper = symbols.fns.iter().position(|f| f.name == "helper").unwrap();
+        assert_eq!(graph.edges[a], vec![(b, 0)]);
+        assert_eq!(graph.edges[b], vec![(helper, 1)]);
+    }
+
+    #[test]
+    fn qualified_paths_restrict_to_the_named_impl() {
+        let (_, symbols, graph) = setup(
+            "struct A; struct B;\n\
+             impl A { fn make() {} }\n\
+             impl B { fn make() {} }\n\
+             fn go() { A::make(); }\n",
+        );
+        let go = symbols.fns.iter().position(|f| f.name == "go").unwrap();
+        let a_make = symbols
+            .fns
+            .iter()
+            .position(|f| f.name == "make" && f.self_type.as_deref() == Some("A"))
+            .unwrap();
+        assert_eq!(graph.edges[go], vec![(a_make, 3)]);
+    }
+
+    #[test]
+    fn test_fns_are_not_candidates() {
+        let (_, symbols, graph) = setup(
+            "fn go() { helper(); }\n\
+             #[cfg(test)]\n\
+             mod tests { fn helper() {} }\n",
+        );
+        let go = symbols.fns.iter().position(|f| f.name == "go").unwrap();
+        assert!(graph.edges[go].is_empty());
+    }
+
+    #[test]
+    fn reachability_and_witness_chain() {
+        let (corpus, symbols, graph) = setup(
+            "fn root() { mid(); }\n\
+             fn mid() { leaf(); }\n\
+             fn leaf() {}\n\
+             fn unrelated() {}\n",
+        );
+        let root = symbols.fns.iter().position(|f| f.name == "root").unwrap();
+        let leaf = symbols.fns.iter().position(|f| f.name == "leaf").unwrap();
+        let parents = reach(&graph, &[root]);
+        assert_eq!(parents.len(), 3, "unrelated stays unreached");
+        let chain = witness_chain(&symbols, &corpus, &parents, leaf);
+        assert_eq!(
+            chain,
+            [
+                "root (crates/core/src/controller.rs:1)",
+                "mid (crates/core/src/controller.rs:2)",
+                "leaf (crates/core/src/controller.rs:3)",
+            ]
+        );
+    }
+}

@@ -1,20 +1,29 @@
 //! Repo-invariant static analysis for the Puffer reproduction.
 //!
-//! The experiment's conclusions rest on *bit-exact* determinism: randomized
-//! assignment must replay identically, nightly retrains must be bit-identical
-//! at any thread count, and the pinned hot paths must stay allocation-free.
-//! Those invariants are easy to break silently — iterate a `HashMap` into a
-//! fingerprint, call `Instant::now()` in a sim crate, narrow an `f64` score
-//! through `f32` — so this crate enforces them mechanically, at analysis
-//! time, instead of hoping a reviewer notices.
+//! The experiment's conclusions rest on *bit-exact* determinism and a
+//! serving loop that ran unattended for months: randomized assignment must
+//! replay identically, nightly retrains must be bit-identical at any thread
+//! count, and the pinned hot paths must never panic mid-session nor allocate
+//! in steady state.  Those invariants are easy to break silently — iterate a
+//! `HashMap` into a fingerprint, call `Instant::now()` in a sim crate, slip
+//! an `unwrap` three calls below `plan_with` — so this crate enforces them
+//! mechanically, at analysis time, instead of hoping a reviewer notices.
 //!
-//! The build environment is offline (no `syn`), so the scanner is a small
+//! The build environment is offline (no `syn`), so everything is built on a
 //! comment/string-aware lexical pass: source is split into per-line *code*
-//! and *comment* channels (string literals blanked, comments routed aside),
-//! and each rule matches tokens in the code channel only.  That makes the
-//! rules deliberately coarse — they flag *mentions*, not data flow — and the
-//! escape hatch is an explicit, reasoned waiver comment that a reviewer can
-//! audit:
+//! and *comment* channels ([`split_source`]), tokenized ([`tokens`]), walked
+//! into a workspace symbol table of `fn` items ([`symbols`]), and linked
+//! into a conservative name-resolved call graph ([`callgraph`]).  Two rule
+//! families run on top ([`rules`]):
+//!
+//! - **Line rules** flag token patterns wherever they appear.
+//! - **Reachability rules** start from functions annotated
+//!   `// lint-root: panic-free` / `// lint-root: alloc-free` and flag panic
+//!   or allocation sinks anywhere in the call-graph closure, reporting a
+//!   root-to-sink witness chain.
+//!
+//! The escape hatch is an explicit, reasoned waiver comment that a reviewer
+//! can audit:
 //!
 //! ```text
 //! // lint: order-insensitive — set is only used for a cardinality check
@@ -22,23 +31,39 @@
 //! ```
 //!
 //! A waiver lives on the flagged line or the line directly above it, names
-//! the rule key, and must carry a non-empty reason.  A keyed waiver with no
-//! reason is itself a violation.
+//! the rule key, and must carry a non-empty reason.  For the reachability
+//! rules a waiver may also sit in the comment/attribute block introducing a
+//! `fn`, where it covers every sink of that rule in the body (for kernels
+//! that are bounds-checked by construction).  A keyed waiver with no reason
+//! is itself a violation, and so is a waiver that no longer suppresses
+//! anything (`stale-waiver`) — the waiver inventory cannot rot silently.
 //!
 //! ## Rules
 //!
-//! | rule id         | invariant                                                        | waiver key          |
-//! |-----------------|------------------------------------------------------------------|---------------------|
-//! | `hash-order`    | no `HashMap`/`HashSet` in result-affecting crates                | `order-insensitive` |
-//! | `wall-clock`    | no `Instant::now`/`SystemTime` outside `shims`/`bench`           | `wall-clock`        |
-//! | `wrapping`      | wrapping arithmetic only in seed/RNG-mixing code                 | `seed-mix`          |
-//! | `unsafe-safety` | every `unsafe` is preceded by a `// SAFETY:` comment             | (none — document)   |
-//! | `narrow-cast`   | no `as f32` narrowing in scoring/QoE paths                       | `narrowing-ok`      |
+//! | rule id           | invariant                                                   | waiver key          |
+//! |-------------------|-------------------------------------------------------------|---------------------|
+//! | `hash-order`      | no `HashMap`/`HashSet` in result-affecting crates           | `order-insensitive` |
+//! | `wall-clock`      | no `Instant::now`/`SystemTime` outside `shims`/`bench`      | `wall-clock`        |
+//! | `wrapping`        | wrapping arithmetic only in seed/RNG-mixing code            | `seed-mix`          |
+//! | `unsafe-safety`   | every `unsafe` is preceded by a `// SAFETY:` comment        | (none — document)   |
+//! | `narrow-cast`     | no `as f32` narrowing in scoring/QoE paths                  | `narrowing-ok`      |
+//! | `panic-reach`     | no panic sink reachable from a `panic-free` root            | `panic-free`        |
+//! | `alloc-reach`     | no allocation sink reachable from an `alloc-free` root      | `alloc-free`        |
+//! | `atomic-ordering` | every atomic `Ordering::*` carries a justification          | `atomic-ordering`   |
+//! | `float-ord`       | no `partial_cmp` in result-affecting crates                 | `float-ord`         |
+//! | `stale-waiver`    | every waiver/root annotation still does something           | (none — remove it)  |
 //!
-//! Run as `cargo run -p puffer-lint` (CI) or via the `workspace_is_clean`
+//! Run as `cargo run -p puffer-lint` (CI; `--format json` for the artifact,
+//! `--explain <rule>` for the rationale) or via the `workspace_is_clean`
 //! test, which makes `cargo test --workspace` itself the enforcement point.
 //! The full invariant catalogue lives in `docs/INVARIANTS.md`.
 
+pub mod callgraph;
+pub mod rules;
+pub mod symbols;
+pub mod tokens;
+
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// One line of source, split into its code and comment channels.
@@ -60,9 +85,12 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Stable rule identifier (`hash-order`, `wall-clock`, ...).
+    /// Stable rule identifier (`hash-order`, `panic-reach`, ...).
     pub rule: &'static str,
     pub msg: String,
+    /// For reachability rules: the call chain from the annotated root down
+    /// to the flagged sink, one `name (file:line)` entry per hop.
+    pub witness: Vec<String>,
 }
 
 impl std::fmt::Display for Violation {
@@ -225,7 +253,7 @@ pub fn split_source(source: &str) -> Vec<Line> {
 
 /// Does `code` contain `needle` as a whole token (neither neighbour is an
 /// identifier character)?
-fn has_token(code: &str, needle: &str) -> bool {
+pub(crate) fn has_token(code: &str, needle: &str) -> bool {
     let mut start = 0;
     while let Some(pos) = code[start..].find(needle) {
         let at = start + pos;
@@ -242,55 +270,94 @@ fn has_token(code: &str, needle: &str) -> bool {
     false
 }
 
-/// Outcome of looking for a waiver near a flagged line.
-enum Waiver {
+/// Waiver lines that suppressed (or tried to suppress) a finding, keyed by
+/// `(file index, 0-based line)`.  The stale-waiver rule flags every declared
+/// waiver that never lands in this set.
+#[derive(Debug, Default)]
+pub(crate) struct Usage {
+    pub used: BTreeSet<(usize, usize)>,
+}
+
+/// Outcome of looking for a waiver near a flagged position.  The
+/// [`WaiverAt::MissingReason`] payload is the 0-based line the reasonless
+/// waiver comment was found on, so the violation can point at it.
+pub(crate) enum WaiverAt {
     /// No waiver comment with this key.
     None,
     /// Waiver present with a non-empty reason.
     Granted,
     /// Waiver key present but no reason given.
-    MissingReason,
+    MissingReason(usize),
 }
 
-/// Look for `lint: <key> <reason>` in the comment channel of the flagged
-/// line or the line directly above it.
-fn waiver(lines: &[Line], idx: usize, key: &str) -> Waiver {
-    let mut found_empty = false;
-    for j in [idx, idx.wrapping_sub(1)] {
+/// Look for `lint: <key> <reason>` in the comment channel of any of the
+/// candidate lines.  A hit (granted or reasonless) is recorded in `usage` so
+/// the stale-waiver rule knows the comment is load-bearing.
+pub(crate) fn waiver_on<I: IntoIterator<Item = usize>>(
+    lines: &[Line],
+    file: usize,
+    candidates: I,
+    key: &str,
+    usage: &mut Usage,
+) -> WaiverAt {
+    let mut found_empty = None;
+    for j in candidates {
         let Some(line) = lines.get(j) else { continue };
         let Some(pos) = line.comment.find("lint:") else { continue };
         let rest = line.comment[pos + "lint:".len()..].trim_start();
         if let Some(after_key) = rest.strip_prefix(key) {
-            let reason = after_key.trim_start_matches([' ', '\u{2014}', '-', ':', '\u{2013}']);
+            // The key must end at a token boundary: `panic-free-ish` is not
+            // a `panic-free` waiver.
+            if after_key.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '-' || c == '_')
+            {
+                continue;
+            }
+            let reason = after_key.trim_start_matches([' ', '\u{2014}', ':', '\u{2013}']);
             if reason.trim().is_empty() {
-                found_empty = true;
+                found_empty = Some(j);
             } else {
-                return Waiver::Granted;
+                usage.used.insert((file, j));
+                return WaiverAt::Granted;
             }
         }
     }
-    if found_empty {
-        Waiver::MissingReason
-    } else {
-        Waiver::None
+    match found_empty {
+        Some(j) => {
+            usage.used.insert((file, j));
+            WaiverAt::MissingReason(j)
+        }
+        None => WaiverAt::None,
     }
 }
 
+/// Waiver lookup on the flagged line or the line directly above it — the
+/// placement every line rule accepts.
+pub(crate) fn site_waiver(
+    lines: &[Line],
+    file: usize,
+    idx: usize,
+    key: &str,
+    usage: &mut Usage,
+) -> WaiverAt {
+    waiver_on(lines, file, [idx, idx.wrapping_sub(1)], key, usage)
+}
+
 /// Crates whose output reaches results, telemetry, fingerprints, or model
-/// weights — where hash-iteration order or wrapping arithmetic can corrupt
-/// the experiment.  `root` is the top-level `puffer-repro` package (binaries,
-/// integration tests, examples), which drives the RCT end to end.
-const RESULT_CRATES: &[&str] =
+/// weights — where hash-iteration order, wrapping arithmetic, or a partial
+/// float comparison can corrupt the experiment.  `root` is the top-level
+/// `puffer-repro` package (binaries, integration tests, examples), which
+/// drives the RCT end to end.
+pub(crate) const RESULT_CRATES: &[&str] =
     &["core", "abr", "platform", "nn", "stats", "trace", "media", "net", "root"];
 
 /// Files that *are* the seed/RNG-mixing path: wrapping arithmetic is the
 /// point there (splitmix-style avalanche), so no waiver is required.
-const SEED_MIX_FILES: &[&str] = &["crates/platform/src/experiment.rs"];
+pub(crate) const SEED_MIX_FILES: &[&str] = &["crates/platform/src/experiment.rs"];
 
 /// Scoring/QoE paths where an `f64 → f32` narrowing can flip near-ties (the
 /// PR 1 controller argmax bug): QoE arithmetic, SSIM, the planners, and the
 /// statistics crate that turns telemetry into the paper's figures.
-const SCORING_PATHS: &[&str] = &[
+pub(crate) const SCORING_PATHS: &[&str] = &[
     "crates/media/src/qoe.rs",
     "crates/media/src/ssim.rs",
     "crates/core/src/controller.rs",
@@ -302,7 +369,7 @@ const SCORING_PATHS: &[&str] = &[
 
 /// Which crate a workspace-relative path belongs to (`root` for the
 /// top-level package's `src/`, `tests/`, and `examples/`).
-fn crate_of(relpath: &str) -> Option<&str> {
+pub(crate) fn crate_of(relpath: &str) -> Option<&str> {
     if let Some(rest) = relpath.strip_prefix("crates/") {
         return rest.split('/').next();
     }
@@ -315,180 +382,217 @@ fn crate_of(relpath: &str) -> Option<&str> {
     None
 }
 
-fn push(violations: &mut Vec<Violation>, file: &str, line: usize, rule: &'static str, msg: String) {
-    violations.push(Violation { file: file.to_string(), line: line + 1, rule, msg });
+/// Is this path in a crate whose output affects results/figures?
+pub(crate) fn is_result_crate(relpath: &str) -> bool {
+    crate_of(relpath).is_some_and(|k| RESULT_CRATES.contains(&k))
+}
+
+pub(crate) fn push(
+    violations: &mut Vec<Violation>,
+    file: &str,
+    line: usize,
+    rule: &'static str,
+    msg: String,
+) {
+    violations.push(Violation {
+        file: file.to_string(),
+        line: line + 1,
+        rule,
+        msg,
+        witness: Vec::new(),
+    });
+}
+
+/// Crate-level dependency graph parsed from the workspace `Cargo.toml`s,
+/// keyed by directory name (`nn`, `core`, ..., `root` for the top-level
+/// package).  Call-graph resolution uses it to reject impossible edges: a
+/// name-collision "call" from `platform` into `bench` cannot be real when
+/// `platform` does not depend on `bench`.
+#[derive(Debug, Default)]
+pub struct DepGraph {
+    deps: std::collections::BTreeMap<String, BTreeSet<String>>,
+}
+
+impl DepGraph {
+    /// Declare `caller`'s direct dependencies — the hook multi-file tests
+    /// use to exercise the edge filter; [`DepGraph::load`] is the
+    /// production path.
+    pub fn declare(&mut self, caller: &str, deps: &[&str]) {
+        self.deps.insert(caller.to_string(), deps.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Parse `[workspace.dependencies]` (package name → path) from the root
+    /// manifest, then each member's `[dependencies]` section.  Line-based:
+    /// the manifests are plain `name.workspace = true` / `name = { path =
+    /// ... }` entries, not general TOML.
+    pub fn load(root: &Path) -> DepGraph {
+        let dir_of_path = |p: &str| -> Option<String> {
+            let p = p.trim_start_matches("../").trim_start_matches("./");
+            let rest = p.strip_prefix("crates/").unwrap_or(p);
+            (!rest.contains('/')).then(|| rest.to_string())
+        };
+        // Pass 1: workspace dependency table (name → crate dir).
+        let mut name_to_dir = std::collections::BTreeMap::new();
+        let root_manifest = std::fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+        let mut in_ws_deps = false;
+        for line in root_manifest.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_ws_deps = line == "[workspace.dependencies]";
+                continue;
+            }
+            if !in_ws_deps {
+                continue;
+            }
+            if let (Some(name), Some(pos)) = (line.split(['.', ' ', '=']).next(), line.find("path"))
+            {
+                if let Some(path) = line[pos..].split('"').nth(1) {
+                    if let Some(dir) = dir_of_path(path) {
+                        name_to_dir.insert(name.to_string(), dir);
+                    }
+                }
+            }
+        }
+        // Pass 2: every member manifest's `[dependencies]`.
+        let mut graph = DepGraph::default();
+        let mut manifests = vec![("root".to_string(), root.join("Cargo.toml"))];
+        if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+            for e in entries.flatten() {
+                let dir = e.file_name().to_string_lossy().to_string();
+                if dir != "shims" {
+                    manifests.push((dir, e.path().join("Cargo.toml")));
+                }
+            }
+        }
+        for (krate, manifest) in manifests {
+            let Ok(text) = std::fs::read_to_string(&manifest) else { continue };
+            let mut in_deps = false;
+            let entry = graph.deps.entry(krate).or_default();
+            for line in text.lines() {
+                let line = line.trim();
+                if line.starts_with('[') {
+                    in_deps = line == "[dependencies]";
+                    continue;
+                }
+                if !in_deps || line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let Some(name) = line.split(['.', ' ', '=']).next() else { continue };
+                if let Some(dir) = name_to_dir.get(name) {
+                    entry.insert(dir.clone());
+                } else if let Some(pos) = line.find("path") {
+                    if let Some(path) = line[pos..].split('"').nth(1) {
+                        if let Some(dir) = dir_of_path(path) {
+                            entry.insert(dir);
+                        }
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// May code in crate `caller` call into crate `callee`?  True for the
+    /// crate itself and its transitive dependencies; conservatively true
+    /// when the graph is empty or the caller is unknown (in-memory corpora).
+    pub fn allows(&self, caller: &str, callee: &str) -> bool {
+        if caller == callee || self.deps.is_empty() {
+            return true;
+        }
+        let Some(direct) = self.deps.get(caller) else { return true };
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut frontier: Vec<&str> = direct.iter().map(String::as_str).collect();
+        while let Some(k) = frontier.pop() {
+            if !seen.insert(k) {
+                continue;
+            }
+            if k == callee {
+                return true;
+            }
+            if let Some(next) = self.deps.get(k) {
+                frontier.extend(next.iter().map(String::as_str));
+            }
+        }
+        false
+    }
+}
+
+/// One scanned file: its path, split lines, and token stream.
+#[derive(Debug)]
+pub struct CorpusFile {
+    /// Workspace-relative path, `/`-separated.
+    pub relpath: String,
+    pub lines: Vec<Line>,
+    pub tokens: Vec<tokens::Tok>,
+}
+
+/// Every scanned source file, pre-split and pre-tokenized.  The symbol
+/// table, call graph, and all rules operate on this.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    pub files: Vec<CorpusFile>,
+    /// Crate dependency graph; empty (allow-all) for in-memory corpora.
+    pub deps: DepGraph,
+}
+
+impl Corpus {
+    /// Build a corpus from in-memory `(relpath, source)` pairs — the entry
+    /// point for fixtures and multi-file tests.
+    pub fn from_sources(sources: Vec<(String, String)>) -> Corpus {
+        let files = sources
+            .into_iter()
+            .map(|(relpath, source)| {
+                let lines = split_source(&source);
+                let tokens = tokens::tokenize(&lines);
+                CorpusFile { relpath, lines, tokens }
+            })
+            .collect();
+        Corpus { files, deps: DepGraph::default() }
+    }
+
+    /// Load every scannable `.rs` file under the workspace root.
+    pub fn load(root: &Path) -> Corpus {
+        let mut paths = Vec::new();
+        collect_rs_files(root, root, &mut paths);
+        let mut sources = Vec::new();
+        for rel in paths {
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            if let Ok(source) = std::fs::read_to_string(root.join(&rel)) {
+                sources.push((rel_str, source));
+            }
+        }
+        let mut corpus = Corpus::from_sources(sources);
+        corpus.deps = DepGraph::load(root);
+        corpus
+    }
+
+    /// Run the full pipeline — line rules, symbol table, call graph,
+    /// reachability, stale-waiver audit — and return all violations sorted
+    /// by position, deduplicated per `(file, line, rule)`.
+    pub fn check(&self) -> Vec<Violation> {
+        let symbols = symbols::SymbolTable::build(self);
+        let graph = callgraph::CallGraph::build(self, &symbols);
+        let mut usage = Usage::default();
+        let mut out = Vec::new();
+        for file_idx in 0..self.files.len() {
+            rules::lines::check(self, file_idx, &mut usage, &mut out);
+        }
+        rules::atomic::check(self, &symbols, &mut usage, &mut out);
+        rules::float_ord::check(self, &symbols, &mut usage, &mut out);
+        rules::reach::check(self, &symbols, &graph, &mut usage, &mut out);
+        rules::stale::check(self, &symbols, &usage, &mut out);
+        out.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.msg).cmp(&(&b.file, b.line, b.rule, &b.msg))
+        });
+        out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+        out
+    }
 }
 
 /// Run every rule over one file.  `relpath` must be workspace-relative with
 /// `/` separators — rule scoping keys off it.
 pub fn check_file(relpath: &str, source: &str) -> Vec<Violation> {
-    let lines = split_source(source);
-    let mut out = Vec::new();
-    let Some(krate) = crate_of(relpath) else { return out };
-    let result_crate = RESULT_CRATES.contains(&krate);
-    let scoring = SCORING_PATHS.iter().any(|p| relpath.starts_with(p));
-    let seed_mix_file = SEED_MIX_FILES.contains(&relpath);
-
-    for (idx, line) in lines.iter().enumerate() {
-        let code = line.code.as_str();
-
-        // Rule: hash-order.  HashMap/HashSet iteration order varies per
-        // process (RandomState), so any use in a result-affecting crate must
-        // either be replaced by BTreeMap/sorted iteration or carry a
-        // reviewed order-insensitivity waiver.
-        if result_crate {
-            for ty in ["HashMap", "HashSet"] {
-                if has_token(code, ty) {
-                    match waiver(&lines, idx, "order-insensitive") {
-                        Waiver::Granted => {}
-                        Waiver::MissingReason => push(
-                            &mut out,
-                            relpath,
-                            idx,
-                            "hash-order",
-                            format!("`{ty}` waiver needs a reason: `// lint: order-insensitive — <why>`"),
-                        ),
-                        Waiver::None => push(
-                            &mut out,
-                            relpath,
-                            idx,
-                            "hash-order",
-                            format!(
-                                "`{ty}` in a result-affecting crate: iteration order is \
-                                 nondeterministic; use BTreeMap/BTreeSet or sorted iteration, \
-                                 or waive with `// lint: order-insensitive — <why>`"
-                            ),
-                        ),
-                    }
-                }
-            }
-        }
-
-        // Rule: wall-clock.  Simulated time is the only time: real-clock
-        // reads make replays diverge.  `crates/shims` (vendored criterion)
-        // and `crates/bench` (measures real durations) are exempt.
-        if krate != "bench" {
-            for src in ["Instant::now", "SystemTime"] {
-                if code.contains(src) {
-                    match waiver(&lines, idx, "wall-clock") {
-                        Waiver::Granted => {}
-                        Waiver::MissingReason => push(
-                            &mut out,
-                            relpath,
-                            idx,
-                            "wall-clock",
-                            format!("`{src}` waiver needs a reason: `// lint: wall-clock — <why>`"),
-                        ),
-                        Waiver::None => push(
-                            &mut out,
-                            relpath,
-                            idx,
-                            "wall-clock",
-                            format!(
-                                "`{src}` outside crates/shims and crates/bench: wall-clock reads \
-                                 break replay determinism; thread simulated time through instead, \
-                                 or waive with `// lint: wall-clock — <why>`"
-                            ),
-                        ),
-                    }
-                }
-            }
-        }
-
-        // Rule: wrapping.  Wrapping ops are correct in seed mixers (the
-        // avalanche *wants* modular arithmetic) and a bug smell everywhere
-        // else — a quantity that overflows u64 in scoring code is a logic
-        // error that `wrapping_*` would silence.
-        if !seed_mix_file && code.contains(".wrapping_") {
-            match waiver(&lines, idx, "seed-mix") {
-                Waiver::Granted => {}
-                Waiver::MissingReason => push(
-                    &mut out,
-                    relpath,
-                    idx,
-                    "wrapping",
-                    "wrapping-arithmetic waiver needs a reason: `// lint: seed-mix — <why>`".into(),
-                ),
-                Waiver::None => push(
-                    &mut out,
-                    relpath,
-                    idx,
-                    "wrapping",
-                    "wrapping arithmetic outside the seed-mixing path: if this derives an RNG \
-                     seed, waive with `// lint: seed-mix — <why>`; otherwise use checked math"
-                        .into(),
-                ),
-            }
-        }
-
-        // Rule: unsafe-safety.  Every `unsafe` block, fn, or impl must be
-        // introduced by a `// SAFETY:` comment, or (for declarations) a
-        // doc-comment `# Safety` section.  The upward scan looks through the
-        // contiguous run of comment, attribute, and blank lines above the
-        // flagged line — a SAFETY comment separated by real code does not
-        // count.  No waiver key — the SAFETY comment *is* the waiver.
-        if has_token(code, "unsafe") {
-            // The comment must *start* with `SAFETY` (after doc-comment `#`
-            // header markers) — a passing mention of the word in prose does
-            // not document an obligation.
-            let is_safety = |l: &Line| {
-                let t = l.comment.trim_start_matches(['/', '!', '#', ' ', '\t']);
-                t.len() >= 6 && t[..6].eq_ignore_ascii_case("safety")
-            };
-            let mut documented = lines.get(idx).is_some_and(is_safety);
-            let mut j = idx;
-            while !documented && j > 0 {
-                j -= 1;
-                let above = &lines[j];
-                if is_safety(above) {
-                    documented = true;
-                    break;
-                }
-                // Keep walking only over comment-only, attribute, or blank
-                // lines; any other code terminates the introduction.
-                let code_above = above.code.trim();
-                if !(code_above.is_empty() || code_above.starts_with("#[")) {
-                    break;
-                }
-            }
-            if !documented {
-                push(
-                    &mut out,
-                    relpath,
-                    idx,
-                    "unsafe-safety",
-                    "`unsafe` without an introducing `// SAFETY:` comment or `# Safety` doc section"
-                        .into(),
-                );
-            }
-        }
-
-        // Rule: narrow-cast.  `as f32` in a scoring/QoE path silently drops
-        // precision and can flip near-tie comparisons (the PR 1 controller
-        // argmax bug); keep scores in f64 end to end or waive explicitly.
-        if scoring && code.contains("as f32") {
-            match waiver(&lines, idx, "narrowing-ok") {
-                Waiver::Granted => {}
-                Waiver::MissingReason => push(
-                    &mut out,
-                    relpath,
-                    idx,
-                    "narrow-cast",
-                    "narrowing waiver needs a reason: `// lint: narrowing-ok — <why>`".into(),
-                ),
-                Waiver::None => push(
-                    &mut out,
-                    relpath,
-                    idx,
-                    "narrow-cast",
-                    "`as f32` in a scoring/QoE path: keep scores in f64 (near-ties flip under \
-                     narrowing), or waive with `// lint: narrowing-ok — <why>`"
-                        .into(),
-                ),
-            }
-        }
-    }
-    out
+    Corpus::from_sources(vec![(relpath.to_string(), source.to_string())]).check()
 }
 
 /// Directories never scanned: vendored shims (external-API stand-ins), this
@@ -519,21 +623,145 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
 /// Scan the whole workspace rooted at `root`; returns all violations in
 /// path order.
 pub fn scan_workspace(root: &Path) -> Vec<Violation> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files);
-    let mut out = Vec::new();
-    for rel in files {
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        if let Ok(source) = std::fs::read_to_string(root.join(&rel)) {
-            out.extend(check_file(&rel_str, &source));
-        }
-    }
-    out
+    Corpus::load(root).check()
 }
 
 /// The workspace root, resolved from this crate's manifest directory.
 pub fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+/// `(rule id, one-paragraph rationale)` for `--explain`.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "hash-order",
+        "HashMap/HashSet iteration order is randomized per process (RandomState). Any \
+         iteration in a result-affecting crate can reorder fingerprint input, telemetry, or \
+         model updates, silently breaking bit-exact replay. Use BTreeMap/BTreeSet or sorted \
+         iteration; waive with `// lint: order-insensitive — <why>` when order provably \
+         cannot reach a result.",
+    ),
+    (
+        "wall-clock",
+        "Simulated time is the only time: `Instant::now`/`SystemTime` reads make replays \
+         diverge between runs and machines. Thread simulated time through instead; \
+         crates/shims and crates/bench (which measure real durations) are exempt. Waive \
+         with `// lint: wall-clock — <why>`.",
+    ),
+    (
+        "wrapping",
+        "Wrapping arithmetic is correct in seed mixers (the avalanche wants modular \
+         arithmetic) and a bug smell everywhere else — an overflow in scoring code is a \
+         logic error that `wrapping_*` would silence. Waive with `// lint: seed-mix — <why>` \
+         when the value feeds an RNG seed.",
+    ),
+    (
+        "unsafe-safety",
+        "Every `unsafe` block, fn, or impl must be introduced by a `// SAFETY:` comment (or \
+         a `# Safety` doc section) in the contiguous comment/attribute block above it. \
+         There is no waiver key — the SAFETY comment is the waiver.",
+    ),
+    (
+        "narrow-cast",
+        "`as f32` in a scoring/QoE path silently drops precision and can flip near-tie \
+         comparisons (the PR 1 controller argmax bug). Keep scores in f64 end to end; waive \
+         with `// lint: narrowing-ok — <why>`.",
+    ),
+    (
+        "panic-reach",
+        "Functions annotated `// lint-root: panic-free` (the serve-loop planners, the TTP \
+         inference entry points, the kernel tiers, the training epoch loop) must not reach \
+         — through any chain of workspace calls — an `unwrap`/`expect`, a panicking macro, \
+         a slice index `[i]`, or an integer `/`·`%`. The finding carries the root-to-sink \
+         call chain as a witness. `debug_assert!` bodies are exempt (compiled out in \
+         release). Waive a bounds-checked-by-construction site with \
+         `// lint: panic-free — <why>` on the line, or in the fn's intro block to cover \
+         the whole body.",
+    ),
+    (
+        "alloc-reach",
+        "Functions annotated `// lint-root: alloc-free` must not reach an allocation sink \
+         (`Vec::push`, `with_capacity`, `collect`, `to_vec`, `Box::new`, `format!`, \
+         `String::from`, ...). This makes the zero-allocation steady state of \
+         tests/alloc_gate.rs a static property instead of a sampled one. Grow-once scratch \
+         paths that the alloc gate pins as steady-state no-ops are waived with \
+         `// lint: alloc-free — <why>` at the site or on the fn.",
+    ),
+    (
+        "atomic-ordering",
+        "Every atomic memory ordering (`Ordering::Relaxed`, `Acquire`, `Release`, `AcqRel`, \
+         `SeqCst`) must carry a justification: `// lint: atomic-ordering — <why this \
+         ordering suffices>`. Orderings are correctness claims about cross-thread \
+         visibility; an undocumented `Relaxed` is indistinguishable from an unexamined one.",
+    ),
+    (
+        "float-ord",
+        "`partial_cmp` over floats in a result-affecting crate returns None on NaN, and \
+         `.unwrap()`-ing it panics mid-session; comparator closures built on it also \
+         disagree with the repo's total-order helpers on -0.0/NaN. Route through \
+         `f64::total_cmp` or the repo's argmax helpers; waive with \
+         `// lint: float-ord — <why>` when inputs provably exclude NaN and the ordering \
+         cannot reach a result.",
+    ),
+    (
+        "stale-waiver",
+        "A `// lint: <key>` waiver that no longer suppresses any finding, an unknown waiver \
+         key, or a dangling `// lint-root:` annotation not attached to a fn is itself a \
+         violation. Remove it — an unused waiver misleads reviewers about where the \
+         dangerous sites are.",
+    ),
+];
+
+/// Rationale text for `--explain <rule>`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    RULES.iter().find(|(id, _)| *id == rule).map(|(_, text)| *text)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render violations as a machine-readable JSON report (std-only writer;
+/// schema: `{"count": N, "violations": [{file, line, rule, msg, witness}]}`).
+pub fn to_json(violations: &[Violation]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"count\": {},\n", violations.len()));
+    out.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"file\": \"{}\", ", json_escape(&v.file)));
+        out.push_str(&format!("\"line\": {}, ", v.line));
+        out.push_str(&format!("\"rule\": \"{}\", ", json_escape(v.rule)));
+        out.push_str(&format!("\"msg\": \"{}\", ", json_escape(&v.msg)));
+        out.push_str("\"witness\": [");
+        for (j, w) in v.witness.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", json_escape(w)));
+        }
+        out.push_str("]}");
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
 }
 
 #[cfg(test)]
@@ -609,5 +837,40 @@ mod tests {
         let src = "let z = a.wrapping_add(1);\n";
         assert!(check_file("crates/platform/src/experiment.rs", src).is_empty());
         assert_eq!(check_file("crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for rule in [
+            "hash-order",
+            "wall-clock",
+            "wrapping",
+            "unsafe-safety",
+            "narrow-cast",
+            "panic-reach",
+            "alloc-reach",
+            "atomic-ordering",
+            "float-ord",
+            "stale-waiver",
+        ] {
+            assert!(explain(rule).is_some(), "no explanation for {rule}");
+        }
+        assert!(explain("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn json_report_escapes_and_nests() {
+        let v = vec![Violation {
+            file: "crates/core/src/x.rs".into(),
+            line: 3,
+            rule: "panic-reach",
+            msg: "say \"no\"".into(),
+            witness: vec!["root (a.rs:1)".into(), "sink (b.rs:2)".into()],
+        }];
+        let j = to_json(&v);
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("say \\\"no\\\""));
+        assert!(j.contains("\"witness\": [\"root (a.rs:1)\", \"sink (b.rs:2)\"]"));
+        assert!(to_json(&[]).contains("\"count\": 0"));
     }
 }

@@ -1,19 +1,72 @@
 //! `cargo run -p puffer-lint` — scan the workspace and report violations.
 //!
-//! Exit status 0 when clean, 1 when any rule fires; CI runs this alongside
-//! the `workspace_is_clean` test so either entry point gates a merge.
+//! ```text
+//! puffer-lint                   human-readable report (witness chains indented)
+//! puffer-lint --format json     machine-readable report on stdout
+//! puffer-lint --explain <rule>  print the rationale for one rule id
+//! ```
+//!
+//! Exit status 0 when clean, 1 when any rule fires, 2 on usage errors; CI
+//! runs this alongside the `workspace_is_clean` test so either entry point
+//! gates a merge.
 
 use std::process::ExitCode;
 
+fn usage() -> ExitCode {
+    eprintln!("usage: puffer-lint [--format human|json] [--explain <rule>]");
+    eprintln!(
+        "rules: {}",
+        puffer_lint::RULES.iter().map(|(id, _)| *id).collect::<Vec<_>>().join(", ")
+    );
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = "human";
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--explain" => {
+                let Some(rule) = args.get(i + 1) else { return usage() };
+                match puffer_lint::explain(rule) {
+                    Some(text) => {
+                        println!("{rule}\n\n{text}");
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!("puffer-lint: unknown rule `{rule}`");
+                        return usage();
+                    }
+                }
+            }
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("human") => format = "human",
+                    Some("json") => format = "json",
+                    _ => return usage(),
+                }
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+
     let root = puffer_lint::workspace_root();
     let violations = puffer_lint::scan_workspace(&root);
+    if format == "json" {
+        print!("{}", puffer_lint::to_json(&violations));
+        return if violations.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
     if violations.is_empty() {
         println!("puffer-lint: workspace clean ({})", root.display());
         return ExitCode::SUCCESS;
     }
     for v in &violations {
         eprintln!("{v}");
+        for hop in &v.witness {
+            eprintln!("    ↳ {hop}");
+        }
     }
     eprintln!("puffer-lint: {} violation(s)", violations.len());
     ExitCode::FAILURE

@@ -1,0 +1,68 @@
+//! Rule: atomic-ordering — every atomic memory ordering carries a
+//! justification comment.
+//!
+//! An `Ordering::Relaxed` is a correctness claim ("no cross-thread data
+//! depends on this load seeing the latest store"); an undocumented one is
+//! indistinguishable from an unexamined one.  The rule matches the token
+//! sequence `Ordering :: <variant>` for the five atomic variants only, so
+//! `cmp::Ordering::Less` never trips it, and skips test functions (test
+//! threads may claim work however they like).
+
+use crate::rules::{in_ranges, test_line_ranges, ATOMIC_ORDERINGS};
+use crate::symbols::{is_test_path, SymbolTable};
+use crate::tokens::Kind;
+use crate::{crate_of, push, site_waiver, Corpus, Usage, Violation, WaiverAt};
+
+pub(crate) fn check(
+    corpus: &Corpus,
+    symbols: &SymbolTable,
+    usage: &mut Usage,
+    out: &mut Vec<Violation>,
+) {
+    for (file_idx, file) in corpus.files.iter().enumerate() {
+        if crate_of(&file.relpath).is_none() || is_test_path(&file.relpath) {
+            continue;
+        }
+        let test_ranges = test_line_ranges(corpus, symbols, file_idx);
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if toks[i].kind != Kind::Ident || toks[i].text != "Ordering" {
+                continue;
+            }
+            let Some(variant) = toks
+                .get(i + 1)
+                .filter(|t| t.text == "::")
+                .and_then(|_| toks.get(i + 2))
+                .filter(|t| ATOMIC_ORDERINGS.contains(&t.text.as_str()))
+            else {
+                continue;
+            };
+            let line = variant.line;
+            if in_ranges(&test_ranges, line) {
+                continue;
+            }
+            match site_waiver(&file.lines, file_idx, line, "atomic-ordering", usage) {
+                WaiverAt::Granted => {}
+                WaiverAt::MissingReason(_) => push(
+                    out,
+                    &file.relpath,
+                    line,
+                    "atomic-ordering",
+                    "atomic-ordering waiver needs a reason: `// lint: atomic-ordering — <why>`"
+                        .into(),
+                ),
+                WaiverAt::None => push(
+                    out,
+                    &file.relpath,
+                    line,
+                    "atomic-ordering",
+                    format!(
+                        "`Ordering::{}` without a justification: state why this ordering is \
+                         sufficient with `// lint: atomic-ordering — <why>`",
+                        variant.text
+                    ),
+                ),
+            }
+        }
+    }
+}

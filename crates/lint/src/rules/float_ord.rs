@@ -1,0 +1,53 @@
+//! Rule: float-ord — float comparisons in result-affecting crates must be
+//! total.
+//!
+//! `partial_cmp` returns `None` on NaN: `.unwrap()`-ing it panics
+//! mid-session, `.unwrap_or(...)` silently reorders, and a `sort_by` built
+//! on it disagrees with `f64::total_cmp` on NaN and signed zero.  The repo
+//! ships total helpers (`f64::total_cmp`, the controller/loss `argmax`) —
+//! result-affecting code routes through those, or carries a waiver arguing
+//! that NaN is impossible *and* the ordering cannot reach a result.
+
+use crate::rules::{in_ranges, test_line_ranges};
+use crate::symbols::{is_test_path, SymbolTable};
+use crate::tokens::Kind;
+use crate::{is_result_crate, push, site_waiver, Corpus, Usage, Violation, WaiverAt};
+
+pub(crate) fn check(
+    corpus: &Corpus,
+    symbols: &SymbolTable,
+    usage: &mut Usage,
+    out: &mut Vec<Violation>,
+) {
+    for (file_idx, file) in corpus.files.iter().enumerate() {
+        if !is_result_crate(&file.relpath) || is_test_path(&file.relpath) {
+            continue;
+        }
+        let test_ranges = test_line_ranges(corpus, symbols, file_idx);
+        for t in &file.tokens {
+            if t.kind != Kind::Ident || t.text != "partial_cmp" || in_ranges(&test_ranges, t.line) {
+                continue;
+            }
+            match site_waiver(&file.lines, file_idx, t.line, "float-ord", usage) {
+                WaiverAt::Granted => {}
+                WaiverAt::MissingReason(_) => push(
+                    out,
+                    &file.relpath,
+                    t.line,
+                    "float-ord",
+                    "float-ord waiver needs a reason: `// lint: float-ord — <why>`".into(),
+                ),
+                WaiverAt::None => push(
+                    out,
+                    &file.relpath,
+                    t.line,
+                    "float-ord",
+                    "`partial_cmp` in a result-affecting crate: NaN yields None (panic or \
+                     silent reorder); use `f64::total_cmp`/the repo's argmax helpers, or \
+                     waive with `// lint: float-ord — <why>`"
+                        .into(),
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The original per-line rules: hash-order, wall-clock, wrapping,
+//! unsafe-safety, narrow-cast.  Semantics are unchanged from the PR 4
+//! scanner; the only addition is that every waiver consult is recorded in
+//! [`crate::Usage`] so the stale-waiver audit can see which comments are
+//! load-bearing.
+
+use crate::{
+    crate_of, has_token, push, site_waiver, Corpus, Line, Usage, Violation, WaiverAt,
+    RESULT_CRATES, SCORING_PATHS, SEED_MIX_FILES,
+};
+
+pub(crate) fn check(corpus: &Corpus, file_idx: usize, usage: &mut Usage, out: &mut Vec<Violation>) {
+    let file = &corpus.files[file_idx];
+    let relpath = file.relpath.as_str();
+    let lines = &file.lines;
+    let Some(krate) = crate_of(relpath) else { return };
+    let result_crate = RESULT_CRATES.contains(&krate);
+    let scoring = SCORING_PATHS.iter().any(|p| relpath.starts_with(p));
+    let seed_mix_file = SEED_MIX_FILES.contains(&relpath);
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+
+        // Rule: hash-order.  HashMap/HashSet iteration order varies per
+        // process (RandomState), so any use in a result-affecting crate must
+        // either be replaced by BTreeMap/sorted iteration or carry a
+        // reviewed order-insensitivity waiver.
+        if result_crate {
+            for ty in ["HashMap", "HashSet"] {
+                if has_token(code, ty) {
+                    match site_waiver(lines, file_idx, idx, "order-insensitive", usage) {
+                        WaiverAt::Granted => {}
+                        WaiverAt::MissingReason(_) => push(
+                            out,
+                            relpath,
+                            idx,
+                            "hash-order",
+                            format!("`{ty}` waiver needs a reason: `// lint: order-insensitive — <why>`"),
+                        ),
+                        WaiverAt::None => push(
+                            out,
+                            relpath,
+                            idx,
+                            "hash-order",
+                            format!(
+                                "`{ty}` in a result-affecting crate: iteration order is \
+                                 nondeterministic; use BTreeMap/BTreeSet or sorted iteration, \
+                                 or waive with `// lint: order-insensitive — <why>`"
+                            ),
+                        ),
+                    }
+                }
+            }
+        }
+
+        // Rule: wall-clock.  Simulated time is the only time: real-clock
+        // reads make replays diverge.  `crates/shims` (vendored criterion)
+        // and `crates/bench` (measures real durations) are exempt.
+        if krate != "bench" {
+            for src in ["Instant::now", "SystemTime"] {
+                if code.contains(src) {
+                    match site_waiver(lines, file_idx, idx, "wall-clock", usage) {
+                        WaiverAt::Granted => {}
+                        WaiverAt::MissingReason(_) => push(
+                            out,
+                            relpath,
+                            idx,
+                            "wall-clock",
+                            format!("`{src}` waiver needs a reason: `// lint: wall-clock — <why>`"),
+                        ),
+                        WaiverAt::None => push(
+                            out,
+                            relpath,
+                            idx,
+                            "wall-clock",
+                            format!(
+                                "`{src}` outside crates/shims and crates/bench: wall-clock reads \
+                                 break replay determinism; thread simulated time through instead, \
+                                 or waive with `// lint: wall-clock — <why>`"
+                            ),
+                        ),
+                    }
+                }
+            }
+        }
+
+        // Rule: wrapping.  Wrapping ops are correct in seed mixers (the
+        // avalanche *wants* modular arithmetic) and a bug smell everywhere
+        // else — a quantity that overflows u64 in scoring code is a logic
+        // error that `wrapping_*` would silence.
+        if !seed_mix_file && code.contains(".wrapping_") {
+            match site_waiver(lines, file_idx, idx, "seed-mix", usage) {
+                WaiverAt::Granted => {}
+                WaiverAt::MissingReason(_) => push(
+                    out,
+                    relpath,
+                    idx,
+                    "wrapping",
+                    "wrapping-arithmetic waiver needs a reason: `// lint: seed-mix — <why>`".into(),
+                ),
+                WaiverAt::None => push(
+                    out,
+                    relpath,
+                    idx,
+                    "wrapping",
+                    "wrapping arithmetic outside the seed-mixing path: if this derives an RNG \
+                     seed, waive with `// lint: seed-mix — <why>`; otherwise use checked math"
+                        .into(),
+                ),
+            }
+        }
+
+        // Rule: unsafe-safety.  Every `unsafe` block, fn, or impl must be
+        // introduced by a `// SAFETY:` comment, or (for declarations) a
+        // doc-comment `# Safety` section.  The upward scan looks through the
+        // contiguous run of comment, attribute, and blank lines above the
+        // flagged line — a SAFETY comment separated by real code does not
+        // count.  No waiver key — the SAFETY comment *is* the waiver.
+        if has_token(code, "unsafe") {
+            // The comment must *start* with `SAFETY` (after doc-comment `#`
+            // header markers) — a passing mention of the word in prose does
+            // not document an obligation.
+            let is_safety = |l: &Line| {
+                let t = l.comment.trim_start_matches(['/', '!', '#', ' ', '\t']);
+                t.len() >= 6 && t[..6].eq_ignore_ascii_case("safety")
+            };
+            let mut documented = lines.get(idx).is_some_and(is_safety);
+            let mut j = idx;
+            while !documented && j > 0 {
+                j -= 1;
+                let above = &lines[j];
+                if is_safety(above) {
+                    documented = true;
+                    break;
+                }
+                // Keep walking only over comment-only, attribute, or blank
+                // lines; any other code terminates the introduction.
+                let code_above = above.code.trim();
+                if !(code_above.is_empty() || code_above.starts_with("#[")) {
+                    break;
+                }
+            }
+            if !documented {
+                push(
+                    out,
+                    relpath,
+                    idx,
+                    "unsafe-safety",
+                    "`unsafe` without an introducing `// SAFETY:` comment or `# Safety` doc section"
+                        .into(),
+                );
+            }
+        }
+
+        // Rule: narrow-cast.  `as f32` in a scoring/QoE path silently drops
+        // precision and can flip near-tie comparisons (the PR 1 controller
+        // argmax bug); keep scores in f64 end to end or waive explicitly.
+        if scoring && code.contains("as f32") {
+            match site_waiver(lines, file_idx, idx, "narrowing-ok", usage) {
+                WaiverAt::Granted => {}
+                WaiverAt::MissingReason(_) => push(
+                    out,
+                    relpath,
+                    idx,
+                    "narrow-cast",
+                    "narrowing waiver needs a reason: `// lint: narrowing-ok — <why>`".into(),
+                ),
+                WaiverAt::None => push(
+                    out,
+                    relpath,
+                    idx,
+                    "narrow-cast",
+                    "`as f32` in a scoring/QoE path: keep scores in f64 (near-ties flip under \
+                     narrowing), or waive with `// lint: narrowing-ok — <why>`"
+                        .into(),
+                ),
+            }
+        }
+    }
+}

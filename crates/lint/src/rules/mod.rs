@@ -1,0 +1,87 @@
+//! Rule implementations.
+//!
+//! Two families share this directory:
+//!
+//! - **Line rules** (`lines`, `atomic`, `float_ord`) flag token patterns
+//!   wherever they appear (scoped by crate/path, skipping test code where
+//!   the symbol table knows it).
+//! - **Reachability rules** (`reach`) walk the call graph from annotated
+//!   roots and flag panic/allocation sinks anywhere in the reachable
+//!   closure, with a root-to-sink witness chain on every finding.
+//!
+//! `stale` runs last: any waiver or root annotation no rule consulted is
+//! itself a violation, so the waiver inventory can never rot silently.
+
+pub(crate) mod atomic;
+pub(crate) mod float_ord;
+pub(crate) mod lines;
+pub(crate) mod reach;
+pub(crate) mod stale;
+
+/// Macros that unconditionally (or conditionally, like the `assert` family)
+/// abort the current thread.  `debug_assert*` is deliberately absent: it
+/// compiles out of release builds, which are what serve sessions.
+pub(crate) const PANIC_MACROS: &[&str] =
+    &["panic", "assert", "assert_eq", "assert_ne", "unreachable", "todo", "unimplemented"];
+
+/// Method/function names that panic on `None`/`Err`.
+pub(crate) const PANIC_CALLS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that allocate their result.
+pub(crate) const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Method/function names that (can) allocate, regardless of receiver: the
+/// effect table for calls that do not resolve to a workspace definition.
+/// Resolved calls are also flagged — a workspace `resize` that grows a `Vec`
+/// allocates just like the std one — so a waiver documents the steady-state
+/// argument at the call site either way.
+pub(crate) const ALLOC_CALLS: &[&str] = &[
+    "push",
+    "push_str",
+    "insert",
+    "append",
+    "extend",
+    "extend_from_slice",
+    "resize",
+    "resize_with",
+    "reserve",
+    "reserve_exact",
+    "collect",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "with_capacity",
+    "into_boxed_slice",
+    "split_off",
+    "concat",
+    "join",
+    "repeat",
+];
+
+/// `(qualifier, name)` path calls that allocate even though the bare name is
+/// too generic to put in [`ALLOC_CALLS`] (`f64::from` must stay clean).
+pub(crate) const ALLOC_QUAL_CALLS: &[(&str, &str)] =
+    &[("Box", "new"), ("String", "from"), ("Vec", "from"), ("PathBuf", "from")];
+
+/// The five atomic memory-ordering variants (never `cmp::Ordering`'s).
+pub(crate) const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// 0-based line ranges (inclusive) of test functions in one file, so line
+/// rules that exempt test code can check membership cheaply.
+pub(crate) fn test_line_ranges(
+    corpus: &crate::Corpus,
+    symbols: &crate::symbols::SymbolTable,
+    file_idx: usize,
+) -> Vec<(usize, usize)> {
+    let toks = &corpus.files[file_idx].tokens;
+    symbols
+        .fns
+        .iter()
+        .filter(|f| f.file == file_idx && f.is_test)
+        .filter_map(|f| f.body.map(|(_, end)| (f.decl_line, toks[end].line)))
+        .collect()
+}
+
+pub(crate) fn in_ranges(ranges: &[(usize, usize)], line: usize) -> bool {
+    ranges.iter().any(|&(s, e)| line >= s && line <= e)
+}

@@ -1,0 +1,380 @@
+//! Rules: panic-reach / alloc-reach — call-graph reachability from
+//! annotated roots.
+//!
+//! Starting from every non-test fn annotated `// lint-root: panic-free`
+//! (resp. `alloc-free`), a BFS over the workspace call graph collects the
+//! reachable closure, and each reachable body is scanned for sinks:
+//!
+//! - **panic sinks** — panicking macros, `unwrap`/`expect` calls, slice
+//!   indexing `x[i]`, and integer `/`·`%` whose divisor is not a nonzero
+//!   literal.  `debug_assert*!` bodies are skipped (compiled out of the
+//!   release builds that serve sessions), and `/`·`%` on lines with float
+//!   evidence (an `f32`/`f64` token or a float literal) are skipped — float
+//!   division cannot panic.
+//! - **alloc sinks** — allocating macros (`vec!`, `format!`) and the
+//!   effect-table call names (`push`, `collect`, `with_capacity`,
+//!   `Box::new`, ...).  Effect-table names fire whether or not the call
+//!   resolves to a workspace fn: a workspace `resize` that grows a `Vec`
+//!   allocates just like the std one, and a waiver documents the
+//!   steady-state argument at either end.
+//!
+//! Every finding carries the root-to-sink call chain as a witness.  Waivers
+//! are accepted at the sink line (or the line above), or — for kernels that
+//! are bounds-checked by construction — in the fn's intro block, where one
+//! waiver covers every sink of that rule in the body.
+
+use crate::callgraph::{child_spans, reach, witness_chain, CallGraph};
+use crate::rules::{ALLOC_CALLS, ALLOC_MACROS, ALLOC_QUAL_CALLS, PANIC_CALLS, PANIC_MACROS};
+use crate::symbols::{decl_block_lines, RootKind, SymbolTable};
+use crate::tokens::{Kind, Tok};
+use crate::{push, site_waiver, waiver_on, Corpus, Usage, Violation, WaiverAt};
+use std::collections::BTreeSet;
+
+pub(crate) fn check(
+    corpus: &Corpus,
+    symbols: &SymbolTable,
+    graph: &CallGraph,
+    usage: &mut Usage,
+    out: &mut Vec<Violation>,
+) {
+    for (kind, rule) in [(RootKind::PanicFree, "panic-reach"), (RootKind::AllocFree, "alloc-reach")]
+    {
+        let roots: Vec<usize> = symbols
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test && f.is_root(kind))
+            .map(|(i, _)| i)
+            .collect();
+        if roots.is_empty() {
+            continue;
+        }
+        let key = kind.key();
+        let parents = reach(graph, &roots);
+        for &fn_idx in parents.keys() {
+            let f = &symbols.fns[fn_idx];
+            if f.is_test {
+                continue;
+            }
+            let Some((start, end)) = f.body else { continue };
+            let file = &corpus.files[f.file];
+            let sinks = scan_sinks(kind, &file.tokens, start, end, &child_spans(symbols, fn_idx));
+            if sinks.is_empty() {
+                continue;
+            }
+            let chain = witness_chain(symbols, corpus, &parents, fn_idx);
+            let root = chain
+                .first()
+                .map(|r| r.split(" (").next().unwrap_or(r).to_string())
+                .unwrap_or_default();
+            for (line, desc) in sinks {
+                match site_waiver(&file.lines, f.file, line, key, usage) {
+                    WaiverAt::Granted => continue,
+                    WaiverAt::MissingReason(w) => {
+                        push(out, &file.relpath, w, rule, needs_reason(key));
+                        continue;
+                    }
+                    WaiverAt::None => {}
+                }
+                match waiver_on(
+                    &file.lines,
+                    f.file,
+                    decl_block_lines(&file.lines, f.decl_line),
+                    key,
+                    usage,
+                ) {
+                    WaiverAt::Granted => continue,
+                    WaiverAt::MissingReason(w) => {
+                        push(out, &file.relpath, w, rule, needs_reason(key));
+                        continue;
+                    }
+                    WaiverAt::None => {}
+                }
+                let fix = match kind {
+                    RootKind::PanicFree => "make the operation total",
+                    RootKind::AllocFree => "hoist the allocation out of the steady state",
+                };
+                let mut witness = chain.clone();
+                witness.push(format!("sink ({}:{})", file.relpath, line + 1));
+                out.push(Violation {
+                    file: file.relpath.clone(),
+                    line: line + 1,
+                    rule,
+                    msg: format!(
+                        "{desc} in `{}`, reachable from {key} root `{root}`: {fix}, or waive \
+                         with `// lint: {key} — <why>`",
+                        f.qualified()
+                    ),
+                    witness,
+                });
+            }
+        }
+    }
+}
+
+fn needs_reason(key: &str) -> String {
+    format!("{key} waiver needs a reason: `// lint: {key} — <why>`")
+}
+
+/// Identifiers that can precede `[` without it being an indexing expression
+/// (`&mut [f64]` is a type, `for x in [a, b]` is an array literal).
+const NON_INDEX_PREV: &[&str] = &[
+    "mut", "ref", "dyn", "in", "return", "as", "let", "else", "move", "box", "match", "if",
+    "while", "loop", "unsafe", "const", "static", "type", "where", "fn", "pub", "use", "impl",
+];
+
+/// Scan one fn body's token span for sinks of `kind`, skipping nested-item
+/// spans and `debug_assert*!` bodies.  Returns `(0-based line, description)`
+/// pairs, deduplicated.
+fn scan_sinks(
+    kind: RootKind,
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    skip: &[(usize, usize)],
+) -> BTreeSet<(usize, String)> {
+    let float_lines: BTreeSet<usize> = toks
+        .iter()
+        .filter(|t| {
+            (t.kind == Kind::Ident && (t.text == "f32" || t.text == "f64")) || t.is_float_literal()
+        })
+        .map(|t| t.line)
+        .collect();
+    let mut out = BTreeSet::new();
+    let mut i = start;
+    while i <= end && i < toks.len() {
+        if let Some(&(_, child_end)) = skip.iter().find(|&&(s, e)| i >= s && i <= e) {
+            i = child_end + 1;
+            continue;
+        }
+        let t = &toks[i];
+        // Macro invocation `name!`.
+        if t.kind == Kind::Ident && toks.get(i + 1).is_some_and(|n| n.text == "!") {
+            let name = t.text.as_str();
+            if name.starts_with("debug_assert") {
+                i = skip_delimited(toks, i + 2, end);
+                continue;
+            }
+            match kind {
+                RootKind::PanicFree if PANIC_MACROS.contains(&name) => {
+                    out.insert((t.line, format!("`{name}!`")));
+                }
+                RootKind::AllocFree if ALLOC_MACROS.contains(&name) => {
+                    out.insert((t.line, format!("`{name}!` allocates")));
+                }
+                _ => {}
+            }
+            i += 2;
+            continue;
+        }
+        // Call shape `name(` / `name::<T>(`.
+        if t.kind == Kind::Ident {
+            let mut open = i + 1;
+            if toks.get(open).is_some_and(|n| n.text == "::")
+                && toks.get(open + 1).is_some_and(|n| n.text == "<")
+            {
+                let mut depth = 0i32;
+                let mut j = open + 1;
+                while j <= end && j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                open = j;
+            }
+            if toks.get(open).is_some_and(|n| n.text == "(") {
+                let name = t.text.as_str();
+                match kind {
+                    RootKind::PanicFree if PANIC_CALLS.contains(&name) => {
+                        out.insert((t.line, format!("`.{name}()` panics on None/Err")));
+                    }
+                    RootKind::AllocFree => {
+                        let qual = (i >= 2 && toks[i - 1].text == "::")
+                            .then(|| toks[i - 2].clone())
+                            .filter(|q| q.kind == Kind::Ident);
+                        if ALLOC_CALLS.contains(&name) {
+                            out.insert((t.line, format!("`{name}(...)` allocates")));
+                        } else if let Some(q) = qual {
+                            if ALLOC_QUAL_CALLS.contains(&(q.text.as_str(), name)) {
+                                out.insert((
+                                    t.line,
+                                    format!("`{}::{name}(...)` allocates", q.text),
+                                ));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if kind == RootKind::PanicFree && t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "[" if i > 0 => {
+                    let prev = &toks[i - 1];
+                    let indexing = (prev.kind == Kind::Ident
+                        && !NON_INDEX_PREV.contains(&prev.text.as_str()))
+                        || prev.text == ")"
+                        || prev.text == "]";
+                    if indexing {
+                        out.insert((t.line, "slice/array indexing `[...]`".to_string()));
+                    }
+                }
+                "/" | "%" => {
+                    let mut d = i + 1;
+                    if toks.get(d).is_some_and(|n| n.text == "=") {
+                        d += 1; // compound assignment `a /= b`
+                    }
+                    let divisor_safe = toks
+                        .get(d)
+                        .is_some_and(|n| n.is_float_literal() || n.is_nonzero_int_literal());
+                    if !divisor_safe && !float_lines.contains(&t.line) {
+                        out.insert((
+                            t.line,
+                            format!("integer `{}` (divide-by-zero/overflow panics)", t.text),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Skip a delimited macro body starting at `p` (which should be the opening
+/// `(`/`[`/`{`); returns the index just past the matching close.
+fn skip_delimited(toks: &[Tok], p: usize, end: usize) -> usize {
+    const OPENS: [&str; 3] = ["(", "[", "{"];
+    const CLOSES: [&str; 3] = [")", "]", "}"];
+    if !toks.get(p).is_some_and(|t| OPENS.contains(&t.text.as_str())) {
+        return p;
+    }
+    let mut depth = 0i32;
+    let mut j = p;
+    while j <= end && j < toks.len() {
+        let s = toks[j].text.as_str();
+        if OPENS.contains(&s) {
+            depth += 1;
+        } else if CLOSES.contains(&s) {
+            depth -= 1;
+        }
+        j += 1;
+        if depth == 0 {
+            break;
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let corpus =
+            Corpus::from_sources(vec![("crates/core/src/controller.rs".into(), src.into())]);
+        let symbols = SymbolTable::build(&corpus);
+        let graph = CallGraph::build(&corpus, &symbols);
+        let mut usage = Usage::default();
+        let mut out = Vec::new();
+        check(&corpus, &symbols, &graph, &mut usage, &mut out);
+        out
+    }
+
+    #[test]
+    fn panic_sink_two_calls_down_carries_a_witness() {
+        let v = run("// lint-root: panic-free\n\
+             fn root(x: Option<u8>) { mid(x); }\n\
+             fn mid(x: Option<u8>) { leaf(x); }\n\
+             fn leaf(x: Option<u8>) { x.unwrap(); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "panic-reach");
+        assert_eq!(v[0].line, 4);
+        assert!(v[0].msg.contains("reachable from panic-free root `root`"), "{}", v[0].msg);
+        assert_eq!(v[0].witness.len(), 4, "root, mid, leaf, sink: {:?}", v[0].witness);
+        assert!(v[0].witness[3].contains("controller.rs:4"));
+    }
+
+    #[test]
+    fn unreachable_sinks_are_not_flagged() {
+        let v = run("// lint-root: panic-free\n\
+             fn root() {}\n\
+             fn elsewhere(x: Option<u8>) { x.unwrap(); }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn debug_assert_bodies_are_exempt() {
+        let v = run("// lint-root: panic-free\n\
+             fn root(xs: &[f64], n: usize) {\n\
+                 debug_assert!(xs[0] > 0.0 && n % 2 == 0);\n\
+                 debug_assert_eq!(xs.len(), n);\n\
+             }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn index_and_integer_division_are_sinks() {
+        let v = run("// lint-root: panic-free\n\
+             fn root(xs: &[f64], n: usize, k: usize) -> f64 {\n\
+                 let half = n / 2;\n\
+                 let m = n / k;\n\
+                 xs[m + half]\n\
+             }\n");
+        let lines: Vec<usize> = v.iter().map(|v| v.line).collect();
+        assert_eq!(lines, [4, 5], "literal divisor clean, `/ k` and `xs[...]` flagged: {v:?}");
+    }
+
+    #[test]
+    fn float_division_is_not_a_panic_sink() {
+        let v = run("// lint-root: panic-free\n\
+             fn root(a: f64, b: f64) -> f64 { let x: f64 = a / b; x / 2.0 }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn alloc_sinks_fire_by_effect_table_and_qualified_path() {
+        let v = run("// lint-root: alloc-free\n\
+             fn root(out: &mut Vec<f64>) {\n\
+                 out.push(1.0);\n\
+                 let b = Box::new(2.0);\n\
+                 let s = format!(\"x\");\n\
+             }\n");
+        let descs: Vec<&str> = v.iter().map(|v| v.msg.split(" in ").next().unwrap()).collect();
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(descs[0].contains("push"), "{descs:?}");
+        assert!(descs[1].contains("Box::new"), "{descs:?}");
+        assert!(descs[2].contains("format!"), "{descs:?}");
+    }
+
+    #[test]
+    fn site_and_fn_level_waivers_suppress() {
+        let v = run("// lint-root: panic-free\n\
+             fn root(x: Option<u8>, xs: &[u8]) {\n\
+                 // lint: panic-free — checked is_some() on the line above in real code\n\
+                 x.unwrap();\n\
+                 kernel(xs);\n\
+             }\n\
+             // Bounds checked by construction: one waiver for the whole body.\n\
+             // lint: panic-free — all indices derived from xs.len()\n\
+             fn kernel(xs: &[u8]) { let a = xs[0]; let b = xs[1]; }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn reasonless_waiver_is_flagged_not_honoured() {
+        let v = run("// lint-root: panic-free\n\
+             // lint: panic-free\n\
+             fn root(x: Option<u8>) { x.unwrap(); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("needs a reason"));
+    }
+}

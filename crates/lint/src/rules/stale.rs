@@ -1,0 +1,141 @@
+//! Rule: stale-waiver — the waiver inventory cannot rot.
+//!
+//! Runs after every other rule, with the set of waiver lines they actually
+//! consulted.  Three findings:
+//!
+//! - a `// lint: <key>` comment no rule consulted — the violation it once
+//!   suppressed is gone, so the waiver is stale and must be removed;
+//! - a `// lint:` comment with an unknown key — it suppresses nothing and
+//!   probably misspells a real one;
+//! - a `// lint-root:` annotation not attached to a fn declaration (or
+//!   naming an unknown kind) — it roots nothing.
+
+use crate::symbols::{parse_root_kinds, SymbolTable};
+use crate::{crate_of, push, Corpus, Usage, Violation};
+
+/// Every waiver key a rule consults.
+pub(crate) const KNOWN_WAIVER_KEYS: &[&str] = &[
+    "order-insensitive",
+    "wall-clock",
+    "seed-mix",
+    "narrowing-ok",
+    "panic-free",
+    "alloc-free",
+    "atomic-ordering",
+    "float-ord",
+];
+
+pub(crate) fn check(
+    corpus: &Corpus,
+    symbols: &SymbolTable,
+    usage: &Usage,
+    out: &mut Vec<Violation>,
+) {
+    for (file_idx, file) in corpus.files.iter().enumerate() {
+        if crate_of(&file.relpath).is_none() {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            let comment = line.comment.as_str();
+            if let Some((kinds, unknown)) = parse_root_kinds(comment) {
+                for u in &unknown {
+                    push(
+                        out,
+                        &file.relpath,
+                        idx,
+                        "stale-waiver",
+                        format!("unknown `lint-root:` kind `{u}` (known: panic-free, alloc-free)"),
+                    );
+                }
+                if !symbols.claimed_root_lines.contains(&(file_idx, idx))
+                    && (unknown.is_empty() || !kinds.is_empty())
+                {
+                    push(
+                        out,
+                        &file.relpath,
+                        idx,
+                        "stale-waiver",
+                        "dangling `lint-root:` annotation — not in the comment/attribute \
+                         block of any fn declaration"
+                            .to_string(),
+                    );
+                }
+                continue;
+            }
+            let Some(pos) = comment.find("lint:") else { continue };
+            let rest = comment[pos + "lint:".len()..].trim_start();
+            let key: String =
+                rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '-').collect();
+            if !KNOWN_WAIVER_KEYS.contains(&key.as_str()) {
+                push(
+                    out,
+                    &file.relpath,
+                    idx,
+                    "stale-waiver",
+                    format!(
+                        "unknown waiver key `{key}` — known keys: {}",
+                        KNOWN_WAIVER_KEYS.join(", ")
+                    ),
+                );
+            } else if !usage.used.contains(&(file_idx, idx)) {
+                push(
+                    out,
+                    &file.relpath,
+                    idx,
+                    "stale-waiver",
+                    format!(
+                        "stale waiver `{key}`: no finding here is suppressed by it any more — \
+                         remove the comment"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::check_file;
+
+    #[test]
+    fn unused_waiver_is_stale() {
+        let v = check_file(
+            "crates/core/src/x.rs",
+            "// lint: order-insensitive — once suppressed a HashSet here\nlet x = 1;\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "stale-waiver");
+        assert!(v[0].msg.contains("stale waiver `order-insensitive`"));
+    }
+
+    #[test]
+    fn consulted_waiver_is_not_stale() {
+        let v = check_file(
+            "crates/core/src/x.rs",
+            "// lint: order-insensitive — cardinality only\n\
+             let s = std::collections::HashSet::new();\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_key_and_dangling_root_are_flagged() {
+        let v = check_file(
+            "crates/core/src/x.rs",
+            "// lint: no-such-rule — typo\n// lint-root: panic-free\nlet x = 1;\n",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].msg.contains("unknown waiver key `no-such-rule`"));
+        assert!(v[1].msg.contains("dangling `lint-root:`"));
+    }
+
+    #[test]
+    fn unknown_root_kind_is_flagged() {
+        let v = check_file(
+            "crates/core/src/x.rs",
+            "// lint-root: alloc-free, never-fails\nfn f() {}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("unknown `lint-root:` kind `never-fails`"));
+    }
+}

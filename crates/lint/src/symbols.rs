@@ -1,0 +1,491 @@
+//! Workspace symbol table: every `fn` item the lexer can see.
+//!
+//! A single forward pass over each file's token stream tracks brace-delimited
+//! scopes (`impl`/`trait`/`mod`/plain blocks) and records one [`FnSym`] per
+//! `fn` item: its name, the self type of the enclosing `impl`/`trait` (if
+//! any), its crate and module path, whether it is test-only code, the token
+//! span of its body, and any `// lint-root:` annotations in the attribute
+//! block introducing it.  The call graph and the reachability rules are built
+//! on top of this table.
+//!
+//! The walker is lexical and conservative by design (the build environment
+//! has no `syn`): it never needs to type-check, only to find item boundaries,
+//! and the `symbols_cover_workspace` corpus self-test pins that it finds
+//! every `fn <ident>` the tokenizer sees.
+
+use crate::tokens::{Kind, Tok};
+use crate::{crate_of, Corpus, Line};
+use std::collections::BTreeSet;
+
+/// Reachability-root annotations a function can carry
+/// (`// lint-root: panic-free` / `// lint-root: alloc-free`, comma-separable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootKind {
+    PanicFree,
+    AllocFree,
+}
+
+impl RootKind {
+    pub fn key(self) -> &'static str {
+        match self {
+            RootKind::PanicFree => "panic-free",
+            RootKind::AllocFree => "alloc-free",
+        }
+    }
+}
+
+/// One `fn` item found in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Bare function name (`plan_with`, `argmax`, ...).
+    pub name: String,
+    /// Self type of the enclosing `impl`/`trait` block, if any.
+    pub self_type: Option<String>,
+    /// Index into the corpus' file list.
+    pub file: usize,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// Token index of the `fn` keyword (start of the item, for skip ranges).
+    pub intro_tok: usize,
+    /// Token span `[open brace, close brace]` of the body; `None` for
+    /// bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Declared in `#[cfg(test)]`/`#[test]` code, an integration-test file,
+    /// or an example — excluded from call-graph resolution and rule scans.
+    pub is_test: bool,
+    /// Annotated `// lint-root: panic-free`.
+    pub panic_root: bool,
+    /// Annotated `// lint-root: alloc-free`.
+    pub alloc_root: bool,
+    /// Module path for display (`core::controller`, `nn::matrix::tests`).
+    pub module: String,
+}
+
+impl FnSym {
+    pub fn is_root(&self, kind: RootKind) -> bool {
+        match kind {
+            RootKind::PanicFree => self.panic_root,
+            RootKind::AllocFree => self.alloc_root,
+        }
+    }
+
+    /// Human-readable qualified name (`Mpc::plan_with`, `argmax`).
+    pub fn qualified(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace symbol table.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    pub fns: Vec<FnSym>,
+    /// `(file, line)` positions of `lint-root:` comments claimed by some fn —
+    /// the stale-annotation rule flags any `lint-root:` line not in this set.
+    pub claimed_root_lines: BTreeSet<(usize, usize)>,
+}
+
+/// Lines of the contiguous comment/attribute block introducing an item:
+/// the declaration line itself, then upward over comment-only, attribute,
+/// and blank lines.  This is the same scan the `unsafe-safety` rule uses,
+/// and it is where `lint-root:` annotations and fn-level waivers live.
+pub fn decl_block_lines(lines: &[Line], decl_line: usize) -> Vec<usize> {
+    let mut out = vec![decl_line];
+    let mut j = decl_line;
+    while j > 0 {
+        j -= 1;
+        let code = lines[j].code.trim();
+        if code.is_empty() || code.starts_with('#') {
+            out.push(j);
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Parse the `lint-root:` kinds named in one comment, with any unknown kind
+/// text returned for diagnostics.
+pub fn parse_root_kinds(comment: &str) -> Option<(Vec<RootKind>, Vec<String>)> {
+    let pos = comment.find("lint-root:")?;
+    let rest = &comment[pos + "lint-root:".len()..];
+    let mut kinds = Vec::new();
+    let mut unknown = Vec::new();
+    for part in rest.split(',') {
+        let part = part.trim().trim_matches(['.', ';']);
+        if part.is_empty() {
+            continue;
+        }
+        match part {
+            "panic-free" => kinds.push(RootKind::PanicFree),
+            "alloc-free" => kinds.push(RootKind::AllocFree),
+            other => unknown.push(other.to_string()),
+        }
+    }
+    Some((kinds, unknown))
+}
+
+pub(crate) fn is_test_path(relpath: &str) -> bool {
+    for marker in ["tests/", "examples/", "benches/"] {
+        if relpath.starts_with(marker) || relpath.contains(&format!("/{marker}")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Module path derived from the file path (`crates/nn/src/matrix.rs` →
+/// `nn::matrix`), extended by inline `mod` blocks during the walk.
+fn file_module(relpath: &str) -> String {
+    let krate = crate_of(relpath).unwrap_or("?");
+    let stem = relpath.rsplit('/').next().and_then(|f| f.strip_suffix(".rs")).unwrap_or_default();
+    if stem == "lib" || stem == "main" || stem == "mod" {
+        krate.to_string()
+    } else {
+        format!("{krate}::{stem}")
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ScopeKind {
+    Block,
+    Impl(Option<String>),
+    Mod { test: bool },
+    Trait(String),
+    Fn(usize),
+}
+
+/// Items may only start where a previous item or block ended; this keeps
+/// `-> impl Iterator` (a return type) from being read as an `impl` item.
+fn item_position(prev: Option<&Tok>) -> bool {
+    match prev {
+        None => true,
+        Some(t) => matches!(t.text.as_str(), "{" | "}" | ";" | "]" | ")" | "unsafe" | "pub"),
+    }
+}
+
+/// Parse the self type out of an `impl` header token slice
+/// (everything between `impl` and the body `{`).
+fn impl_self_type(header: &[Tok]) -> Option<String> {
+    // `impl Trait for Type` names the type after the *last* `for`;
+    // a plain `impl Type` names it directly.
+    let seg = match header.iter().rposition(|t| t.text == "for") {
+        Some(p) => &header[p + 1..],
+        None => header,
+    };
+    let mut i = 0usize;
+    // Skip a leading generic parameter list `<...>`.
+    if seg.first().is_some_and(|t| t.text == "<") {
+        let mut depth = 0i32;
+        while i < seg.len() {
+            match seg[i].text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                _ => {}
+            }
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    // Skip reference/dyn noise, then take the last segment of the type path.
+    let mut last = None;
+    while i < seg.len() {
+        let t = &seg[i];
+        match (t.kind, t.text.as_str()) {
+            (Kind::Punct, "&")
+            | (Kind::Ident, "mut")
+            | (Kind::Ident, "dyn")
+            | (Kind::Lifetime, _) => {
+                i += 1;
+            }
+            (Kind::Ident, _) => {
+                last = Some(t.text.clone());
+                if seg.get(i + 1).is_some_and(|n| n.text == "::") {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    last
+}
+
+impl SymbolTable {
+    /// Walk every file of the corpus and collect its `fn` items.
+    pub fn build(corpus: &Corpus) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (file_idx, file) in corpus.files.iter().enumerate() {
+            if crate_of(&file.relpath).is_none() {
+                continue;
+            }
+            table.walk_file(corpus, file_idx);
+        }
+        table
+    }
+
+    /// All non-test candidate definitions for a bare callee name.
+    pub fn candidates_named(&self, name: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test && f.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn walk_file(&mut self, corpus: &Corpus, file_idx: usize) {
+        let file = &corpus.files[file_idx];
+        let toks = &file.tokens;
+        let lines = &file.lines;
+        let file_test = is_test_path(&file.relpath);
+        let base_module = file_module(&file.relpath);
+
+        let mut scopes: Vec<ScopeKind> = Vec::new();
+        let mut pending: Option<ScopeKind> = None;
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            let prev = if i == 0 { None } else { Some(&toks[i - 1]) };
+            match (t.kind, t.text.as_str()) {
+                (Kind::Ident, "impl") if item_position(prev) => {
+                    if let Some(open) = toks[i..].iter().position(|t| t.text == "{") {
+                        pending = Some(ScopeKind::Impl(impl_self_type(&toks[i + 1..i + open])));
+                        i += open;
+                    } else {
+                        i += 1;
+                    }
+                    continue;
+                }
+                (Kind::Ident, "mod")
+                    if item_position(prev)
+                        && toks.get(i + 1).is_some_and(|n| n.kind == Kind::Ident) =>
+                {
+                    if let Some(open) =
+                        toks[i..].iter().position(|t| t.text == "{" || t.text == ";")
+                    {
+                        if toks[i + open].text == "{" {
+                            let in_test = self.scope_is_test(&scopes, file_test);
+                            let test = in_test || block_has_cfg_test(lines, t.line);
+                            pending = Some(ScopeKind::Mod { test });
+                            i += open;
+                        } else {
+                            i += open + 1; // `mod name;` — file module, no scope.
+                        }
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                (Kind::Ident, "trait")
+                    if item_position(prev)
+                        && toks.get(i + 1).is_some_and(|n| n.kind == Kind::Ident) =>
+                {
+                    if let Some(open) =
+                        toks[i..].iter().position(|t| t.text == "{" || t.text == ";")
+                    {
+                        if toks[i + open].text == "{" {
+                            pending = Some(ScopeKind::Trait(toks[i + 1].text.clone()));
+                            i += open;
+                            continue;
+                        }
+                        i += open + 1;
+                        continue;
+                    }
+                    i += 1;
+                    continue;
+                }
+                (Kind::Ident, "fn") if toks.get(i + 1).is_some_and(|n| n.kind == Kind::Ident) => {
+                    let name = toks[i + 1].text.clone();
+                    let decl_line = t.line;
+                    let block = decl_block_lines(lines, decl_line);
+                    let is_test = file_test
+                        || self.scope_is_test(&scopes, file_test)
+                        || block.iter().any(|&l| lines[l].code.contains("#[test]"));
+                    let mut panic_root = false;
+                    let mut alloc_root = false;
+                    for &l in &block {
+                        if let Some((kinds, _)) = parse_root_kinds(&lines[l].comment) {
+                            self.claimed_root_lines.insert((file_idx, l));
+                            panic_root |= kinds.contains(&RootKind::PanicFree);
+                            alloc_root |= kinds.contains(&RootKind::AllocFree);
+                        }
+                    }
+                    let self_type = scopes.iter().rev().find_map(|s| match s {
+                        ScopeKind::Impl(t) => Some(t.clone()),
+                        ScopeKind::Trait(n) => Some(Some(n.clone())),
+                        _ => None,
+                    });
+                    let module = self.module_path(&base_module, &scopes);
+                    let idx = self.fns.len();
+                    self.fns.push(FnSym {
+                        name,
+                        self_type: self_type.flatten(),
+                        file: file_idx,
+                        decl_line,
+                        intro_tok: i,
+                        body: None,
+                        is_test,
+                        panic_root,
+                        alloc_root,
+                        module,
+                    });
+                    // Scan the signature for the body `{` (or `;` for a
+                    // bodyless trait declaration).  Braces cannot appear in a
+                    // signature outside delimiters, so depth counting is safe.
+                    let mut j = i + 2;
+                    let mut paren = 0i32;
+                    let mut bracket = 0i32;
+                    while j < toks.len() {
+                        match toks[j].text.as_str() {
+                            "(" => paren += 1,
+                            ")" => paren -= 1,
+                            "[" => bracket += 1,
+                            "]" => bracket -= 1,
+                            "{" if paren == 0 && bracket == 0 => {
+                                pending = Some(ScopeKind::Fn(idx));
+                                self.fns[idx].body = Some((j, j)); // end fixed at `}`.
+                                break;
+                            }
+                            ";" if paren == 0 && bracket == 0 => {
+                                j += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    continue;
+                }
+                (Kind::Punct, "{") => {
+                    scopes.push(pending.take().unwrap_or(ScopeKind::Block));
+                    i += 1;
+                    continue;
+                }
+                (Kind::Punct, "}") => {
+                    if let Some(ScopeKind::Fn(idx)) = scopes.pop() {
+                        if let Some((start, _)) = self.fns[idx].body {
+                            self.fns[idx].body = Some((start, i));
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn scope_is_test(&self, scopes: &[ScopeKind], file_test: bool) -> bool {
+        file_test || scopes.iter().any(|s| matches!(s, ScopeKind::Mod { test: true }))
+    }
+
+    fn module_path(&self, base: &str, scopes: &[ScopeKind]) -> String {
+        // Inline mod names are not retained per-scope (only their test flag);
+        // mark nested-module fns with the test suffix for readability.
+        if scopes.iter().any(|s| matches!(s, ScopeKind::Mod { test: true })) {
+            format!("{base}::tests")
+        } else {
+            base.to_string()
+        }
+    }
+}
+
+/// Does the attribute block above `decl_line` gate the item behind
+/// `#[cfg(test)]`?
+fn block_has_cfg_test(lines: &[Line], decl_line: usize) -> bool {
+    decl_block_lines(lines, decl_line).iter().any(|&l| lines[l].code.contains("cfg(test"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> SymbolTable {
+        SymbolTable::build(&Corpus::from_sources(vec![(
+            "crates/core/src/controller.rs".into(),
+            src.into(),
+        )]))
+    }
+
+    #[test]
+    fn finds_free_and_impl_fns() {
+        let t = table(
+            "fn free() {}\n\
+             struct S;\n\
+             impl S { pub fn method(&self) -> usize { 1 } }\n\
+             impl std::fmt::Display for S { fn fmt(&self) {} }\n",
+        );
+        let names: Vec<String> = t.fns.iter().map(FnSym::qualified).collect();
+        assert_eq!(names, ["free", "S::method", "S::fmt"]);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_self_type() {
+        let t = table(
+            "impl<T: Clone> Wrapper<T> { fn get(&self) {} }\n\
+             impl<'a, R: Rng + ?Sized> Trait for &'a mut Driver<R> { fn go(&self) {} }\n",
+        );
+        assert_eq!(t.fns[0].qualified(), "Wrapper::get");
+        assert_eq!(t.fns[1].qualified(), "Driver::go");
+    }
+
+    #[test]
+    fn return_position_impl_is_not_an_item() {
+        let t = table("fn f() -> impl Iterator<Item = u8> { [1u8].into_iter() }\nfn g() {}\n");
+        assert_eq!(t.fns.len(), 2);
+        assert!(t.fns.iter().all(|f| f.self_type.is_none()));
+    }
+
+    #[test]
+    fn cfg_test_mod_and_test_attr_mark_fns() {
+        let t = table(
+            "fn prod() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn helper() {}\n\
+                 #[test]\n\
+                 fn case() {}\n\
+             }\n",
+        );
+        let flags: Vec<(String, bool)> =
+            t.fns.iter().map(|f| (f.name.clone(), f.is_test)).collect();
+        assert_eq!(flags, [("prod".into(), false), ("helper".into(), true), ("case".into(), true)]);
+    }
+
+    #[test]
+    fn root_annotations_attach_through_the_attr_block() {
+        let t = table(
+            "// lint-root: panic-free, alloc-free\n\
+             #[inline]\n\
+             pub fn hot() {}\n\
+             fn cold() {}\n",
+        );
+        assert!(t.fns[0].panic_root && t.fns[0].alloc_root);
+        assert!(!t.fns[1].panic_root && !t.fns[1].alloc_root);
+        assert!(t.claimed_root_lines.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn bodyless_trait_fns_have_no_span() {
+        let t = table("trait Opt { fn step(&mut self); fn lr(&self) -> f32 { 0.1 } }\n");
+        assert_eq!(t.fns[0].qualified(), "Opt::step");
+        assert!(t.fns[0].body.is_none());
+        assert!(t.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let t = table("fn f(cb: fn(usize) -> u8, arr: [f64; 4]) { cb(arr.len()); }\n");
+        assert_eq!(t.fns.len(), 1);
+        assert!(t.fns[0].body.is_some());
+    }
+}

@@ -1,0 +1,206 @@
+//! Token stream over the code channels produced by [`crate::split_source`].
+//!
+//! The lexer below is the foundation the symbol table and call graph build
+//! on: it turns each line's *code* channel (comments routed aside, literals
+//! blanked) into a flat vector of tokens that remember their line, so every
+//! downstream finding can point back at a `file:line` and consult the
+//! comment channel for waivers.  It is deliberately small — identifiers,
+//! numbers, lifetimes, and punctuation (with the handful of two-character
+//! operators that matter for item parsing joined) — because the rules are
+//! lexical: they need token boundaries and positions, not a full grammar.
+
+use crate::Line;
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `plan_with`, `Matrix`, ...).
+    Ident,
+    /// Numeric literal (`42`, `1.0e-3`, `0x1F`, `2.0f32`, ...).
+    Num,
+    /// Punctuation; multi-character for `::`, `->`, `=>`, and `..`.
+    Punct,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its 0-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub text: String,
+    pub line: usize,
+    pub kind: Kind,
+}
+
+impl Tok {
+    /// Is this numeric literal a float (`1.0`, `1e-3`, `2f64`) rather than an
+    /// integer?  Hex literals are never floats (`0x1E` is not an exponent).
+    pub fn is_float_literal(&self) -> bool {
+        if self.kind != Kind::Num {
+            return false;
+        }
+        let t = &self.text;
+        if t.starts_with("0x") || t.starts_with("0X") {
+            return false;
+        }
+        t.contains('.')
+            || t.contains('e')
+            || t.contains('E')
+            || t.ends_with("f32")
+            || t.ends_with("f64")
+    }
+
+    /// Is this an integer literal with a nonzero value (a division by it can
+    /// never panic)?
+    pub fn is_nonzero_int_literal(&self) -> bool {
+        self.kind == Kind::Num
+            && !self.is_float_literal()
+            && self.text.chars().any(|c| c.is_ascii_digit() && c != '0')
+    }
+}
+
+/// Two-character punctuation joined into single tokens.  `::` is load-bearing
+/// for path-call parsing; `->`/`=>`/`..` keep `>` and `.` from confusing the
+/// signature scanner and the method-call pattern.
+const JOINED: &[&str] = &["::", "->", "=>", ".."];
+
+/// Tokenize the code channels of pre-split source lines.
+pub fn tokenize(lines: &[Line]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (ln, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: ln,
+                    kind: Kind::Ident,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                i += 1;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.'
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && !chars[start..i].iter().any(|&p| p == 'x' || p == 'X')
+                    {
+                        // `1.5` continues the number; `1..n` does not.
+                        i += 1;
+                    } else if (d == '+' || d == '-')
+                        && matches!(chars[i - 1], 'e' | 'E')
+                        && !chars[start..i].iter().any(|&p| p == 'x' || p == 'X')
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        // Signed exponent: `1e-3`.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok { text: chars[start..i].iter().collect(), line: ln, kind: Kind::Num });
+                continue;
+            }
+            if c == '\'' && chars.get(i + 1).is_some_and(|n| n.is_alphabetic() || *n == '_') {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: ln,
+                    kind: Kind::Lifetime,
+                });
+                continue;
+            }
+            let pair: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+            if JOINED.contains(&pair.as_str()) {
+                out.push(Tok { text: pair, line: ln, kind: Kind::Punct });
+                i += 2;
+                continue;
+            }
+            out.push(Tok { text: c.to_string(), line: ln, kind: Kind::Punct });
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split_source;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(&split_source(src))
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        toks(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        assert_eq!(
+            texts("let x = a.len() / 2;"),
+            ["let", "x", "=", "a", ".", "len", "(", ")", "/", "2", ";"]
+        );
+    }
+
+    #[test]
+    fn joined_puncts_and_paths() {
+        assert_eq!(texts("Vec::<u8>::new()"), ["Vec", "::", "<", "u8", ">", "::", "new", "(", ")"]);
+        assert_eq!(texts("a -> b => c .. d"), ["a", "->", "b", "=>", "c", "..", "d"]);
+    }
+
+    #[test]
+    fn numeric_literal_shapes() {
+        let t = toks("1.5 1e-3 0x1F 2.0f32 1..n 7");
+        let nums: Vec<&Tok> = t.iter().filter(|t| t.kind == Kind::Num).collect();
+        assert_eq!(
+            nums.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            ["1.5", "1e-3", "0x1F", "2.0f32", "1", "7"]
+        );
+        assert!(nums[0].is_float_literal());
+        assert!(nums[1].is_float_literal());
+        assert!(!nums[2].is_float_literal(), "hex E is not an exponent");
+        assert!(nums[3].is_float_literal());
+        assert!(!nums[4].is_float_literal(), "`1..n` keeps 1 integral");
+        assert!(nums[5].is_nonzero_int_literal());
+        assert!(!toks("0")[0].is_nonzero_int_literal());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = toks("fn f<'a>(x: &'a str) {}");
+        assert!(t.iter().any(|t| t.kind == Kind::Lifetime && t.text == "'a"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let t = toks("a\nb\n\nc\n");
+        let lines: Vec<usize> = t.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [0, 1, 3]);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_tokenize() {
+        let t = texts("call(\"unwrap()\"); // unwrap()");
+        assert!(!t.contains(&"unwrap".to_string()));
+    }
+}

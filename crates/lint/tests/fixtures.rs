@@ -59,6 +59,30 @@ fn narrow_cast_fixtures() {
 }
 
 #[test]
+fn panic_reach_fixtures() {
+    assert_catches(include_str!("../fixtures/panic_reach_bad.rs"), "panic-reach");
+    assert_clean(include_str!("../fixtures/panic_reach_ok.rs"));
+}
+
+#[test]
+fn alloc_reach_fixtures() {
+    assert_catches(include_str!("../fixtures/alloc_reach_bad.rs"), "alloc-reach");
+    assert_clean(include_str!("../fixtures/alloc_reach_ok.rs"));
+}
+
+#[test]
+fn atomic_ordering_fixtures() {
+    assert_catches(include_str!("../fixtures/atomic_ordering_bad.rs"), "atomic-ordering");
+    assert_clean(include_str!("../fixtures/atomic_ordering_ok.rs"));
+}
+
+#[test]
+fn float_ord_fixtures() {
+    assert_catches(include_str!("../fixtures/float_ord_bad.rs"), "float-ord");
+    assert_clean(include_str!("../fixtures/float_ord_ok.rs"));
+}
+
+#[test]
 fn violating_fixtures_fire_exactly_their_own_rule() {
     // Each bad fixture is a minimal reproduction: it must not trip unrelated
     // rules, or a fixture edit could silently shift which rule is covered.
@@ -68,7 +92,80 @@ fn violating_fixtures_fire_exactly_their_own_rule() {
         (include_str!("../fixtures/wrapping_bad.rs"), "wrapping"),
         (include_str!("../fixtures/unsafe_safety_bad.rs"), "unsafe-safety"),
         (include_str!("../fixtures/narrow_cast_bad.rs"), "narrow-cast"),
+        (include_str!("../fixtures/panic_reach_bad.rs"), "panic-reach"),
+        (include_str!("../fixtures/alloc_reach_bad.rs"), "alloc-reach"),
+        (include_str!("../fixtures/atomic_ordering_bad.rs"), "atomic-ordering"),
+        (include_str!("../fixtures/float_ord_bad.rs"), "float-ord"),
     ] {
         assert_eq!(rules_fired(fixture), vec![rule]);
     }
+}
+
+/// The seeded regression from the issue: an `unwrap()` in a *different file*
+/// reachable from an annotated `plan_with` must be reported with the full
+/// cross-file root→sink call chain as its witness.
+#[test]
+fn injected_unwrap_reachable_from_plan_with_yields_cross_file_witness() {
+    let corpus = puffer_lint::Corpus::from_sources(vec![
+        (
+            "crates/core/src/controller.rs".into(),
+            "// lint-root: panic-free\n\
+             pub fn plan_with(xs: &[f64]) -> f64 {\n\
+                 predict_into(xs)\n\
+             }\n"
+            .into(),
+        ),
+        (
+            "crates/core/src/ttp.rs".into(),
+            "pub fn predict_into(xs: &[f64]) -> f64 {\n\
+                 *xs.first().unwrap()\n\
+             }\n"
+            .into(),
+        ),
+    ]);
+    let violations = corpus.check();
+    let v = violations
+        .iter()
+        .find(|v| v.rule == "panic-reach")
+        .expect("injected unwrap must be reported");
+    assert_eq!(v.file, "crates/core/src/ttp.rs");
+    assert_eq!(
+        v.witness,
+        [
+            "plan_with (crates/core/src/controller.rs:2)",
+            "predict_into (crates/core/src/ttp.rs:1)",
+            "sink (crates/core/src/ttp.rs:2)",
+        ],
+        "witness must walk root → callee → sink across files"
+    );
+}
+
+/// Reach rules must respect the crate dependency graph even in synthetic
+/// corpora: with an explicit DepGraph, a same-named fn in a crate the caller
+/// does not depend on is not a resolution candidate.
+#[test]
+fn reach_does_not_cross_into_non_dependency_crates() {
+    let mut corpus = puffer_lint::Corpus::from_sources(vec![
+        (
+            "crates/abr/src/mpc.rs".into(),
+            "// lint-root: panic-free\n\
+             pub fn plan_with(xs: &[f64]) -> f64 {\n\
+                 score(xs)\n\
+             }\n"
+            .into(),
+        ),
+        (
+            "crates/bench/src/chart.rs".into(),
+            "pub fn score(xs: &[f64]) -> f64 {\n\
+                 xs.first().copied().unwrap()\n\
+             }\n"
+            .into(),
+        ),
+    ]);
+    // abr depends on nothing here; bench is unreachable from it.
+    corpus.deps.declare("abr", &[]);
+    assert!(
+        corpus.check().iter().all(|v| v.rule != "panic-reach"),
+        "bench's unwrap is not reachable from abr under the dependency graph"
+    );
 }

@@ -17,6 +17,7 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
 
 /// Row-wise softmax applied in place — the allocation-free core of
 /// [`softmax_rows`], used on inference hot paths.
+// lint: panic-free — the only division is f32 by the row's exp-sum (total by IEEE-754)
 pub fn softmax_rows_inplace(logits: &mut Matrix) {
     for r in 0..logits.rows() {
         let row = logits.row_mut(r);
@@ -53,6 +54,8 @@ pub fn softmax_cross_entropy(
 /// matrix (resized to fit), so the training hot loop performs no allocations
 /// in steady state.  Bit-identical to the allocating wrapper — it *is* the
 /// wrapper's implementation.
+// lint: panic-free — entry asserts pin logits/targets/weights dims; divisions are f32 by total_weight asserted > 0
+// lint: alloc-free — dlogits resizes once to the batch shape; warm calls are allocation-free per tests/alloc_gate.rs
 pub fn softmax_cross_entropy_into(
     logits: &Matrix,
     targets: &[usize],
@@ -119,6 +122,7 @@ pub fn entropy_rows(probs: &Matrix) -> Vec<f32> {
 /// Generic over the element type so `f64` probability tables can be argmaxed
 /// directly instead of being narrowed through an intermediate `Vec<f32>`
 /// (which can flip near-ties and costs an allocation per call).
+// lint: panic-free — i ranges over 1..v.len() and best holds a previously visited index
 pub fn argmax<T: PartialOrd>(v: &[T]) -> usize {
     let mut best = 0;
     for i in 1..v.len() {

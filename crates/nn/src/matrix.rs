@@ -113,6 +113,7 @@ pub fn force_tier(tier: Option<Tier>) {
             t as u8 + 1
         }
     };
+    // lint: atomic-ordering — standalone flag, no other data published with it
     TIER_OVERRIDE.store(v, Ordering::Relaxed);
 }
 
@@ -124,6 +125,7 @@ impl Tier {
     /// override ([`force_tier`]) is active.
     #[inline]
     pub fn detect() -> Tier {
+        // lint: atomic-ordering — reads only the flag itself; stale reads are benign
         match TIER_OVERRIDE.load(Ordering::Relaxed) {
             1 => Tier::Scalar,
             2 => Tier::Avx,
@@ -326,6 +328,7 @@ fn accum_row_fma(a_row: &[f32], w: &[f32], cols: usize, out_row: &mut [f32]) {
 /// and guaranteed by `matmul_into`'s shape checks in release builds.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
+// lint: panic-free — register-block offsets are bounded by the dims the caller asserted; pinned vs the scalar tier by tests
 fn accum_rows4_fma(a4: &[f32], k: usize, w: &[f32], cols: usize, out4: &mut [f32]) {
     use std::arch::x86_64::*;
     debug_assert_eq!(a4.len(), 4 * k);
@@ -444,6 +447,7 @@ fn accum_rows4_fma(a4: &[f32], k: usize, w: &[f32], cols: usize, out4: &mut [f32
 /// call) — the arithmetic, and therefore every bit of the result, is
 /// identical either way.
 #[inline(always)]
+// lint: panic-free — row/col offsets are bounded by the dims the caller asserted; pinned vs the scalar tier by tests
 fn matmul_t_rows(a: &[f32], cols: usize, b: &[f32], b_rows: usize, out: &mut [f32]) {
     if b_rows == 0 {
         return; // `out` is m×0 (empty); chunks_exact_mut(0) would panic
@@ -489,6 +493,7 @@ impl Default for Matrix {
 
 impl Matrix {
     /// An all-zeros matrix of the given shape.
+    // lint: alloc-free — cold-path constructor: reached only through lazy scratch init that tests/alloc_gate.rs differences to zero
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix { rows, cols, data: vec![0.0; rows * cols] }
     }
@@ -538,6 +543,7 @@ impl Matrix {
     }
 
     #[inline]
+    // lint: panic-free — the `# Panics` contract: callers index with r/c taken from this matrix's own dims
     pub fn get(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);
         self.data[r * self.cols + c]
@@ -550,11 +556,13 @@ impl Matrix {
     }
 
     /// Borrow row `r` as a slice.
+    // lint: panic-free — the `# Panics` contract: callers index with rows taken from this matrix's own dims
     pub fn row(&self, r: usize) -> &[f32] {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutably borrow row `r`.
+    // lint: panic-free — the `# Panics` contract: callers index with rows taken from this matrix's own dims
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
@@ -588,6 +596,9 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if the CPU does not support `tier` (see [`Tier::supported`]).
+    // lint-root: panic-free, alloc-free
+    // lint: panic-free — entry asserts pin the (m,k)x(k,n) shape; tier kernels index inside it
+    // lint: alloc-free — `out` resizes once to m*n; warm calls reuse the buffer (tests/alloc_gate.rs)
     pub fn matmul_into_with(&self, tier: Tier, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         assert!(tier.supported(), "kernel tier {tier:?} not supported by this CPU");
@@ -691,6 +702,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if the CPU does not support `tier` (see [`Tier::supported`]).
+    // lint: panic-free — entry asserts pin the transposed accumulate shape; kernels index inside it
     pub fn t_matmul_acc_with(&self, tier: Tier, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "row counts must agree");
         assert_eq!((out.rows, out.cols), (self.cols, other.cols), "output shape mismatch");
@@ -728,6 +740,8 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if the CPU does not support `tier` (see [`Tier::supported`]).
+    // lint: panic-free — entry asserts pin the (m,k)x(n,k)^T shape; tier kernels index inside it
+    // lint: alloc-free — `out` resizes once to m*n; warm calls reuse the buffer (tests/alloc_gate.rs)
     pub fn matmul_t_into_with(&self, tier: Tier, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "column counts must agree");
         assert!(tier.supported(), "kernel tier {tier:?} not supported by this CPU");
@@ -757,6 +771,7 @@ impl Matrix {
     }
 
     /// Add `v` to every row of `self` in place (broadcast bias add).
+    // lint: panic-free — the entry assert pins row.len() == cols; the loop indexes inside it
     pub fn add_row_broadcast(&mut self, v: &[f32]) {
         assert_eq!(v.len(), self.cols, "bias length must match columns");
         for r in 0..self.rows {
@@ -783,6 +798,7 @@ impl Matrix {
     /// Accumulate each column's sum into a caller-owned slice (`out[c] +=
     /// Σ_r self[r][c]`) — the bias-gradient kernel of `Mlp::backward_into`
     /// (`gb += col_sums(dy)` with `gb` pre-zeroed by `zero_grad`).
+    // lint: panic-free — the entry assert pins acc.len() == cols; the loop indexes inside it
     pub fn col_sums_acc(&self, out: &mut [f32]) {
         assert_eq!(out.len(), self.cols, "output length must match columns");
         for r in 0..self.rows {

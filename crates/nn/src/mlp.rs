@@ -154,6 +154,7 @@ pub struct ForwardCache {
 
 impl ForwardCache {
     /// Raw network output (pre-softmax logits / regression output).
+    // lint: panic-free — acts is filled by the forward pass that returns this cache; last() is always Some
     pub fn logits(&self) -> &Matrix {
         self.acts.last().expect("cache always holds input + output")
     }
@@ -187,6 +188,8 @@ impl TrainCache {
     /// Resize the input activation buffer for a `rows × cols` batch and
     /// return it for the caller to fill (contents are unspecified; overwrite
     /// every element).
+    // lint: panic-free — acts[0] exists: the branch above pushes it when the cache is empty
+    // lint: alloc-free — the input matrix grows once to the steady minibatch shape; warm epochs reuse it (tests/alloc_gate.rs)
     pub fn input_mut(&mut self, rows: usize, cols: usize) -> &mut Matrix {
         if self.acts.is_empty() {
             self.acts.push(Matrix::zeros(0, 0));
@@ -197,6 +200,7 @@ impl TrainCache {
 
     /// Raw network output (pre-softmax logits) of the last
     /// [`Mlp::forward_train`] pass.
+    // lint: panic-free — documented contract: forward_train fills the cache before logits are read
     pub fn logits(&self) -> &Matrix {
         self.acts.last().expect("forward_train fills the cache before logits are read")
     }
@@ -244,6 +248,7 @@ impl MlpScratch {
     /// e.g. via [`Mlp::first_layer_shared_last_rows`]).  This is the input to
     /// [`Mlp::forward_staged_into`], which finishes the pass over all rows at
     /// once — the cross-stream batching entry point.
+    // lint: alloc-free — the staged buffer grows once to the max batch rows; warm calls only hand out the slice
     pub fn staged_rows_mut(&mut self, rows: usize, cols: usize) -> &mut Matrix {
         self.ping.resize(rows, cols);
         &mut self.ping
@@ -285,6 +290,7 @@ impl Mlp {
         &self.layers
     }
 
+    // lint: panic-free — a constructed Mlp always has at least one layer
     pub fn input_dim(&self) -> usize {
         self.layers[0].in_dim()
     }
@@ -314,6 +320,7 @@ impl Mlp {
     /// [`Mlp::forward`] through caller-owned scratch buffers: bit-identical
     /// output, no allocations once the scratch has reached steady-state size.
     /// Returns a reference to the scratch matrix holding the output.
+    // lint: panic-free — layer indexing is over self.layers; input dims are asserted at entry
     pub fn forward_into<'a>(&self, x: &Matrix, scratch: &'a mut MlpScratch) -> &'a mut Matrix {
         self.layers[0].forward_into(x, &mut scratch.ping);
         if self.layers.len() > 1 {
@@ -343,6 +350,8 @@ impl Mlp {
     /// also the final accumulation step of the ikj matmul (and the zero-skip
     /// matches), the output is bit-identical to [`Mlp::forward_into`] on the
     /// materialized batch.
+    // lint: panic-free — entry asserts pin shared/tail dims; row offsets derive from them
+    // lint: alloc-free — ping/pong buffers grow once to batch shape; warm calls are allocation-free per tests/alloc_gate.rs
     pub fn forward_shared_last_into<'a>(
         &self,
         shared: &[f32],
@@ -399,6 +408,8 @@ impl Mlp {
     ///
     /// `partial` is a reusable hidden-width accumulator owned by the caller
     /// (it cannot live in the scratch, whose `ping` is lent out as `staged`).
+    // lint: panic-free — entry asserts pin shared-prefix dims; row offsets derive from them
+    // lint: alloc-free — the output buffer grows once to rows*width; warm calls reuse it (tests/alloc_gate.rs)
     pub fn first_layer_shared_last_rows(
         &self,
         shared: &[f32],
@@ -440,6 +451,7 @@ impl Mlp {
     /// the result is bit-identical to running its group alone through
     /// [`Mlp::forward_shared_last_into`] — the argument `docs/BATCHING.md`
     /// spells out.  Returns the logits (one row per staged row).
+    // lint: panic-free — entry asserts pin the staged dims; layer indexing is over self.layers
     pub fn forward_staged_into<'a>(&self, scratch: &'a mut MlpScratch) -> &'a mut Matrix {
         let l0 = &self.layers[0];
         assert_eq!(scratch.ping.cols(), l0.out_dim(), "stage rows before finishing the batch");
@@ -458,6 +470,8 @@ impl Mlp {
     /// matmul kernel, bias add, and activation, in the same order — but all
     /// intermediate storage is caller-owned, so steady-state training
     /// minibatches allocate nothing.
+    // lint: panic-free — entry asserts pin the batch dims; per-layer indexing is over self.layers
+    // lint: alloc-free — cache matrices grow once to the minibatch shape; warm epochs are allocation-free per tests/alloc_gate.rs
     pub fn forward_train(&self, cache: &mut TrainCache) {
         assert!(!cache.acts.is_empty(), "fill the input via TrainCache::input_mut first");
         assert_eq!(cache.acts[0].cols(), self.input_dim(), "batch width must match input dim");
@@ -480,6 +494,8 @@ impl Mlp {
     /// universal cycle), except the gradient w.r.t. the *input batch* is not
     /// computed — supervised training never consumes it, and skipping it
     /// saves one matmul per step without affecting any parameter gradient.
+    // lint: panic-free — entry asserts pin dlogits dims; layer indexing mirrors the forward pass
+    // lint: alloc-free — gradient ping/pong buffers grow once; warm epochs are allocation-free per tests/alloc_gate.rs
     pub fn backward_into(
         &mut self,
         cache: &TrainCache,
@@ -550,6 +566,7 @@ impl Mlp {
     }
 
     /// Clip the global gradient norm to `max_norm` (returns the pre-clip norm).
+    // lint: panic-free — the only division is f32 by a norm already checked > max_norm > 0
     pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
         let mut sq = 0.0f32;
         for l in &self.layers {

@@ -52,6 +52,8 @@ impl Sgd {
         self
     }
 
+    // lint: panic-free — the while loop above extends velocity to cover slot before indexing
+    // lint: alloc-free — velocity is created lazily on the first step per net; later epochs reuse it (tests/alloc_gate.rs differences to zero)
     fn slot_state(&mut self, slot: usize, len: usize) -> &mut Vec<f32> {
         while self.velocity.len() <= slot {
             self.velocity.push(Vec::new());
@@ -93,6 +95,7 @@ fn sgd_update_fma(
 }
 
 impl Optimizer for Sgd {
+    // lint: panic-free — the entry assert pins params/grads pairing; the update loop zips equal-length slices
     fn step(&mut self, params: &mut [f32], grads: &[f32], slot: usize) {
         assert_eq!(params.len(), grads.len());
         let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
@@ -150,6 +153,8 @@ impl Adam {
 
     /// Advance the shared timestep.  Call once per optimization step, before
     /// the per-tensor `step` calls (handled automatically when `slot == 0`).
+    // lint: panic-free — the while loop above extends m/v to cover slot before indexing
+    // lint: alloc-free — m/v are created lazily on the first step per net; later epochs reuse them (tests/alloc_gate.rs differences to zero)
     fn state(&mut self, slot: usize, len: usize) -> (&mut Vec<f32>, &mut Vec<f32>) {
         while self.m.len() <= slot {
             self.m.push(Vec::new());
@@ -171,6 +176,7 @@ impl Adam {
 /// inline-always + FMA-twin pattern).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
+// lint: panic-free — divisions are f32 (total); bias corrections are nonzero for t >= 1 and vhat.sqrt()+eps > 0
 fn adam_update(
     params: &mut [f32],
     grads: &[f32],
@@ -215,6 +221,7 @@ fn adam_update_fma(
 }
 
 impl Optimizer for Adam {
+    // lint: panic-free — the entry assert pins params/grads pairing; the update loop zips equal-length slices
     fn step(&mut self, params: &mut [f32], grads: &[f32], slot: usize) {
         assert_eq!(params.len(), grads.len());
         if slot == 0 {

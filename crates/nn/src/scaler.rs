@@ -110,6 +110,7 @@ impl Scaler {
 
     /// Standardize `row` into a caller-owned buffer, avoiding the allocation
     /// of [`Scaler::transform`] on hot inference paths.
+    // lint: panic-free — entry asserts pin the feature dims; (x-m)/s is f32 division, total by IEEE-754
     pub fn transform_into(&self, row: &[f32], out: &mut [f32]) {
         assert_eq!(row.len(), self.mean.len(), "feature dimension mismatch");
         assert_eq!(out.len(), row.len(), "output buffer dimension mismatch");

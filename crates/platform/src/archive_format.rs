@@ -116,6 +116,7 @@ fn invalid(msg: &str) -> io::Error {
 }
 
 /// Append the LEB128 varint encoding of `v`.
+// lint: alloc-free — appends into column buffers reserved to block_rows*MAX_VARINT_LEN at construction and cleared per flush
 fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
@@ -239,6 +240,8 @@ impl<W: Write> ArchiveWriter<W> {
     }
 
     /// Buffer one `video_sent` row (flushes a block when full).
+    // lint-root: alloc-free
+    // lint: alloc-free — pending_sent is reserved to block_rows at construction and drained at that size; push never reallocates
     pub fn push_sent(&mut self, row: &VideoSent) -> io::Result<()> {
         self.pending_sent.push(*row);
         if self.pending_sent.len() == self.block_rows {
@@ -248,6 +251,8 @@ impl<W: Write> ArchiveWriter<W> {
     }
 
     /// Buffer one `video_acked` row (flushes a block when full).
+    // lint-root: alloc-free
+    // lint: alloc-free — pending_acked is reserved to block_rows at construction and drained at that size; push never reallocates
     pub fn push_acked(&mut self, row: &VideoAcked) -> io::Result<()> {
         self.pending_acked.push(*row);
         if self.pending_acked.len() == self.block_rows {
@@ -257,6 +262,8 @@ impl<W: Write> ArchiveWriter<W> {
     }
 
     /// Buffer one `client_buffer` row (flushes a block when full).
+    // lint-root: alloc-free
+    // lint: alloc-free — pending_buffer is reserved to block_rows at construction and drained at that size; push never reallocates
     pub fn push_buffer(&mut self, row: &ClientBuffer) -> io::Result<()> {
         self.pending_buffer.push(*row);
         if self.pending_buffer.len() == self.block_rows {

@@ -280,6 +280,7 @@ fn run_day_worker(
     loop {
         // Claim work: batchable sessions fill the wave, others run inline.
         while !exhausted && batcher.as_ref().is_none_or(BatchRunner::has_room) {
+            // lint: atomic-ordering — RMW is already serialized; index alone claims the slot
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= specs.len() {
                 exhausted = true;

@@ -8,7 +8,7 @@
 pub fn ccdf_points(samples: &[f64]) -> Vec<(f64, f64)> {
     assert!(!samples.is_empty(), "need at least one sample");
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let n = sorted.len() as f64;
     let mut out = Vec::new();
     let mut i = 0;

@@ -265,7 +265,7 @@ impl PoissonBootstrap {
             .iter()
             .map(|&(num, den)| if den > 0.0 { num / den } else { 0.0 })
             .collect();
-        stats.sort_by(|a, b| a.partial_cmp(b).expect("replicate ratios are finite"));
+        stats.sort_by(|a, b| a.total_cmp(b));
         let alpha = (1.0 - confidence) / 2.0;
         let lo_idx = ((n_boot as f64 * alpha).floor() as usize).min(n_boot - 1);
         let hi_idx = ((n_boot as f64 * (1.0 - alpha)).ceil() as usize).min(n_boot - 1);

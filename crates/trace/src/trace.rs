@@ -99,7 +99,7 @@ impl RateTrace {
     /// Index of the epoch containing wrapped time `t` (`0 <= t < total`).
     fn epoch_index(&self, t: f64) -> usize {
         debug_assert!((0.0..self.total_duration).contains(&t) || t == 0.0);
-        match self.starts.binary_search_by(|s| s.partial_cmp(&t).unwrap()) {
+        match self.starts.binary_search_by(|s| s.total_cmp(&t)) {
             Ok(i) => i,
             Err(i) => i - 1,
         }

@@ -717,7 +717,7 @@ fn cmd_power_analysis(flags: BTreeMap<String, String>) -> ExitCode {
         }
     }
     let mut watches: Vec<f64> = watch_sample.items().to_vec();
-    watches.sort_by(|a, b| a.partial_cmp(b).expect("watch times are finite"));
+    watches.sort_by(|a, b| a.total_cmp(b));
     if !watches.is_empty() {
         println!(
             "watch-time sample (n={}): p50 {:.0} s, p90 {:.0} s, p99 {:.0} s",
