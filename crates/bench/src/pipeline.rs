@@ -261,6 +261,7 @@ fn parse_cached_arms(text: &str) -> Result<Vec<CachedArm>, String> {
                         never_began: nums[2],
                         short_watch: nums[3],
                         considered: nums[4],
+                        quarantined: 0,
                     },
                     streams: Vec::new(),
                     session_durations: Vec::new(),

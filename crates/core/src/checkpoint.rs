@@ -117,9 +117,21 @@ pub fn load_from_str(s: &str) -> Result<Ttp, LoadError> {
     Ok(ttp)
 }
 
-/// Write a TTP checkpoint to disk.
+/// Write a TTP checkpoint to disk, crash-safely.
+///
+/// The checkpoint is first written to a sibling temp file (same directory,
+/// so the rename cannot cross filesystems), then renamed over `path`.  A
+/// crash mid-write leaves either the previous valid checkpoint untouched or
+/// a stray `.tmp` file — never a truncated file shadowing a good one.
 pub fn save_to_file(ttp: &Ttp, path: &Path) -> Result<(), LoadError> {
-    std::fs::write(path, save_to_string(ttp))?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, save_to_string(ttp))?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
     Ok(())
 }
 

@@ -40,5 +40,8 @@ pub use bins::{bin_index, bin_midpoint, N_BINS};
 pub use controller::{ControllerConfig, PlanScratch, StochasticMpc};
 pub use dataset::{ChunkObservation, Dataset};
 pub use fugu::Fugu;
-pub use training::{train, train_reference, TrainConfig, TrainReport, TrainScratch};
+pub use training::{
+    train, train_reference, validate_retrained, GateVerdict, RetrainGate, TrainConfig, TrainReport,
+    TrainScratch,
+};
 pub use ttp::{Ttp, TtpBatchQuery, TtpConfig, TtpScratch};

@@ -439,6 +439,104 @@ pub fn evaluate(ttp: &Ttp, data: &Dataset, current_day: u32, window_days: u32) -
     }
 }
 
+/// Acceptance thresholds for a retrained candidate (the stability check a
+/// learned policy must pass before it serves traffic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetrainGate {
+    /// Maximum allowed ratio of candidate holdout cross-entropy to the
+    /// incumbent's.  A diverged retrain blows far past this; a normal one
+    /// lands at or below 1.0 (it just trained on this window).
+    pub max_ce_ratio: f32,
+    /// Additive slack on the ratio bound, so a near-zero incumbent CE cannot
+    /// make the gate impossibly tight.
+    pub ce_slack: f32,
+}
+
+impl Default for RetrainGate {
+    fn default() -> Self {
+        RetrainGate { max_ce_ratio: 2.0, ce_slack: 0.05 }
+    }
+}
+
+/// Outcome of [`validate_retrained`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateVerdict {
+    /// The candidate may be swapped into the serving path.
+    Pass,
+    /// The candidate carries NaN/Inf weights.
+    NonFiniteWeights,
+    /// The candidate's holdout cross-entropy regressed past the gate bound.
+    HoldoutRegression {
+        /// Candidate's mean step-0 cross-entropy on the holdout window.
+        candidate_ce: f32,
+        /// Incumbent's mean step-0 cross-entropy on the same window.
+        incumbent_ce: f32,
+    },
+}
+
+impl GateVerdict {
+    /// Whether the candidate passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, GateVerdict::Pass)
+    }
+
+    /// Compact numeric code for incident records: 0 = pass, 1 = non-finite
+    /// weights, 2 = holdout regression.
+    pub fn code(&self) -> u8 {
+        match self {
+            GateVerdict::Pass => 0,
+            GateVerdict::NonFiniteWeights => 1,
+            GateVerdict::HoldoutRegression { .. } => 2,
+        }
+    }
+}
+
+/// Mean step-0 cross-entropy of `ttp` over pre-built samples.  NaN model
+/// outputs map to the 1e-12 probability floor, so a numerically broken model
+/// scores a huge *finite* CE rather than poisoning the comparison.
+fn holdout_ce(ttp: &Ttp, samples: &[crate::dataset::Sample]) -> f32 {
+    let mut ce = 0.0f64;
+    for s in samples {
+        let probs = ttp.predict_probs(0, &s.features);
+        let p_true = f64::from(probs[s.target]).max(1e-12);
+        ce += -p_true.ln();
+    }
+    (ce / samples.len() as f64) as f32
+}
+
+/// Validation gate between the nightly retrain and the serving Arc swap:
+/// reject any candidate with non-finite weights, then require its holdout
+/// cross-entropy to stay within `gate`'s tolerance of the incumbent on the
+/// same step-0 window the retrain drew from.
+///
+/// An empty window passes (there is nothing to compare on — the caller's
+/// trainer would have skipped the retrain anyway), and the check consumes no
+/// RNG, so gating a clean retrain leaves the run's outputs bit-identical.
+pub fn validate_retrained(
+    candidate: &Ttp,
+    incumbent: &Ttp,
+    data: &Dataset,
+    current_day: u32,
+    window_days: u32,
+    gate: &RetrainGate,
+) -> GateVerdict {
+    if !candidate.weights_finite() {
+        return GateVerdict::NonFiniteWeights;
+    }
+    let samples = data.build_samples(candidate, 0, current_day, window_days, f64::INFINITY);
+    if samples.is_empty() {
+        return GateVerdict::Pass;
+    }
+    let candidate_ce = holdout_ce(candidate, &samples);
+    let incumbent_ce = holdout_ce(incumbent, &samples);
+    let bound = incumbent_ce * gate.max_ce_ratio + gate.ce_slack;
+    if candidate_ce.is_finite() && (!incumbent_ce.is_finite() || candidate_ce <= bound) {
+        GateVerdict::Pass
+    } else {
+        GateVerdict::HoldoutRegression { candidate_ce, incumbent_ce }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -671,7 +769,84 @@ mod tests {
     }
 
     #[test]
+    fn gate_rejects_non_finite_weights() {
+        let data = synthetic_dataset(1..=1, 3);
+        let incumbent = Ttp::new(TtpConfig::default(), 11);
+        let mut candidate = Ttp::new(TtpConfig::default(), 11);
+        candidate.nets_mut()[0].layers_mut()[0].w.data_mut()[0] = f32::NAN;
+        assert!(!candidate.weights_finite());
+        let verdict =
+            validate_retrained(&candidate, &incumbent, &data, 1, 14, &RetrainGate::default());
+        assert_eq!(verdict, GateVerdict::NonFiniteWeights);
+        assert_eq!(verdict.code(), 1);
+    }
+
+    #[test]
+    fn gate_rejects_exploding_holdout_loss() {
+        let data = synthetic_dataset(1..=1, 3);
+        // A freshly initialized net has an unfit scaler, so its raw-scale
+        // inputs already saturate the softmax; zero the incumbent's output
+        // layer to get the uniform predictor (CE = ln N_BINS), the worst any
+        // *sane* incumbent can be.
+        let mut incumbent = Ttp::new(TtpConfig::default(), 12);
+        for net in incumbent.nets_mut() {
+            let last = net.layers_mut().last_mut().unwrap();
+            last.w.data_mut().fill(0.0);
+            last.b.fill(0.0);
+        }
+        // Saturate every candidate step-net onto the last bin — finite
+        // weights, but the holdout loss hits the probability floor on nearly
+        // every sample (the same recipe as the fault harness's
+        // ExplodingLoss).
+        let mut candidate = Ttp::new(TtpConfig::default(), 12);
+        for net in candidate.nets_mut() {
+            let last = net.layers_mut().last_mut().unwrap();
+            last.w.data_mut().fill(0.0);
+            let n = last.b.len();
+            for (i, b) in last.b.iter_mut().enumerate() {
+                *b = if i + 1 == n { 50.0 } else { 0.0 };
+            }
+        }
+        assert!(candidate.weights_finite(), "exploding candidate is still finite");
+        let verdict =
+            validate_retrained(&candidate, &incumbent, &data, 1, 14, &RetrainGate::default());
+        assert!(
+            matches!(verdict, GateVerdict::HoldoutRegression { .. }),
+            "saturated softmax must regress past the gate, got {verdict:?}"
+        );
+        assert_eq!(verdict.code(), 2);
+        assert!(!verdict.passed());
+    }
+
+    #[test]
     #[cfg_attr(miri, ignore = "full SGD retrain; minutes-long under Miri")]
+    fn gate_passes_a_clean_retrain() {
+        let data = synthetic_dataset(1..=2, 10);
+        let incumbent = Ttp::new(TtpConfig::default(), 13);
+        let mut candidate = incumbent.clone();
+        train(&mut candidate, &data, 2, &quick_cfg(), &mut rng(13)).unwrap();
+        let verdict =
+            validate_retrained(&candidate, &incumbent, &data, 2, 14, &RetrainGate::default());
+        assert!(verdict.passed(), "clean retrain rejected: {verdict:?}");
+    }
+
+    #[test]
+    fn gate_passes_on_empty_window() {
+        let data = Dataset::new();
+        let incumbent = Ttp::new(TtpConfig::default(), 14);
+        let mut candidate = Ttp::new(TtpConfig::default(), 15);
+        assert!(validate_retrained(&candidate, &incumbent, &data, 3, 14, &RetrainGate::default())
+            .passed());
+        // ...but non-finite weights are rejected even with nothing to
+        // compare on.
+        candidate.nets_mut()[0].layers_mut()[0].w.data_mut()[0] = f32::INFINITY;
+        assert_eq!(
+            validate_retrained(&candidate, &incumbent, &data, 3, 14, &RetrainGate::default()),
+            GateVerdict::NonFiniteWeights
+        );
+    }
+
+    #[test]
     fn max_samples_cap_is_respected() {
         let data = synthetic_dataset(1..=2, 30);
         let mut ttp = Ttp::new(TtpConfig::default(), 9);

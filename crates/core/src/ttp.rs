@@ -234,6 +234,17 @@ impl Ttp {
         &self.nets
     }
 
+    /// Whether every weight and bias in every step-net is finite.  The
+    /// nightly retrain validation gate rejects a candidate that fails this
+    /// before it can reach the serving path.
+    pub fn weights_finite(&self) -> bool {
+        self.nets.iter().all(|net| {
+            net.layers().iter().all(|l| {
+                l.w.data().iter().all(|w| w.is_finite()) && l.b.iter().all(|b| b.is_finite())
+            })
+        })
+    }
+
     /// Copy weights from another TTP of identical configuration (warm-start
     /// retraining, §4.3).
     pub fn copy_params_from(&mut self, other: &Ttp) {

@@ -290,6 +290,12 @@ impl Mlp {
         &self.layers
     }
 
+    /// Mutable access to the layers (weight surgery in tests and fault
+    /// injection; training goes through the gradient path instead).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
     // lint: panic-free — a constructed Mlp always has at least one layer
     pub fn input_dim(&self) -> usize {
         self.layers[0].in_dim()

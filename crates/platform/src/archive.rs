@@ -144,6 +144,35 @@ impl TelemetrySpool {
         self.writer.finish()?.flush()?;
         Ok(self.path)
     }
+
+    /// The spool's on-disk path (for cleanup when a spool is abandoned after
+    /// a write error without reaching [`TelemetrySpool::finish`]).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Append incident rows to an existing day archive as
+/// [`crate::archive_format::BlockKind::Incident`] blocks.
+///
+/// The rows are encoded with a fresh [`ArchiveWriter`] into memory, then the
+/// blocks (everything past the file header) are appended to `path`.  The
+/// incident tag is `u64::MAX`, past every session spec index, so a re-merge
+/// ordered by `(tag, offset)` keeps incidents at the end of the file.
+pub fn append_incidents(path: &Path, incidents: &[crate::faults::Incident]) -> std::io::Result<()> {
+    use crate::archive_format::FILE_HEADER_LEN;
+    if incidents.is_empty() {
+        return Ok(());
+    }
+    let mut w = ArchiveWriter::new(Vec::new())?;
+    w.set_tag(u64::MAX)?;
+    for inc in incidents {
+        w.push_incident(&inc.to_row())?;
+    }
+    let bytes = w.finish()?;
+    let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+    f.write_all(&bytes[FILE_HEADER_LEN..])?;
+    f.flush()
 }
 
 /// Merge per-worker spools into one deterministic day archive at `out`.

@@ -79,6 +79,8 @@ pub enum BlockKind {
     VideoAcked,
     /// `client_buffer` rows, 6 columns.
     ClientBuffer,
+    /// Degradation-incident rows (`crate::faults::Incident`), 6 columns.
+    Incident,
 }
 
 impl BlockKind {
@@ -88,6 +90,7 @@ impl BlockKind {
             BlockKind::VideoSent => 0,
             BlockKind::VideoAcked => 1,
             BlockKind::ClientBuffer => 2,
+            BlockKind::Incident => 3,
         }
     }
 
@@ -97,6 +100,7 @@ impl BlockKind {
             0 => Some(BlockKind::VideoSent),
             1 => Some(BlockKind::VideoAcked),
             2 => Some(BlockKind::ClientBuffer),
+            3 => Some(BlockKind::Incident),
             _ => None,
         }
     }
@@ -107,8 +111,28 @@ impl BlockKind {
             BlockKind::VideoSent => 11,
             BlockKind::VideoAcked => 5,
             BlockKind::ClientBuffer => 6,
+            BlockKind::Incident => 6,
         }
     }
+}
+
+/// One degradation-incident row in wire form: the six numeric columns of an
+/// [`BlockKind::Incident`] block.  `crate::faults::Incident` converts to and
+/// from this raw representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncidentRow {
+    /// Simulated day.
+    pub day: u64,
+    /// Arm index (`u32::MAX` = none).
+    pub arm: u64,
+    /// Session index within the day (`u64::MAX` = none).
+    pub session: u64,
+    /// `IncidentKind` wire code.
+    pub kind: u64,
+    /// `DegradeAction` wire code.
+    pub action: u64,
+    /// Kind-specific detail value.
+    pub value: u64,
 }
 
 fn invalid(msg: &str) -> io::Error {
@@ -193,6 +217,7 @@ pub struct ArchiveWriter<W: Write> {
     pending_sent: Vec<VideoSent>,
     pending_acked: Vec<VideoAcked>,
     pending_buffer: Vec<ClientBuffer>,
+    pending_incidents: Vec<IncidentRow>,
     /// Reused per-column encode buffers, sized for the worst case
     /// (`block_rows` × [`MAX_VARINT_LEN`] bytes) at construction.
     cols: [Vec<u8>; MAX_COLS],
@@ -223,6 +248,7 @@ impl<W: Write> ArchiveWriter<W> {
             pending_sent: Vec::with_capacity(block_rows),
             pending_acked: Vec::with_capacity(block_rows),
             pending_buffer: Vec::with_capacity(block_rows),
+            pending_incidents: Vec::new(),
             cols,
             blocks_written: 0,
             rows_written: 0,
@@ -272,6 +298,17 @@ impl<W: Write> ArchiveWriter<W> {
         Ok(())
     }
 
+    /// Buffer one degradation-incident row (flushes a block when full).
+    /// Off the hot path: incidents are rare supervision events, appended
+    /// once per day after the workers finish.
+    pub fn push_incident(&mut self, row: &IncidentRow) -> io::Result<()> {
+        self.pending_incidents.push(*row);
+        if self.pending_incidents.len() == self.block_rows {
+            self.flush_incidents()?;
+        }
+        Ok(())
+    }
+
     /// Buffer every row of one stream's telemetry under the current tag.
     pub fn add_stream(&mut self, t: &StreamTelemetry) -> io::Result<()> {
         for d in &t.video_sent {
@@ -295,7 +332,8 @@ impl<W: Write> ArchiveWriter<W> {
     fn flush_pending(&mut self) -> io::Result<()> {
         self.flush_sent()?;
         self.flush_acked()?;
-        self.flush_buffer()
+        self.flush_buffer()?;
+        self.flush_incidents()
     }
 
     /// Write one block's framing: header, then the column length table, then
@@ -376,6 +414,23 @@ impl<W: Write> ArchiveWriter<W> {
         self.write_block(BlockKind::ClientBuffer, n)
     }
 
+    fn flush_incidents(&mut self) -> io::Result<()> {
+        if self.pending_incidents.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.pending_incidents);
+        encode_column(&mut self.cols[0], rows.iter().map(|d| d.day));
+        encode_column(&mut self.cols[1], rows.iter().map(|d| d.arm));
+        encode_column(&mut self.cols[2], rows.iter().map(|d| d.session));
+        encode_column(&mut self.cols[3], rows.iter().map(|d| d.kind));
+        encode_column(&mut self.cols[4], rows.iter().map(|d| d.action));
+        encode_column(&mut self.cols[5], rows.iter().map(|d| d.value));
+        let n = rows.len();
+        self.pending_incidents = rows;
+        self.pending_incidents.clear();
+        self.write_block(BlockKind::Incident, n)
+    }
+
     /// Flush any pending rows and return the inner writer (callers flush it).
     pub fn finish(mut self) -> io::Result<W> {
         self.flush_pending()?;
@@ -398,6 +453,8 @@ pub struct DecodedBlock {
     pub video_acked: Vec<VideoAcked>,
     /// Decoded `client_buffer` rows (empty unless `kind` says so).
     pub client_buffer: Vec<ClientBuffer>,
+    /// Decoded incident rows (empty unless `kind` says so).
+    pub incidents: Vec<IncidentRow>,
 }
 
 /// Streaming `.puf` reader.
@@ -508,6 +565,7 @@ impl<R: Read> ArchiveReader<R> {
         self.block.video_sent.clear();
         self.block.video_acked.clear();
         self.block.client_buffer.clear();
+        self.block.incidents.clear();
         match kind {
             BlockKind::VideoSent => {
                 let mut cols: [Vec<u64>; 11] = std::array::from_fn(|_| Vec::new());
@@ -560,6 +618,21 @@ impl<R: Read> ArchiveReader<R> {
                         event: code,
                         buffer: f64::from_bits(cols[4][r]),
                         cum_rebuf: f64::from_bits(cols[5][r]),
+                    });
+                }
+            }
+            BlockKind::Incident => {
+                let mut cols: [Vec<u64>; 6] = std::array::from_fn(|_| Vec::new());
+                self.decode_cols(rows, &col_lens[..n_cols], &mut cols)?;
+                #[allow(clippy::needless_range_loop)] // r indexes parallel columns
+                for r in 0..rows {
+                    self.block.incidents.push(IncidentRow {
+                        day: cols[0][r],
+                        arm: cols[1][r],
+                        session: cols[2][r],
+                        kind: cols[3][r],
+                        action: cols[4][r],
+                        value: cols[5][r],
                     });
                 }
             }

@@ -28,6 +28,13 @@
 //! co-batching — across streams or across arms — cannot change any
 //! session's distributions — pinned by the fingerprint tests in
 //! `tests/determinism.rs` and the property test in `tests/invariants.rs`.
+//!
+//! Admission contract under fault injection: sessions carrying an injected
+//! panic (`FaultPlan::session_panic_after`) are *never* admitted to a wave —
+//! the worker runs them inline under `catch_unwind` so an unwinding session
+//! can only take itself down, not the co-batched wave.  Because batching is
+//! bit-identical to the inline path, routing a session inline never changes
+//! its outcome, so the exclusion cannot perturb a zero-fault replay.
 
 use crate::experiment::{ArmAbrs, ExperimentConfig};
 use crate::scheme::SchemeSpec;

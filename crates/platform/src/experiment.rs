@@ -10,24 +10,31 @@
 
 use crate::archive::TelemetrySpool;
 use crate::batch::BatchRunner;
+use crate::faults::{
+    observation_is_finite, poison_observations, DegradeAction, FaultPlan, Incident, IncidentKind,
+    NO_ARM, NO_SESSION,
+};
 use crate::scheme::SchemeSpec;
-use crate::session::{run_session, SessionOutcome};
+use crate::session::{run_session, run_session_with_injected_panic, SessionOutcome};
 use crate::stream::{QuitReason, StreamConfig};
 use crate::user::UserModel;
 use crate::MIN_CONSIDERED_WATCH;
-use fugu::{train, Dataset, TrainConfig, Ttp, TtpVariant};
+use fugu::{
+    train, validate_retrained, Dataset, GateVerdict, RetrainGate, TrainConfig, Ttp, TtpVariant,
+};
 use puffer_abr::Abr;
 use puffer_net::CongestionControl;
 use puffer_stats::StreamSummary;
 use puffer_trace::TraceBank;
 use rand::Rng;
 use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// CONSORT-style stream accounting for one arm (Fig. A1).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConsortCounts {
-    /// Sessions randomized to this arm.
+    /// Sessions randomized to this arm that completed the protocol.
     pub sessions: usize,
     /// Streams started.
     pub streams: usize,
@@ -37,6 +44,9 @@ pub struct ConsortCounts {
     pub short_watch: usize,
     /// Streams entering the primary analysis.
     pub considered: usize,
+    /// Sessions quarantined after a mid-run panic and excluded from every
+    /// other count, statistic, and the training dataset (docs/ROBUSTNESS.md).
+    pub quarantined: usize,
 }
 
 /// Results of one arm.
@@ -112,6 +122,10 @@ pub struct ExperimentConfig {
     /// are byte-identical at any thread count.  `None` (the default) keeps
     /// telemetry out of the RCT entirely, as before.
     pub archive_sink: Option<std::path::PathBuf>,
+    /// Deterministic fault-injection schedule (docs/ROBUSTNESS.md).  The
+    /// default, [`FaultPlan::none`], injects nothing and leaves every output
+    /// byte-identical to a run without the supervision layer.
+    pub faults: FaultPlan,
 }
 
 impl Default for ExperimentConfig {
@@ -130,6 +144,7 @@ impl Default for ExperimentConfig {
             batch_streams: true,
             batch_across_arms: true,
             archive_sink: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -144,8 +159,15 @@ pub struct RctResult {
     pub total_sessions: usize,
     /// Per-day `.puf` archives written when
     /// [`ExperimentConfig::archive_sink`] is set (empty otherwise), in day
-    /// order.
+    /// order.  A day whose archive sink failed (degraded to CSV-only) has no
+    /// entry.
     pub archive_paths: Vec<std::path::PathBuf>,
+    /// Every degradation event the supervision layer absorbed, in
+    /// deterministic order (docs/ROBUSTNESS.md).  Empty on a clean run.
+    pub incidents: Vec<Incident>,
+    /// The arm specs after the final day (nightly retrains applied), so
+    /// callers can inspect which model each arm ended up serving.
+    pub schemes: Vec<SchemeSpec>,
 }
 
 /// SplitMix64 — derive independent per-session seeds from the master seed.
@@ -167,6 +189,9 @@ struct SessionResult {
     session_duration: f64,
     consort: ConsortCounts,
     observations: Vec<Vec<fugu::ChunkObservation>>,
+    /// The session panicked mid-run and was caught: exclude it from every
+    /// statistic and record a quarantine incident at aggregation.
+    quarantined: bool,
 }
 
 /// Per-arm ABR instances one worker reuses across its share of a day's
@@ -211,16 +236,46 @@ fn run_one_session(
     run_session(bank, abr, &cfg.user, cfg.cc, stream_cfg, session_id, seed)
 }
 
+fn run_one_session_panicking(
+    abr: &mut dyn Abr,
+    arm: usize,
+    bank: &TraceBank,
+    cfg: &ExperimentConfig,
+    session_id: u64,
+    seed: u64,
+    panic_after: u32,
+) -> SessionOutcome {
+    let stream_cfg = StreamConfig { expt_id: arm as u32, ..StreamConfig::default() };
+    run_session_with_injected_panic(
+        bank,
+        abr,
+        &cfg.user,
+        cfg.cc,
+        stream_cfg,
+        session_id,
+        seed,
+        panic_after,
+    )
+}
+
 /// Spill one finished session's telemetry to the worker's spool, tagged
 /// with the session's spec index — must run before [`account_session`]
-/// consumes the streams.  Archive IO failure aborts the experiment: a
-/// silently incomplete archive would corrupt every analysis done on it.
-fn spill_session(spool: &mut Option<TelemetrySpool>, tag: usize, out: &SessionOutcome) {
+/// consumes the streams.  An injected archive fault at this coordinate
+/// surfaces as a synthetic I/O error, exactly like a real disk failure.
+fn spill_session(
+    spool: &mut Option<TelemetrySpool>,
+    day: u32,
+    faults: &FaultPlan,
+    tag: usize,
+    out: &SessionOutcome,
+) -> std::io::Result<()> {
     if let Some(spool) = spool.as_mut() {
-        spool
-            .add_session(tag as u64, out.streams.iter().map(|s| &s.telemetry))
-            .expect("archive sink write failed");
+        if faults.archive_error_at(day, tag as u64) {
+            return Err(std::io::Error::other("injected archive-sink fault"));
+        }
+        spool.add_session(tag as u64, out.streams.iter().map(|s| &s.telemetry))?;
     }
+    Ok(())
 }
 
 /// Fold one session's outcome into the CONSORT accounting (Fig. A1).
@@ -248,14 +303,51 @@ fn account_session(arm: usize, out: SessionOutcome) -> SessionResult {
             observations.push(s.observations);
         }
     }
-    SessionResult { arm, summaries, session_duration, consort, observations }
+    SessionResult { arm, summaries, session_duration, consort, observations, quarantined: false }
+}
+
+/// The placeholder result of a panicked, caught session: counted only under
+/// [`ConsortCounts::quarantined`], contributing no streams, duration,
+/// telemetry, or training observations.
+fn quarantined_session(arm: usize) -> SessionResult {
+    SessionResult {
+        arm,
+        summaries: Vec::new(),
+        session_duration: 0.0,
+        consort: ConsortCounts::default(),
+        observations: Vec::new(),
+        quarantined: true,
+    }
+}
+
+/// Everything one worker brings back from a day.
+struct WorkerDay {
+    /// `(spec index, result)` pairs in completion order — the caller sorts
+    /// by index before aggregating.
+    results: Vec<(usize, SessionResult)>,
+    /// The worker's finished spool file, if the archive sink is on and every
+    /// write succeeded.
+    spool: Option<std::path::PathBuf>,
+    /// A spool abandoned after a write error (partial file awaiting
+    /// cleanup).
+    abandoned_spool: Option<std::path::PathBuf>,
+    /// Archive-degradation incidents this worker hit (the caller sorts them
+    /// by session coordinate, restoring scheduling independence).
+    incidents: Vec<Incident>,
+    /// Any archive-sink operation failed: the day degrades to CSV-only.
+    archive_failed: bool,
 }
 
 /// One worker's day: claim sessions off the shared counter until it runs
 /// dry.  Fugu-family sessions join the worker's [`BatchRunner`] wave (their
 /// chunk decisions are answered by batched TTP passes); everything else runs
-/// inline.  Returns `(spec index, result)` pairs in completion order — the
-/// caller sorts by index before aggregating.
+/// inline — including sessions carrying an injected panic fault, so the
+/// unwind is confined to one session and cannot take the wave down with it.
+///
+/// Every inline session runs under [`catch_unwind`]: a panic (injected or
+/// real) quarantines that session instead of killing the worker and the
+/// day.  Archive-sink errors abandon the spool and mark the day
+/// `archive_failed` instead of aborting.
 fn run_day_worker(
     specs: &[(usize, u64, u64)],
     next: &AtomicUsize,
@@ -264,17 +356,58 @@ fn run_day_worker(
     cfg: &ExperimentConfig,
     day: u32,
     worker: usize,
-) -> (Vec<(usize, SessionResult)>, Option<std::path::PathBuf>) {
+) -> WorkerDay {
     let mut out: Vec<(usize, SessionResult)> = Vec::new();
+    let mut incidents: Vec<Incident> = Vec::new();
+    let mut archive_failed = false;
+    let mut abandoned_spool: Option<std::path::PathBuf> = None;
     let mut pool = ArmAbrs::new(schemes);
     let mut batcher =
         if cfg.batch_streams { Some(BatchRunner::new(schemes, bank, cfg)) } else { None };
     // Each worker spools telemetry to its own `.puf` file as sessions
     // finish; the per-day merge in `run_rct` restores session order.
-    let mut spool = cfg.archive_sink.as_ref().map(|dir| {
-        TelemetrySpool::create(dir, &format!(".spool_day{day}_worker{worker}.puf"))
-            .expect("archive sink spool creation failed")
-    });
+    let mut spool = match cfg.archive_sink.as_ref() {
+        None => None,
+        Some(dir) => {
+            match TelemetrySpool::create(dir, &format!(".spool_day{day}_worker{worker}.puf")) {
+                Ok(s) => Some(s),
+                Err(_) => {
+                    incidents.push(Incident {
+                        day,
+                        arm: NO_ARM,
+                        session: NO_SESSION,
+                        kind: IncidentKind::ArchiveIo,
+                        action: DegradeAction::CsvOnly,
+                        value: 0,
+                    });
+                    archive_failed = true;
+                    None
+                }
+            }
+        }
+    };
+    // Abandon the spool after a write error: telemetry keeps flowing to the
+    // in-memory statistics, only the on-disk archive degrades.
+    let spill = |spool: &mut Option<TelemetrySpool>,
+                 abandoned: &mut Option<std::path::PathBuf>,
+                 incidents: &mut Vec<Incident>,
+                 archive_failed: &mut bool,
+                 i: usize,
+                 arm: usize,
+                 outcome: &SessionOutcome| {
+        if let Err(_e) = spill_session(spool, day, &cfg.faults, i, outcome) {
+            incidents.push(Incident {
+                day,
+                arm: arm as u32,
+                session: i as u64,
+                kind: IncidentKind::ArchiveIo,
+                action: DegradeAction::CsvOnly,
+                value: 0,
+            });
+            *archive_failed = true;
+            *abandoned = spool.take().map(|s| s.path().to_owned());
+        }
+    };
     let mut finished: Vec<(usize, usize, SessionOutcome)> = Vec::new();
     let mut exhausted = false;
     loop {
@@ -287,8 +420,11 @@ fn run_day_worker(
                 break;
             }
             let (arm, id, seed) = specs[i];
+            let panic_after = cfg.faults.session_panic_after(day, i as u64);
             match batcher.as_mut() {
-                Some(b) if b.is_batchable(arm) => b.admit(i, arm, id, seed),
+                Some(b) if b.is_batchable(arm) && panic_after.is_none() => {
+                    b.admit(i, arm, id, seed)
+                }
                 _ => {
                     let mut fresh;
                     let abr: &mut dyn Abr = if cfg.reuse_abrs {
@@ -297,9 +433,34 @@ fn run_day_worker(
                         fresh = schemes[arm].instantiate();
                         fresh.as_mut()
                     };
-                    let outcome = run_one_session(abr, arm, bank, cfg, id, seed);
-                    spill_session(&mut spool, i, &outcome);
-                    out.push((i, account_session(arm, outcome)));
+                    // The pooled ABR is safe to keep using after an unwind:
+                    // `reset_stream` runs before every stream, clearing any
+                    // state the panic left half-updated.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| match panic_after {
+                        Some(after) => {
+                            run_one_session_panicking(abr, arm, bank, cfg, id, seed, after)
+                        }
+                        None => run_one_session(abr, arm, bank, cfg, id, seed),
+                    }));
+                    match outcome {
+                        Ok(outcome) => {
+                            spill(
+                                &mut spool,
+                                &mut abandoned_spool,
+                                &mut incidents,
+                                &mut archive_failed,
+                                i,
+                                arm,
+                                &outcome,
+                            );
+                            let mut res = account_session(arm, outcome);
+                            if cfg.faults.nan_telemetry_at(day, i as u64) {
+                                poison_observations(&mut res.observations);
+                            }
+                            out.push((i, res));
+                        }
+                        Err(_) => out.push((i, quarantined_session(arm))),
+                    }
                 }
             }
         }
@@ -314,23 +475,61 @@ fn run_day_worker(
                 }
                 b.round(&mut pool, &cfg.user, &mut finished);
                 for (i, arm, outcome) in finished.drain(..) {
-                    spill_session(&mut spool, i, &outcome);
-                    out.push((i, account_session(arm, outcome)));
+                    spill(
+                        &mut spool,
+                        &mut abandoned_spool,
+                        &mut incidents,
+                        &mut archive_failed,
+                        i,
+                        arm,
+                        &outcome,
+                    );
+                    let mut res = account_session(arm, outcome);
+                    if cfg.faults.nan_telemetry_at(day, i as u64) {
+                        poison_observations(&mut res.observations);
+                    }
+                    out.push((i, res));
                 }
             }
         }
     }
-    let spool_path = spool.map(|s| s.finish().expect("archive sink spool flush failed"));
-    (out, spool_path)
+    let spool_path = match spool {
+        None => None,
+        Some(s) => {
+            let path = s.path().to_owned();
+            match s.finish() {
+                Ok(p) => Some(p),
+                Err(_) => {
+                    incidents.push(Incident {
+                        day,
+                        arm: NO_ARM,
+                        session: NO_SESSION,
+                        kind: IncidentKind::ArchiveIo,
+                        action: DegradeAction::CsvOnly,
+                        value: 0,
+                    });
+                    archive_failed = true;
+                    abandoned_spool = Some(path);
+                    None
+                }
+            }
+        }
+    };
+    WorkerDay { results: out, spool: spool_path, abandoned_spool, incidents, archive_failed }
 }
 
 /// Run the RCT.  `schemes` defines the arms; Fugu arms flagged
 /// `retrain_daily` are retrained after each simulated day on all telemetry
-/// collected so far (14-day window, recency-weighted, warm-started).
+/// collected so far (14-day window, recency-weighted, warm-started) —
+/// behind a validation gate with one bounded retry and rollback
+/// (docs/ROBUSTNESS.md).
 pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResult {
     assert!(!schemes.is_empty(), "need at least one arm");
     assert!(cfg.sessions_per_day > 0 && cfg.days > 0);
     let bank = if cfg.emulation_world { TraceBank::emulation() } else { TraceBank::puffer() };
+    if cfg.faults.has_session_panics() {
+        crate::faults::install_quiet_panic_hook();
+    }
 
     let mut arms: Vec<SchemeArm> = schemes
         .iter()
@@ -343,11 +542,62 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
             consort: ConsortCounts::default(),
         })
         .collect();
+    // Day-0 snapshots back the Fugu → frozen-snapshot → BBA fallback ladder
+    // when an arm's serving model is unavailable.
+    let frozen_snapshots: Vec<Option<std::sync::Arc<Ttp>>> =
+        schemes.iter().map(|s| s.ttp().cloned()).collect();
     let mut dataset = Dataset::new();
     let mut total_sessions = 0usize;
     let mut archive_paths = Vec::new();
+    let mut incidents: Vec<Incident> = Vec::new();
 
     for day in 0..cfg.days {
+        let day_incident_start = incidents.len();
+        // Degradation ladder: an arm whose serving model is unavailable
+        // today falls back to its frozen day-0 snapshot, and if that is
+        // unavailable too, to BBA.  `day_schemes` are clones of the live
+        // specs (Arc identity preserved, so batching groups are unchanged);
+        // the master `schemes` stay the retraining target.
+        let mut day_schemes = schemes.clone();
+        for (a, spec) in day_schemes.iter_mut().enumerate() {
+            let Some(outage) = cfg.faults.model_outage(day, a as u32) else {
+                continue;
+            };
+            let (variant, label, retrain_daily) = match spec {
+                SchemeSpec::Fugu { variant, label, retrain_daily, .. } => {
+                    (*variant, *label, *retrain_daily)
+                }
+                _ => continue, // only Fugu arms carry a servable model
+            };
+            match outage {
+                crate::faults::ModelOutage::Primary => {
+                    let Some(frozen) = &frozen_snapshots[a] else {
+                        continue;
+                    };
+                    *spec = SchemeSpec::Fugu { ttp: frozen.clone(), variant, label, retrain_daily };
+                    incidents.push(Incident {
+                        day,
+                        arm: a as u32,
+                        session: NO_SESSION,
+                        kind: IncidentKind::ModelUnavailable,
+                        action: DegradeAction::ServedFrozen,
+                        value: 1,
+                    });
+                }
+                crate::faults::ModelOutage::PrimaryAndFrozen => {
+                    *spec = SchemeSpec::Bba;
+                    incidents.push(Incident {
+                        day,
+                        arm: a as u32,
+                        session: NO_SESSION,
+                        kind: IncidentKind::ModelUnavailable,
+                        action: DegradeAction::ServedBba,
+                        value: 2,
+                    });
+                }
+            }
+        }
+
         // Blinded randomization: arm assignment depends only on the seed
         // stream, never on the user or path.  The session's own randomness
         // (user intent, path, trace, content) is seeded *without* the arm —
@@ -385,60 +635,109 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
         let hw = std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZero::get);
         let n_workers = cfg.threads.min(hw).min(specs.len()).max(1);
         let next = AtomicUsize::new(0);
-        let (mut indexed, spools): (Vec<(usize, SessionResult)>, Vec<std::path::PathBuf>) =
-            if n_workers <= 1 {
-                let (results, spool) = run_day_worker(&specs, &next, &schemes, &bank, cfg, day, 0);
-                (results, spool.into_iter().collect())
-            } else {
-                let specs_ref = &specs;
-                let next_ref = &next;
-                let schemes_ref = &schemes;
-                let bank_ref = &bank;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..n_workers)
-                        .map(|w| {
-                            scope.spawn(move || {
-                                run_day_worker(
-                                    specs_ref,
-                                    next_ref,
-                                    schemes_ref,
-                                    bank_ref,
-                                    cfg,
-                                    day,
-                                    w,
-                                )
-                            })
+        let mut worker_days: Vec<WorkerDay> = if n_workers <= 1 {
+            vec![run_day_worker(&specs, &next, &day_schemes, &bank, cfg, day, 0)]
+        } else {
+            let specs_ref = &specs;
+            let next_ref = &next;
+            let schemes_ref = &day_schemes;
+            let bank_ref = &bank;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            run_day_worker(specs_ref, next_ref, schemes_ref, bank_ref, cfg, day, w)
                         })
-                        .collect();
-                    let mut results = Vec::new();
-                    let mut spools = Vec::new();
-                    for h in handles {
-                        let (r, spool) = h.join().expect("worker panicked");
-                        results.extend(r);
-                        spools.extend(spool);
-                    }
-                    (results, spools)
-                })
-            };
+                    })
+                    .collect();
+                // A panic escaping here is a worker-level bug, not a session
+                // failure — sessions are isolated inside the worker.
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+        };
+        let day_archive_failed = worker_days.iter().any(|w| w.archive_failed);
+        let mut indexed: Vec<(usize, SessionResult)> = Vec::new();
+        let mut spools: Vec<std::path::PathBuf> = Vec::new();
+        let mut abandoned: Vec<std::path::PathBuf> = Vec::new();
+        let mut worker_incidents: Vec<Incident> = Vec::new();
+        for w in worker_days.drain(..) {
+            indexed.extend(w.results);
+            spools.extend(w.spool);
+            abandoned.extend(w.abandoned_spool);
+            worker_incidents.extend(w.incidents);
+        }
+        // Which worker hit an archive fault is scheduling-dependent; the
+        // incident coordinates are not.  Sorting restores a deterministic
+        // log for injected faults (coordinate-keyed); real faults keep their
+        // coordinates but may legitimately vary across runs.
+        worker_incidents.sort_unstable_by_key(|inc| {
+            (inc.session, inc.arm, inc.kind.code(), inc.action.code(), inc.value)
+        });
+        incidents.extend(worker_incidents);
+
         // Merge per-worker spools into the day's archive.  Blocks are
         // reordered by session index during the merge, so the merged bytes
-        // are independent of which worker ran which session.
+        // are independent of which worker ran which session.  If *any*
+        // worker's sink failed, the day's archive would be missing sessions
+        // non-deterministically — so the whole day degrades to CSV-only
+        // (deterministic at every thread count) and the spools are removed.
+        let mut day_archive_path: Option<std::path::PathBuf> = None;
         if let Some(dir) = &cfg.archive_sink {
-            let day_path = dir.join(format!("telemetry_day{day}.puf"));
-            crate::archive::merge_spools(&spools, &day_path)
-                .expect("archive sink day merge failed");
-            for s in spools {
-                std::fs::remove_file(s).expect("archive sink spool cleanup failed");
+            if day_archive_failed {
+                for s in spools.drain(..).chain(abandoned.drain(..)) {
+                    std::fs::remove_file(s).ok();
+                }
+            } else {
+                let day_path = dir.join(format!("telemetry_day{day}.puf"));
+                match crate::archive::merge_spools(&spools, &day_path) {
+                    Ok(()) => {
+                        for s in spools.drain(..) {
+                            std::fs::remove_file(s).ok();
+                        }
+                        archive_paths.push(day_path.clone());
+                        day_archive_path = Some(day_path);
+                    }
+                    Err(_) => {
+                        incidents.push(Incident {
+                            day,
+                            arm: NO_ARM,
+                            session: NO_SESSION,
+                            kind: IncidentKind::ArchiveIo,
+                            action: DegradeAction::CsvOnly,
+                            value: 0,
+                        });
+                        for s in spools.drain(..) {
+                            std::fs::remove_file(s).ok();
+                        }
+                        std::fs::remove_file(&day_path).ok();
+                    }
+                }
             }
-            archive_paths.push(day_path);
         }
         indexed.sort_unstable_by_key(|&(i, _)| i);
         debug_assert!(indexed.iter().enumerate().all(|(k, &(i, _))| k == i));
-        let results = indexed.into_iter().map(|(_, r)| r);
 
-        // Aggregate in deterministic (session-index) order.
-        for r in results {
+        // Aggregate in deterministic (session-index) order.  Quarantined
+        // sessions are excluded here — identically at any thread count,
+        // because exclusion keys on the session's spec index, not on which
+        // worker caught the panic.  Streams carrying non-finite telemetry
+        // features are kept in the QoE statistics but dropped from the
+        // training dataset: one NaN would poison the nightly retrain's
+        // scaler and every gradient after it.
+        for (i, r) in indexed {
             let arm = &mut arms[r.arm];
+            if r.quarantined {
+                arm.consort.quarantined += 1;
+                incidents.push(Incident {
+                    day,
+                    arm: r.arm as u32,
+                    session: i as u64,
+                    kind: IncidentKind::SessionPanic,
+                    action: DegradeAction::Quarantined,
+                    value: u64::from(cfg.faults.session_panic_after(day, i as u64).unwrap_or(0)),
+                });
+                continue;
+            }
             arm.streams.extend(r.summaries);
             arm.session_durations.push(r.session_duration);
             arm.consort.sessions += r.consort.sessions;
@@ -447,27 +746,155 @@ pub fn run_rct(mut schemes: Vec<SchemeSpec>, cfg: &ExperimentConfig) -> RctResul
             arm.consort.short_watch += r.consort.short_watch;
             arm.consort.considered += r.consort.considered;
             for stream_obs in r.observations {
-                dataset.add_stream(day, stream_obs);
+                if stream_obs.iter().all(observation_is_finite) {
+                    dataset.add_stream(day, stream_obs);
+                } else {
+                    incidents.push(Incident {
+                        day,
+                        arm: r.arm as u32,
+                        session: i as u64,
+                        kind: IncidentKind::BadTelemetry,
+                        action: DegradeAction::ObservationsDropped,
+                        value: stream_obs.len() as u64,
+                    });
+                }
             }
         }
 
-        // Nightly retraining (§4.3): warm start from today's weights.
+        // Nightly retraining (§4.3): warm start from today's weights, gated
+        // before the swap (docs/ROBUSTNESS.md).  A candidate that fails the
+        // validation gate gets one bounded retry on an independent RNG
+        // stream; if that fails too, the incumbent keeps serving.
         if let Some(train_cfg) = &cfg.retrain {
-            for spec in schemes.iter_mut() {
+            for (a, spec) in schemes.iter_mut().enumerate() {
                 if !spec.retrains_daily() {
                     continue;
                 }
-                let mut new_ttp: Ttp = (**spec.ttp().expect("retraining arm has a TTP")).clone();
-                let mut rng =
-                    rand::rngs::StdRng::seed_from_u64(mix_seed(cfg.seed, day, usize::MAX - 1, 7));
-                if train(&mut new_ttp, &dataset, day, train_cfg, &mut rng).is_some() {
+                let Some(incumbent) = spec.ttp().cloned() else {
+                    incidents.push(Incident {
+                        day,
+                        arm: a as u32,
+                        session: NO_SESSION,
+                        kind: IncidentKind::RetrainSkipped,
+                        action: DegradeAction::SkippedRetrain,
+                        value: 0,
+                    });
+                    continue;
+                };
+                let gate = RetrainGate::default();
+                let fault = cfg.faults.retrain_fault(day, a as u32);
+                let mut accepted: Option<Ttp> = None;
+                for attempt in 0..2u8 {
+                    let mut candidate: Ttp = (*incumbent).clone();
+                    // Attempt 0 uses the stream retrains have always used
+                    // (zero-fault identity); the retry draws an independent
+                    // one so the re-shuffle differs.
+                    let stream = if attempt == 0 { usize::MAX - 1 } else { usize::MAX - 2 };
+                    let mut rng =
+                        rand::rngs::StdRng::seed_from_u64(mix_seed(cfg.seed, day, stream, 7));
+                    if train(&mut candidate, &dataset, day, train_cfg, &mut rng).is_none() {
+                        break; // empty window: nothing to retrain on
+                    }
+                    if let Some(f) = fault {
+                        if f.hits(attempt) {
+                            crate::faults::corrupt_ttp(f.mode, &mut candidate);
+                        }
+                    }
+                    let verdict = validate_retrained(
+                        &candidate,
+                        &incumbent,
+                        &dataset,
+                        day,
+                        train_cfg.window_days,
+                        &gate,
+                    );
+                    match (verdict, attempt) {
+                        (GateVerdict::Pass, 0) => {
+                            accepted = Some(candidate);
+                            break;
+                        }
+                        (GateVerdict::Pass, _) => {
+                            incidents.push(Incident {
+                                day,
+                                arm: a as u32,
+                                session: NO_SESSION,
+                                kind: IncidentKind::RetrainRecovered,
+                                action: DegradeAction::RetrySucceeded,
+                                value: 0,
+                            });
+                            accepted = Some(candidate);
+                            break;
+                        }
+                        (v, 0) => incidents.push(Incident {
+                            day,
+                            arm: a as u32,
+                            session: NO_SESSION,
+                            kind: IncidentKind::RetrainRejected,
+                            action: DegradeAction::RetriedTraining,
+                            value: u64::from(v.code()),
+                        }),
+                        (v, _) => incidents.push(Incident {
+                            day,
+                            arm: a as u32,
+                            session: NO_SESSION,
+                            kind: IncidentKind::RetrainRejected,
+                            action: DegradeAction::RolledBack,
+                            value: u64::from(v.code()),
+                        }),
+                    }
+                }
+                let Some(new_ttp) = accepted else {
+                    continue; // incumbent keeps serving
+                };
+                // Injected checkpoint truncation: the accepted model's
+                // checkpoint is cut mid-file before reload.  The loader must
+                // reject it (never panic), and the incumbent keeps serving —
+                // exactly what a crash between write and rename would do
+                // without the atomic-save path.
+                if cfg.faults.checkpoint_truncated(day, a as u32) {
+                    let text = fugu::checkpoint::save_to_string(&new_ttp);
+                    let cut = text.len() / 2;
+                    match fugu::checkpoint::load_from_str(&text[..cut]) {
+                        Err(_) => {
+                            incidents.push(Incident {
+                                day,
+                                arm: a as u32,
+                                session: NO_SESSION,
+                                kind: IncidentKind::CheckpointTruncated,
+                                action: DegradeAction::KeptIncumbent,
+                                value: cut as u64,
+                            });
+                        }
+                        Ok(reloaded) => spec.update_ttp(reloaded),
+                    }
+                } else {
                     spec.update_ttp(new_ttp);
                 }
             }
         }
+
+        // Persist the day's incidents into the day archive (when one was
+        // written) as `BlockKind::Incident` blocks.  Failure here degrades
+        // silently — the run-level `incidents.csv` still carries the log.
+        if let Some(day_path) = &day_archive_path {
+            let day_slice = &incidents[day_incident_start..];
+            if !day_slice.is_empty() {
+                crate::archive::append_incidents(day_path, day_slice).ok();
+            }
+        }
     }
 
-    RctResult { arms, dataset, total_sessions, archive_paths }
+    // The deterministic incident log lands next to the archives.  Nothing is
+    // written on a clean zero-fault run, keeping its outputs byte-identical
+    // to a build without the supervision layer.
+    if let Some(dir) = &cfg.archive_sink {
+        if !cfg.faults.is_empty() || !incidents.is_empty() {
+            std::fs::write(dir.join("incidents.csv"), crate::faults::incidents_csv(&incidents))
+                .ok();
+        }
+    }
+
+    RctResult { arms, dataset, total_sessions, archive_paths, incidents, schemes }
 }
 
 /// Collect a TTP training dataset by running `sessions_per_day × days`

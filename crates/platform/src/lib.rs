@@ -24,6 +24,10 @@
 //!   rows in RAM;
 //! * [`scheme`] — the scheme registry mapping experiment arms to algorithms
 //!   (Fig. 5);
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`]) and
+//!   the incident records ([`faults::Incident`]) the supervision layer in
+//!   [`experiment`] emits when it degrades instead of dying
+//!   (docs/ROBUSTNESS.md);
 //! * [`experiment`] — the day-by-day RCT driver: blinded randomization,
 //!   parallel session execution, CONSORT-style exclusion accounting
 //!   (Fig. A1), nightly in-situ retraining of Fugu's TTP (§4.3), and
@@ -34,6 +38,7 @@ pub mod archive_format;
 pub(crate) mod batch;
 pub mod client;
 pub mod experiment;
+pub mod faults;
 pub mod pensieve_env;
 pub mod scheme;
 pub mod session;
@@ -41,9 +46,13 @@ pub mod stream;
 pub mod telemetry;
 pub mod user;
 
-pub use archive::{merge_spools, DailyArchive, TelemetrySpool};
-pub use archive_format::{ArchiveReader, ArchiveWriter, BlockKind, DecodedBlock};
+pub use archive::{append_incidents, merge_spools, DailyArchive, TelemetrySpool};
+pub use archive_format::{ArchiveReader, ArchiveWriter, BlockKind, DecodedBlock, IncidentRow};
 pub use experiment::{run_rct, ConsortCounts, ExperimentConfig, RctResult, SchemeArm};
+pub use faults::{
+    incidents_csv, DegradeAction, DivergenceMode, FaultPlan, FaultRates, Incident, IncidentKind,
+    ModelOutage, RetrainFault,
+};
 pub use pensieve_env::{train_pensieve, PensieveTrainConfig};
 pub use scheme::SchemeSpec;
 pub use session::{run_session, SessionOutcome, SessionRun};

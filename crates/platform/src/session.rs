@@ -206,6 +206,35 @@ pub fn run_session(
     run.finish()
 }
 
+/// Like [`run_session`], but panics (with a [`crate::faults::InjectedPanic`]
+/// payload) after `panic_after` chunk decisions — the fault-injection
+/// harness's "session crashed mid-run" failure.  Sessions that finish before
+/// reaching the panic point complete normally, so the fault still exercises
+/// the supervisor's quarantine path deterministically only when it fires.
+#[allow(clippy::too_many_arguments)] // mirrors run_session plus the panic point
+pub fn run_session_with_injected_panic(
+    bank: &TraceBank,
+    abr: &mut dyn Abr,
+    user: &UserModel,
+    cc: CongestionControl,
+    base_stream_cfg: StreamConfig,
+    session_id: u64,
+    seed: u64,
+    panic_after: u32,
+) -> SessionOutcome {
+    let mut run = SessionRun::begin(bank, user, cc, base_stream_cfg, session_id, seed);
+    let mut decisions = 0u32;
+    while run.poll_decision(abr, user) {
+        if decisions >= panic_after {
+            std::panic::panic_any(crate::faults::InjectedPanic);
+        }
+        decisions += 1;
+        let rung = abr.choose(&run.context());
+        run.advance(rung, abr, user);
+    }
+    run.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,8 +26,8 @@ use puffer_repro::platform::telemetry::{
 };
 use puffer_repro::platform::user::StreamIntent;
 use puffer_repro::platform::{
-    run_stream, ArchiveReader, ArchiveWriter, DailyArchive, ExperimentConfig, SchemeSpec,
-    StreamClock, StreamConfig, UserModel,
+    incidents_csv, run_stream, ArchiveReader, ArchiveWriter, DailyArchive, ExperimentConfig,
+    FaultPlan, FaultRates, Incident, SchemeSpec, StreamClock, StreamConfig, UserModel,
 };
 use puffer_repro::stats::{bootstrap_ratio_ci, PowerCurve, Reservoir, SchemeSummary};
 use puffer_repro::trace::TraceBank;
@@ -46,7 +46,8 @@ fn usage() -> ! {
            collect         --out <file> [--sessions N] [--days N] [--emulation] [--seed N]\n\
            train-ttp       --data <file> --out <file> [--variant full|linear|no-tcp-info|throughput] [--seed N]\n\
            run-rct         [--schemes bba,bola,mpc,robustmpc] [--sessions N] [--days N]\n\
-                           [--paired] [--emulation] [--fugu <ttp-checkpoint>] [--archive <dir>] [--seed N]\n\
+                           [--paired] [--emulation] [--fugu <ttp-checkpoint>] [--archive <dir>]\n\
+                           [--fault-rate R] [--seed N]\n\
            archive         --out <dir> [--format csv|puf|both] [--sessions N] [--seed N]\n\
            archive-export  --in <file.puf> --out <dir> [--day N]\n\
            archive-stats   --in <file.puf>\n\
@@ -245,7 +246,7 @@ fn cmd_run_rct(flags: BTreeMap<String, String>) -> ExitCode {
             }
         }
     }
-    let cfg = ExperimentConfig {
+    let mut cfg = ExperimentConfig {
         seed: get(&flags, "seed", 1),
         sessions_per_day: get(&flags, "sessions", 100),
         days: get(&flags, "days", 2),
@@ -254,6 +255,16 @@ fn cmd_run_rct(flags: BTreeMap<String, String>) -> ExitCode {
         archive_sink: flags.get("archive").map(PathBuf::from),
         ..ExperimentConfig::default()
     };
+    let fault_rate: f64 = get(&flags, "fault-rate", 0.0);
+    if fault_rate > 0.0 {
+        cfg.faults = FaultPlan::seeded(
+            cfg.seed,
+            cfg.days,
+            cfg.sessions_per_day,
+            schemes.len(),
+            &FaultRates::uniform(fault_rate),
+        );
+    }
     eprintln!(
         "running RCT: {} arms, {} sessions/day x {} days{} ...",
         schemes.len(),
@@ -289,6 +300,14 @@ fn cmd_run_rct(flags: BTreeMap<String, String>) -> ExitCode {
     for p in &result.archive_paths {
         let bytes = std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
         println!("archived {} ({bytes} bytes)", p.display());
+    }
+    if !result.incidents.is_empty() {
+        let mut by_kind: BTreeMap<&str, usize> = BTreeMap::new();
+        for i in &result.incidents {
+            *by_kind.entry(i.kind.name()).or_default() += 1;
+        }
+        let summary: Vec<String> = by_kind.iter().map(|(name, n)| format!("{n} {name}")).collect();
+        println!("incidents: {} ({})", result.incidents.len(), summary.join(", "));
     }
     ExitCode::SUCCESS
 }
@@ -361,7 +380,7 @@ fn cmd_archive_export(flags: BTreeMap<String, String>) -> ExitCode {
         return ExitCode::from(2);
     };
     let day: u32 = get(&flags, "day", 0);
-    let run = || -> std::io::Result<[(PathBuf, u64); 3]> {
+    let run = || -> std::io::Result<Vec<(PathBuf, u64)>> {
         std::fs::create_dir_all(out_dir)?;
         let input = std::io::BufReader::new(std::fs::File::open(in_path)?);
         let mut reader = ArchiveReader::new(input)?;
@@ -375,6 +394,7 @@ fn cmd_archive_export(flags: BTreeMap<String, String>) -> ExitCode {
         let mut sent = make(format!("video_sent_{day}.csv"), VIDEO_SENT_CSV_HEADER)?;
         let mut acked = make(format!("video_acked_{day}.csv"), VIDEO_ACKED_CSV_HEADER)?;
         let mut buffer = make(format!("client_buffer_{day}.csv"), CLIENT_BUFFER_CSV_HEADER)?;
+        let mut incidents: Vec<Incident> = Vec::new();
         while let Some(block) = reader.next_block()? {
             for d in &block.video_sent {
                 write_video_sent_row(&mut sent.0, d)?;
@@ -388,11 +408,18 @@ fn cmd_archive_export(flags: BTreeMap<String, String>) -> ExitCode {
                 write_client_buffer_row(&mut buffer.0, d)?;
             }
             buffer.2 += block.client_buffer.len() as u64;
+            incidents.extend(block.incidents.iter().filter_map(Incident::from_row));
         }
         sent.0.flush()?;
         acked.0.flush()?;
         buffer.0.flush()?;
-        Ok([(sent.1, sent.2), (acked.1, acked.2), (buffer.1, buffer.2)])
+        let mut outputs = vec![(sent.1, sent.2), (acked.1, acked.2), (buffer.1, buffer.2)];
+        if !incidents.is_empty() {
+            let path = dir.join(format!("incidents_{day}.csv"));
+            std::fs::write(&path, incidents_csv(&incidents))?;
+            outputs.push((path, incidents.len() as u64));
+        }
+        Ok(outputs)
     };
     match run() {
         Ok(outputs) => {
@@ -440,8 +467,8 @@ fn cmd_archive_stats(flags: BTreeMap<String, String>) -> ExitCode {
     let run = || -> std::io::Result<()> {
         let input = std::io::BufReader::new(std::fs::File::open(in_path)?);
         let mut reader = ArchiveReader::new(input)?;
-        let mut rows = [0u64; 3];
-        let mut blocks = [0u64; 3];
+        let mut rows = [0u64; 4];
+        let mut blocks = [0u64; 4];
         let mut csv = CountingSink(
             (VIDEO_SENT_CSV_HEADER.len()
                 + VIDEO_ACKED_CSV_HEADER.len()
@@ -459,7 +486,8 @@ fn cmd_archive_stats(flags: BTreeMap<String, String>) -> ExitCode {
             blocks[i] += 1;
             rows[i] += (block.video_sent.len()
                 + block.video_acked.len()
-                + block.client_buffer.len()) as u64;
+                + block.client_buffer.len()
+                + block.incidents.len()) as u64;
             for d in &block.video_sent {
                 write_video_sent_row(&mut csv, d)?;
             }
@@ -472,7 +500,12 @@ fn cmd_archive_stats(flags: BTreeMap<String, String>) -> ExitCode {
         }
         let total_rows: u64 = rows.iter().sum();
         println!("{in_path}: {file_bytes} bytes, {total_rows} rows, {tags} sessions");
-        for (name, i) in [("video_sent", 0), ("video_acked", 1), ("client_buffer", 2)] {
+        for (name, i) in
+            [("video_sent", 0), ("video_acked", 1), ("client_buffer", 2), ("incident", 3)]
+        {
+            if i == 3 && blocks[i] == 0 {
+                continue; // incident blocks only exist in faulted runs
+            }
             println!("  {name:<14} {:>10} rows in {:>6} blocks", rows[i], blocks[i]);
         }
         if total_rows > 0 {

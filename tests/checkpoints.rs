@@ -120,3 +120,112 @@ fn dataset_roundtrip_preserves_training_outcome() {
         "identical data + seed must give identical weights"
     );
 }
+
+/// A deliberately tiny TTP so corruption sweeps over its checkpoint text
+/// stay fast (a paper-sized checkpoint is hundreds of kilobytes).
+fn tiny_ttp() -> Ttp {
+    let cfg = TtpConfig {
+        horizon: 2,
+        history_len: 2,
+        hidden: vec![4],
+        use_tcp_info: false,
+        ..TtpConfig::default()
+    };
+    Ttp::new(cfg, 77)
+}
+
+#[test]
+fn truncated_checkpoint_never_loads_and_never_panics() {
+    // Crash-during-write leaves a prefix of the file; `load_from_str` must
+    // reject every such prefix with an error — or, when the truncation only
+    // sheds trailing whitespace, load a model byte-identical to the
+    // original.  It must never panic and never return a silently damaged
+    // model.
+    let ttp = tiny_ttp();
+    let text = checkpoint::save_to_string(&ttp);
+    assert!(checkpoint::load_from_str(&text).is_ok(), "full checkpoint must load");
+    for cut in 0..text.len() {
+        match checkpoint::load_from_str(&text[..cut]) {
+            Err(_) => {}
+            Ok(loaded) => assert_eq!(
+                checkpoint::save_to_string(&loaded),
+                text,
+                "prefix of {cut}/{} bytes loaded a *different* model",
+                text.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn garbled_checkpoint_lines_are_rejected() {
+    // Every line of the format is load-bearing: corrupting any one of them
+    // must surface as a LoadError, never a panic or a silently wrong model.
+    let text = checkpoint::save_to_string(&tiny_ttp());
+    let lines: Vec<&str> = text.lines().collect();
+    for i in 0..lines.len() {
+        let mut garbled: Vec<&str> = lines.clone();
+        garbled[i] = "@@corrupted@@";
+        assert!(
+            checkpoint::load_from_str(&garbled.join("\n")).is_err(),
+            "garbling line {i} ({:?}) must fail the load",
+            lines[i]
+        );
+    }
+}
+
+#[test]
+fn deleted_checkpoint_lines_are_rejected() {
+    let text = checkpoint::save_to_string(&tiny_ttp());
+    let lines: Vec<&str> = text.lines().collect();
+    for i in 0..lines.len() {
+        let mut pruned: Vec<&str> = lines.clone();
+        pruned.remove(i);
+        match checkpoint::load_from_str(&pruned.join("\n")) {
+            Err(_) => {}
+            Ok(loaded) => assert_eq!(
+                checkpoint::save_to_string(&loaded),
+                text,
+                "dropping line {i} ({:?}) loaded a *different* model",
+                lines[i]
+            ),
+        }
+    }
+}
+
+#[test]
+fn save_to_file_is_atomic() {
+    let dir = std::env::temp_dir().join(format!("puffer_ckpt_atomic_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.txt");
+    let tmp = dir.join("model.txt.tmp");
+    let ttp = tiny_ttp();
+
+    // A stray temp file from a crashed writer must never shadow the real
+    // checkpoint...
+    std::fs::write(&tmp, "half-written garbage").unwrap();
+    checkpoint::save_to_file(&ttp, &path).unwrap();
+    assert!(!tmp.exists(), "save must clean up (rename away) its temp file");
+    let reloaded = checkpoint::load_from_file(&path).unwrap();
+    assert_eq!(checkpoint::save_to_string(&reloaded), checkpoint::save_to_string(&ttp));
+
+    // ...overwriting an existing checkpoint goes through the same
+    // temp+rename path, so a reader never observes a partial file.
+    checkpoint::save_to_file(&ttp, &path).unwrap();
+    assert!(!tmp.exists());
+    assert!(checkpoint::load_from_file(&path).is_ok());
+
+    // A truncated file on disk (simulated torn write from a pre-atomic
+    // saver) is rejected by the loader.
+    let text = checkpoint::save_to_string(&ttp);
+    std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+    assert!(checkpoint::load_from_file(&path).is_err());
+
+    // Saving into a directory that doesn't exist reports the I/O error
+    // instead of panicking.
+    let missing = dir.join("no_such_dir").join("model.txt");
+    assert!(checkpoint::save_to_file(&ttp, &missing).is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
